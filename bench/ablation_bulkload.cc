@@ -1,0 +1,84 @@
+// Ablation: bulk loading versus repeated insertion — build time, structure
+// quality, and query cost on the paper's data set 2.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/stopwatch.h"
+#include "data/paper_datasets.h"
+#include "eval/report.h"
+#include "gausstree/gauss_tree.h"
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+#include "gausstree/tree_stats.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_device.h"
+
+namespace gauss::bench {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout, "Ablation: bulk load vs repeated insertion");
+  double scale = 1.0;
+  if (const char* env = std::getenv("GAUSS_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) scale = s;
+  }
+  const PaperDataset data =
+      GeneratePaperDataset2(static_cast<size_t>(100000 * scale));
+  const auto workload = GeneratePaperWorkload(data, 50);
+
+  Table table({"build", "build s", "nodes", "leaf fill", "leaf hull-int",
+               "MLIQ pages", "TIQ(0.2) pages"});
+  for (bool bulk : {false, true}) {
+    InMemoryPageDevice device(kDefaultPageSize);
+    BufferPool pool(&device, 1 << 16);
+    GaussTree tree(&pool, data.dataset.dim());
+    Stopwatch build;
+    if (bulk) {
+      tree.BulkLoad(data.dataset);
+    } else {
+      tree.BulkInsert(data.dataset);
+    }
+    const double build_seconds = build.ElapsedSeconds();
+    tree.Finalize();
+
+    const GaussTreeStats stats = tree.ComputeStats();
+    const auto profile = ProfileLevels(tree);
+
+    MliqOptions mliq_options;
+    mliq_options.probability_accuracy = 1e-2;
+    TiqOptions tiq_options;
+    tiq_options.exact_membership = false;
+    uint64_t mliq_pages = 0, tiq_pages = 0;
+    for (const auto& iq : workload) {
+      pool.Clear();
+      pool.ResetStats();
+      QueryMliq(tree, iq.query, 1, mliq_options);
+      mliq_pages += pool.stats().physical_reads;
+      pool.Clear();
+      pool.ResetStats();
+      QueryTiq(tree, iq.query, 0.2, tiq_options);
+      tiq_pages += pool.stats().physical_reads;
+    }
+    const double n = static_cast<double>(workload.size());
+    table.AddRow({bulk ? "BulkLoad (top-down)" : "repeated Insert",
+                  Table::Num(build_seconds, 2), Table::Int(stats.node_count),
+                  Table::Pct(100 * stats.avg_leaf_fill),
+                  Table::Num(profile.back().avg_hull_integral, 3),
+                  Table::Num(mliq_pages / n), Table::Num(tiq_pages / n)});
+  }
+  table.Print(std::cout);
+  std::cout << "expectation: bulk loading yields far more selective nodes "
+               "(orders of magnitude lower hull-integral measure), cutting "
+               "query pages several-fold; the figure benches still build by "
+               "insertion for fidelity to the paper's Section 5.3\n";
+}
+
+}  // namespace
+}  // namespace gauss::bench
+
+int main() {
+  gauss::bench::Run();
+  return 0;
+}

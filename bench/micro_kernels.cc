@@ -1,0 +1,142 @@
+// Ablation A7 (DESIGN.md): micro-kernels of the hot query path, measured
+// with google-benchmark — Gaussian density evaluation, the Lemma 2/3 hull
+// bounds, the hull integral, and node (de)serialization.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "gausstree/node.h"
+#include "math/gaussian.h"
+#include "math/hull.h"
+#include "math/hull_integral.h"
+
+namespace gauss {
+namespace {
+
+void BM_GaussianPdf(benchmark::State& state) {
+  Rng rng(1);
+  const double x = rng.Uniform(-3, 3);
+  const double mu = rng.Uniform(-3, 3);
+  const double sigma = rng.Uniform(0.1, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GaussianPdf(x, mu, sigma));
+  }
+}
+BENCHMARK(BM_GaussianPdf);
+
+void BM_GaussianLogPdf(benchmark::State& state) {
+  Rng rng(2);
+  const double x = rng.Uniform(-3, 3);
+  const double mu = rng.Uniform(-3, 3);
+  const double sigma = rng.Uniform(0.1, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GaussianLogPdf(x, mu, sigma));
+  }
+}
+BENCHMARK(BM_GaussianLogPdf);
+
+void BM_JointLogDensityVector(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> mu_v(d), sg_v(d), mu_q(d), sg_q(d);
+  for (size_t i = 0; i < d; ++i) {
+    mu_v[i] = rng.Uniform(0, 1);
+    sg_v[i] = rng.Uniform(0.01, 0.1);
+    mu_q[i] = rng.Uniform(0, 1);
+    sg_q[i] = rng.Uniform(0.01, 0.1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JointLogDensity(mu_v.data(), sg_v.data(),
+                                             mu_q.data(), sg_q.data(), d));
+  }
+}
+BENCHMARK(BM_JointLogDensityVector)->Arg(10)->Arg(27);
+
+void BM_LogUpperHull(benchmark::State& state) {
+  DimBounds b;
+  b.mu_lo = 0.2;
+  b.mu_hi = 0.6;
+  b.sigma_lo = 0.01;
+  b.sigma_hi = 0.08;
+  double x = -1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogUpperHull(x, b));
+    x += 1e-6;  // sweep across the piecewise cases
+    if (x > 2.0) x = -1.0;
+  }
+}
+BENCHMARK(BM_LogUpperHull);
+
+void BM_LogLowerHull(benchmark::State& state) {
+  DimBounds b;
+  b.mu_lo = 0.2;
+  b.mu_hi = 0.6;
+  b.sigma_lo = 0.01;
+  b.sigma_hi = 0.08;
+  double x = -1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogLowerHull(x, b));
+    x += 1e-6;
+    if (x > 2.0) x = -1.0;
+  }
+}
+BENCHMARK(BM_LogLowerHull);
+
+void BM_HullIntegral(benchmark::State& state) {
+  const IntegralMethod method = state.range(0) == 0
+                                    ? IntegralMethod::kErf
+                                    : IntegralMethod::kSigmoidPoly5;
+  DimBounds b;
+  b.mu_lo = 0.2;
+  b.mu_hi = 0.6;
+  b.sigma_lo = 0.01;
+  b.sigma_hi = 0.08;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UpperHullIntegral(b, method));
+  }
+}
+BENCHMARK(BM_HullIntegral)->Arg(0)->Arg(1);
+
+GtNode MakeLeaf(size_t dim, size_t records) {
+  Rng rng(4);
+  GtNode node;
+  node.kind = GtNodeKind::kLeaf;
+  for (size_t r = 0; r < records; ++r) {
+    std::vector<double> mu(dim), sigma(dim);
+    for (double& m : mu) m = rng.Uniform(0, 1);
+    for (double& s : sigma) s = rng.Uniform(0.01, 0.1);
+    node.pfvs.push_back(Pfv(r, std::move(mu), std::move(sigma)));
+  }
+  return node;
+}
+
+void BM_LeafSerialize(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const GtCapacities caps = GtCapacities::ForPageSize(8192, dim);
+  const GtNode node = MakeLeaf(dim, caps.leaf);
+  std::vector<uint8_t> page(8192);
+  for (auto _ : state) {
+    node.Serialize(page.data(), dim);
+    benchmark::DoNotOptimize(page.data());
+  }
+}
+BENCHMARK(BM_LeafSerialize)->Arg(10)->Arg(27);
+
+void BM_LeafDeserialize(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const GtCapacities caps = GtCapacities::ForPageSize(8192, dim);
+  const GtNode node = MakeLeaf(dim, caps.leaf);
+  std::vector<uint8_t> page(8192);
+  node.Serialize(page.data(), dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GtNode::Deserialize(page.data(), dim, 0));
+  }
+}
+BENCHMARK(BM_LeafDeserialize)->Arg(10)->Arg(27);
+
+}  // namespace
+}  // namespace gauss
+
+BENCHMARK_MAIN();

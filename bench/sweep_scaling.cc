@@ -1,0 +1,142 @@
+// Ablation A3 (DESIGN.md): database-size and dimensionality scaling of the
+// Gauss-tree versus the sequential scan, plus the uniform-data worst case
+// that shows where hull pruning breaks down (curse of dimensionality).
+
+#include <cstdio>
+#include <iostream>
+
+#include "data/generators.h"
+#include "data/workload.h"
+#include "eval/report.h"
+#include "gausstree/gauss_tree.h"
+#include "gausstree/mliq.h"
+#include "pfv/pfv_file.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_device.h"
+
+namespace gauss::bench {
+namespace {
+
+struct Result {
+  uint64_t tree_pages = 0;
+  uint64_t scan_pages = 0;
+  size_t hits = 0;
+  size_t queries = 0;
+};
+
+Result Measure(const PfvDataset& dataset, const SigmaModel& sigma_model,
+               size_t query_count) {
+  InMemoryPageDevice device(kDefaultPageSize);
+  BufferPool pool(&device, 1 << 16);
+  GaussTree tree(&pool, dataset.dim());
+  PfvFile file(&pool, dataset.dim());
+  tree.BulkInsert(dataset);
+  tree.Finalize();
+  file.AppendAll(dataset);
+
+  WorkloadConfig wc;
+  wc.query_count = query_count;
+  wc.query_sigma_model = sigma_model;
+  const auto workload = GenerateWorkload(dataset, wc);
+
+  MliqOptions options;
+  options.probability_accuracy = 1e-2;
+  Result result;
+  result.queries = workload.size();
+  result.scan_pages = file.page_count();
+  for (const auto& iq : workload) {
+    pool.Clear();
+    pool.ResetStats();
+    const MliqResult r = QueryMliq(tree, iq.query, 1, options);
+    result.tree_pages += pool.stats().physical_reads;
+    if (!r.items.empty() && r.items[0].id == iq.true_id) ++result.hits;
+  }
+  result.tree_pages /= workload.size();
+  return result;
+}
+
+void SizeSweep() {
+  PrintBanner(std::cout, "A3: database-size sweep (clustered 10-d, 1-MLIQ)");
+  double scale = 1.0;
+  if (const char* env = std::getenv("GAUSS_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) scale = s;
+  }
+  Table table({"objects", "tree pages", "scan pages", "tree/scan", "hit rate"});
+  for (size_t n : {10000, 25000, 50000, 100000, 200000}) {
+    ClusteredDatasetConfig config;
+    config.size = static_cast<size_t>(n * scale);
+    const PfvDataset dataset = GenerateClusteredDataset(config);
+    const Result r = Measure(dataset, config.sigma_model, 30);
+    table.AddRow({Table::Int(config.size), Table::Int(r.tree_pages),
+                  Table::Int(r.scan_pages),
+                  Table::Pct(100.0 * static_cast<double>(r.tree_pages) /
+                             static_cast<double>(r.scan_pages)),
+                  Table::Pct(100.0 * static_cast<double>(r.hits) /
+                             static_cast<double>(r.queries))});
+  }
+  table.Print(std::cout);
+  std::cout << "expectation: the index's relative advantage grows with the "
+               "database size (scan cost is linear, index cost sublinear)\n";
+}
+
+void DimSweep() {
+  PrintBanner(std::cout, "A3: dimensionality sweep (clustered, 50k, 1-MLIQ)");
+  double scale = 1.0;
+  if (const char* env = std::getenv("GAUSS_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) scale = s;
+  }
+  Table table({"dim", "tree pages", "scan pages", "tree/scan", "hit rate"});
+  for (size_t dim : {2, 5, 10, 20, 40}) {
+    ClusteredDatasetConfig config;
+    config.size = static_cast<size_t>(50000 * scale);
+    config.dim = dim;
+    const PfvDataset dataset = GenerateClusteredDataset(config);
+    const Result r = Measure(dataset, config.sigma_model, 30);
+    table.AddRow({Table::Int(dim), Table::Int(r.tree_pages),
+                  Table::Int(r.scan_pages),
+                  Table::Pct(100.0 * static_cast<double>(r.tree_pages) /
+                             static_cast<double>(r.scan_pages)),
+                  Table::Pct(100.0 * static_cast<double>(r.hits) /
+                             static_cast<double>(r.queries))});
+  }
+  table.Print(std::cout);
+}
+
+void UniformWorstCase() {
+  PrintBanner(std::cout,
+              "A3: i.i.d. uniform worst case (no index can prune here)");
+  double scale = 1.0;
+  if (const char* env = std::getenv("GAUSS_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) scale = s;
+  }
+  Table table({"dim", "tree pages", "scan pages", "tree/scan"});
+  for (size_t dim : {2, 5, 10}) {
+    UniformDatasetConfig config;
+    config.size = static_cast<size_t>(50000 * scale);
+    config.dim = dim;
+    const PfvDataset dataset = GenerateUniformDataset(config);
+    const Result r = Measure(dataset, config.sigma_model, 20);
+    table.AddRow({Table::Int(dim), Table::Int(r.tree_pages),
+                  Table::Int(r.scan_pages),
+                  Table::Pct(100.0 * static_cast<double>(r.tree_pages) /
+                             static_cast<double>(r.scan_pages))});
+  }
+  table.Print(std::cout);
+  std::cout << "expectation: pruning degrades toward (or beyond) 100% as "
+               "dimensionality rises on structureless data — real feature "
+               "data is clustered, which is what the paper's datasets and "
+               "our surrogates exploit\n";
+}
+
+}  // namespace
+}  // namespace gauss::bench
+
+int main() {
+  gauss::bench::SizeSweep();
+  gauss::bench::DimSweep();
+  gauss::bench::UniformWorstCase();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Face identification over a synthetic biometric gallery — the application
+// the paper's introduction motivates.
+//
+// A "gallery" of enrolled persons is built from facial feature vectors whose
+// per-feature uncertainty depends on the capture conditions of the
+// enrollment photo (rotation, illumination, distance). At identification
+// time a new probe image is observed under its own (different) conditions.
+// The example compares Euclidean nearest-neighbour identification with the
+// Gauss-tree's k-MLIQ, and shows a rank-3 watchlist via TIQ.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "gausstree/gauss_tree.h"
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+#include "pfv/pfv_file.h"
+#include "scan/seq_scan.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_device.h"
+
+namespace {
+
+constexpr size_t kPersons = 2000;
+constexpr size_t kFeatures = 12;  // geometric facial features
+constexpr size_t kProbes = 200;
+
+// Capture conditions determine which features are measured reliably: e.g.
+// face proportions survive rotation, nose breadth does not.
+struct CaptureConditions {
+  double rotation_penalty;      // inflates features 0..5
+  double illumination_penalty;  // inflates features 6..11
+};
+
+std::vector<double> FeatureSigmas(const CaptureConditions& cc,
+                                  gauss::Rng& rng) {
+  std::vector<double> sigma(kFeatures);
+  for (size_t f = 0; f < kFeatures; ++f) {
+    const double base = 0.01 + 0.01 * rng.NextDouble();
+    const double penalty =
+        f < kFeatures / 2 ? cc.rotation_penalty : cc.illumination_penalty;
+    sigma[f] = base * (1.0 + penalty);
+  }
+  return sigma;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gauss;
+  Rng rng(2024);
+
+  // True (unobservable) facial geometry per person.
+  std::vector<std::vector<double>> true_faces(kPersons,
+                                              std::vector<double>(kFeatures));
+  for (auto& face : true_faces) {
+    for (double& f : face) f = rng.NextDouble();
+  }
+
+  InMemoryPageDevice device(kDefaultPageSize);
+  BufferPool pool(&device, 1 << 14);
+  GaussTree gallery(&pool, kFeatures);
+  PfvFile file(&pool, kFeatures);
+
+  // Enrollment: one observation per person under random conditions.
+  for (size_t person = 0; person < kPersons; ++person) {
+    const CaptureConditions cc{rng.Uniform(0, 8), rng.Uniform(0, 8)};
+    const std::vector<double> sigma = FeatureSigmas(cc, rng);
+    std::vector<double> observed(kFeatures);
+    for (size_t f = 0; f < kFeatures; ++f) {
+      observed[f] = rng.Gaussian(true_faces[person][f], sigma[f]);
+    }
+    const Pfv enrolled(person, observed, sigma);
+    gallery.Insert(enrolled);
+    file.Append(enrolled);
+  }
+  gallery.Finalize();
+  SeqScan scan(&file);
+
+  // Identification probes: re-observations of enrolled persons.
+  size_t mliq_correct = 0, nn_correct = 0, watchlist_hits = 0;
+  for (size_t probe = 0; probe < kProbes; ++probe) {
+    const size_t person = rng.UniformInt(kPersons);
+    const CaptureConditions cc{rng.Uniform(0, 8), rng.Uniform(0, 8)};
+    const std::vector<double> sigma = FeatureSigmas(cc, rng);
+    std::vector<double> observed(kFeatures);
+    for (size_t f = 0; f < kFeatures; ++f) {
+      observed[f] = rng.Gaussian(true_faces[person][f], sigma[f]);
+    }
+    const Pfv q(900000 + probe, observed, sigma);
+
+    const MliqResult mliq = QueryMliq(gallery, q, 1);
+    if (!mliq.items.empty() && mliq.items[0].id == person) ++mliq_correct;
+
+    const auto nn = scan.QueryKnnMeans(q, 1);
+    if (!nn.empty() && nn[0] == person) ++nn_correct;
+
+    // Watchlist semantics: report everyone who could be this probe with at
+    // least 5% probability.
+    const TiqResult watchlist = QueryTiq(gallery, q, 0.05);
+    for (const auto& item : watchlist.items) {
+      if (item.id == person) {
+        ++watchlist_hits;
+        break;
+      }
+    }
+  }
+
+  std::printf("gallery: %zu persons, %zu features, %zu probes\n", kPersons,
+              kFeatures, kProbes);
+  std::printf("rank-1 identification  — k-MLIQ: %.1f%%   Euclidean NN: %.1f%%\n",
+              100.0 * mliq_correct / kProbes, 100.0 * nn_correct / kProbes);
+  std::printf("watchlist (P >= 5%%) contains the true person: %.1f%%\n",
+              100.0 * watchlist_hits / kProbes);
+  std::printf(
+      "\nBoth enrollment and probe images carry individual per-feature "
+      "uncertainty; the\nprobabilistic model exploits it, plain feature "
+      "distance cannot (paper Section 1).\n");
+  return 0;
+}

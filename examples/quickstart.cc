@@ -1,0 +1,76 @@
+// Quickstart: the paper's Figure 1 scenario end to end in ~60 lines.
+//
+// A database of three facial observations (O1..O3) in a 2-d feature space
+// (F1 sensitive to rotation angle, F2 to illumination). Each observation
+// carries per-feature uncertainty. A query taken with good rotation but bad
+// illumination must identify O3 — even though conventional Euclidean
+// similarity on the feature values favours O1.
+
+#include <cstdio>
+
+#include "gausstree/gauss_tree.h"
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+#include "pfv/pfv_file.h"
+#include "scan/seq_scan.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_device.h"
+
+int main() {
+  using namespace gauss;
+
+  // Storage: an in-memory page device behind a small buffer pool.
+  InMemoryPageDevice device(kDefaultPageSize);
+  BufferPool pool(&device, 64);
+
+  // The probabilistic feature vectors: (id, means, standard deviations).
+  const Pfv o1(1, {2.6, 1.6}, {0.15, 0.15});  // good rotation & illumination
+  const Pfv o2(2, {1.2, 2.6}, {0.90, 0.90});  // bad rotation & illumination
+  const Pfv o3(3, {1.8, 4.2}, {0.80, 0.15});  // bad rotation, good illum.
+
+  // Index them in a Gauss-tree (and a flat file for the scan baseline).
+  GaussTree tree(&pool, /*dim=*/2);
+  PfvFile file(&pool, 2);
+  for (const Pfv& v : {o1, o2, o3}) {
+    tree.Insert(v);
+    file.Append(v);
+  }
+  tree.Finalize();
+
+  // The query observation: rotation was good (F1 exact, sigma 0.12) but the
+  // illumination was bad (F2 uncertain, sigma 0.85).
+  const Pfv query(0, {3.05, 3.05}, {0.12, 0.85});
+
+  // Conventional similarity search on the feature values.
+  SeqScan scan(&file);
+  const auto nn = scan.QueryKnnMeans(query, 3);
+  std::printf("Euclidean NN ranking  : O%llu, O%llu, O%llu\n",
+              (unsigned long long)nn[0], (unsigned long long)nn[1],
+              (unsigned long long)nn[2]);
+
+  // The probabilistic identification query (k-MLIQ).
+  const MliqResult mliq = QueryMliq(tree, query, 3);
+  std::printf("k-MLIQ identification :");
+  for (const auto& item : mliq.items) {
+    std::printf(" O%llu=%.0f%%", (unsigned long long)item.id,
+                100.0 * item.probability);
+  }
+  std::printf("\n");
+
+  // A threshold identification query: everyone above 12%.
+  const TiqResult tiq = QueryTiq(tree, query, 0.12);
+  std::printf("TIQ (P >= 12%%)        :");
+  for (const auto& item : tiq.items) {
+    std::printf(" O%llu=%.0f%%", (unsigned long long)item.id,
+                100.0 * item.probability);
+  }
+  std::printf("\n");
+
+  std::printf(
+      "\nThe Euclidean method picks O%llu; the Gaussian uncertainty model "
+      "identifies O%llu —\nits large F1 uncertainty absorbs the rotation "
+      "error, and the query's F2 uncertainty\nabsorbs the illumination "
+      "error, matching the paper's Figure 1 intuition.\n",
+      (unsigned long long)nn[0], (unsigned long long)mliq.items[0].id);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Sensor-network track re-identification with heteroscedastic sensors.
+//
+// A field of sensors of different grades measures moving emitters; each
+// measurement's uncertainty depends on the sensor grade and on the distance
+// between sensor and emitter. The database stores one probabilistic feature
+// vector per (emitter, measurement-station) sighting; a later sighting from
+// a different station must be matched to the same emitter. This exercises
+// exactly the paper's setting: "the circumstances in which a given data
+// object is transformed into a feature vector may strongly vary."
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "gausstree/gauss_tree.h"
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_device.h"
+
+namespace {
+
+constexpr size_t kEmitters = 5000;
+constexpr size_t kSignature = 8;  // RF signature features per emitter
+constexpr size_t kResightings = 300;
+
+// Sensor grades: better grades measure with lower noise floors.
+constexpr double kGradeNoise[] = {0.002, 0.006, 0.015};
+
+}  // namespace
+
+int main() {
+  using namespace gauss;
+  Rng rng(99);
+
+  // Ground-truth emitter signatures.
+  std::vector<std::vector<double>> signatures(kEmitters,
+                                              std::vector<double>(kSignature));
+  for (auto& s : signatures) {
+    for (double& v : s) v = rng.NextDouble();
+  }
+
+  InMemoryPageDevice device(kDefaultPageSize);
+  BufferPool pool(&device, 1 << 14);
+  GaussTree track_db(&pool, kSignature);
+
+  // One enrollment sighting per emitter, from a random-grade sensor at a
+  // random range (noise grows with range; some channels fade more).
+  auto observe = [&](const std::vector<double>& truth, uint64_t id) {
+    const double* grade = &kGradeNoise[rng.UniformInt(3)];
+    const double range_factor = 1.0 + 2.0 * rng.NextDouble();
+    std::vector<double> mu(kSignature), sigma(kSignature);
+    for (size_t c = 0; c < kSignature; ++c) {
+      const double fade = 1.0 + 0.5 * rng.NextDouble();  // per-channel fading
+      sigma[c] = *grade * range_factor * fade;
+      mu[c] = rng.Gaussian(truth[c], sigma[c]);
+    }
+    return Pfv(id, std::move(mu), std::move(sigma));
+  };
+
+  for (size_t e = 0; e < kEmitters; ++e) {
+    track_db.Insert(observe(signatures[e], e));
+  }
+  track_db.Finalize();
+
+  // Re-sightings from different sensors; match them back.
+  size_t rank1 = 0, confident = 0, ambiguous = 0;
+  uint64_t objects_evaluated = 0;
+  for (size_t s = 0; s < kResightings; ++s) {
+    const size_t emitter = rng.UniformInt(kEmitters);
+    const Pfv probe = observe(signatures[emitter], 700000 + s);
+
+    const MliqResult top = QueryMliq(track_db, probe, 3);
+    objects_evaluated += top.stats.objects_evaluated;
+    if (!top.items.empty() && top.items[0].id == emitter) ++rank1;
+
+    // Operational decision rule: accept the match only when one track owns
+    // at least 50% of the identification probability.
+    if (!top.items.empty() && top.items[0].probability >= 0.5) {
+      ++confident;
+    } else {
+      // Otherwise inspect all plausible tracks (P >= 10%).
+      const TiqResult plausible = QueryTiq(track_db, probe, 0.10);
+      ambiguous += plausible.items.size() > 1 ? 1 : 0;
+    }
+  }
+
+  std::printf("track database: %zu emitters, %zu-channel signatures\n",
+              kEmitters, kSignature);
+  std::printf("re-sightings: %zu, rank-1 match rate: %.1f%%\n", kResightings,
+              100.0 * rank1 / kResightings);
+  std::printf("confident matches (P >= 50%%): %.1f%%, ambiguous cases with "
+              ">1 plausible track: %.1f%%\n",
+              100.0 * confident / kResightings,
+              100.0 * ambiguous / kResightings);
+  std::printf("avg exact density evaluations per query: %.0f of %zu stored\n",
+              static_cast<double>(objects_evaluated) / kResightings,
+              kEmitters);
+  return 0;
+}

@@ -1,0 +1,37 @@
+#ifndef GAUSS_COMMON_MACROS_H_
+#define GAUSS_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking. GAUSS_CHECK is always on; GAUSS_DCHECK compiles away in
+// NDEBUG builds. Failures abort with file/line context — following the
+// database-kernel convention that broken invariants must not be silently
+// propagated into persistent structures.
+#define GAUSS_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "GAUSS_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define GAUSS_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "GAUSS_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                               \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define GAUSS_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define GAUSS_DCHECK(cond) GAUSS_CHECK(cond)
+#endif
+
+#endif  // GAUSS_COMMON_MACROS_H_

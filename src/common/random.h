@@ -1,0 +1,50 @@
+#ifndef GAUSS_COMMON_RANDOM_H_
+#define GAUSS_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gauss {
+
+// Deterministic, platform-independent pseudo random number generator
+// (xoshiro256++). We deliberately avoid <random> distributions because their
+// output is implementation-defined; all experiments in this repository must
+// be bit-for-bit reproducible across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Uniformly distributed 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // Standard normal deviate (Marsaglia polar method).
+  double NextGaussian();
+
+  // Normal deviate with the given mean and standard deviation.
+  double Gaussian(double mu, double sigma);
+
+  // Exponential deviate with rate `lambda` (> 0).
+  double Exponential(double lambda);
+
+  // Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_COMMON_RANDOM_H_

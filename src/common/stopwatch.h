@@ -1,0 +1,48 @@
+#ifndef GAUSS_COMMON_STOPWATCH_H_
+#define GAUSS_COMMON_STOPWATCH_H_
+
+#include <ctime>
+
+namespace gauss {
+
+// Wall-clock stopwatch (monotonic).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { clock_gettime(CLOCK_MONOTONIC, &start_); }
+
+  // Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    timespec now;
+    clock_gettime(CLOCK_MONOTONIC, &now);
+    return static_cast<double>(now.tv_sec - start_.tv_sec) +
+           1e-9 * static_cast<double>(now.tv_nsec - start_.tv_nsec);
+  }
+
+ private:
+  timespec start_;
+};
+
+// CPU-time stopwatch: measures time the process actually spent on-CPU,
+// matching the paper's separate "CPU time" metric (excludes simulated I/O).
+class CpuStopwatch {
+ public:
+  CpuStopwatch() { Restart(); }
+
+  void Restart() { clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &start_); }
+
+  double ElapsedSeconds() const {
+    timespec now;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &now);
+    return static_cast<double>(now.tv_sec - start_.tv_sec) +
+           1e-9 * static_cast<double>(now.tv_nsec - start_.tv_nsec);
+  }
+
+ private:
+  timespec start_;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_COMMON_STOPWATCH_H_

@@ -1,0 +1,131 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+DatasetMoments ComputeMoments(const PfvDataset& dataset) {
+  DatasetMoments moments;
+  const size_t d = dataset.dim();
+  const size_t n = dataset.size();
+  moments.mean.assign(d, 0.0);
+  moments.stddev.assign(d, 0.0);
+  if (n == 0) return moments;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) moments.mean[j] += dataset[i].mu[j];
+  }
+  for (size_t j = 0; j < d; ++j) moments.mean[j] /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const double dev = dataset[i].mu[j] - moments.mean[j];
+      moments.stddev[j] += dev * dev;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    moments.stddev[j] = std::sqrt(moments.stddev[j] / static_cast<double>(n));
+    moments.avg_stddev += moments.stddev[j];
+  }
+  moments.avg_stddev /= static_cast<double>(d);
+  return moments;
+}
+
+PfvDataset GenerateHistogramDataset(const HistogramDatasetConfig& config) {
+  GAUSS_CHECK(config.dim > 0 && config.size > 0 && config.cluster_count > 0);
+  Rng rng(config.seed);
+
+  // Cluster centers: Dirichlet(1,...,1)-distributed profiles on the simplex
+  // (sample exponentials and normalize) — typical of color histograms where
+  // a handful of bins dominate each image group.
+  std::vector<std::vector<double>> centers(config.cluster_count);
+  for (auto& center : centers) {
+    center.resize(config.dim);
+    double sum = 0.0;
+    for (double& c : center) {
+      c = rng.Exponential(1.0);
+      sum += c;
+    }
+    for (double& c : center) c /= sum;
+  }
+
+  // First pass: generate the mean vectors.
+  std::vector<std::vector<double>> mus;
+  mus.reserve(config.size);
+  for (size_t i = 0; i < config.size; ++i) {
+    const auto& center = centers[rng.UniformInt(config.cluster_count)];
+    std::vector<double> mu(config.dim);
+    double sum = 0.0;
+    for (size_t j = 0; j < config.dim; ++j) {
+      // Scatter proportional to the bin height (bright bins vary more),
+      // clipped at zero to stay a histogram.
+      const double noise =
+          rng.Gaussian(0.0, config.within_cluster_spread * (center[j] + 1e-3));
+      mu[j] = std::max(0.0, center[j] + noise);
+      sum += mu[j];
+    }
+    if (sum <= 0.0) {
+      mu.assign(config.dim, 1.0 / static_cast<double>(config.dim));
+      sum = 1.0;
+    }
+    for (double& v : mu) v /= sum;
+    mus.push_back(std::move(mu));
+  }
+
+  // Auto-scale the sigma model to the realized per-dimension spread.
+  SigmaModel sigma_model = config.sigma_model;
+  if (sigma_model.scale <= 0.0) {
+    PfvDataset probe(config.dim);
+    std::vector<double> unit_sigma(config.dim, 1.0);
+    for (size_t i = 0; i < mus.size(); ++i) {
+      probe.Add(Pfv(i, mus[i], unit_sigma));
+    }
+    sigma_model.scale = std::max(1e-6, ComputeMoments(probe).avg_stddev);
+  }
+
+  PfvDataset dataset(config.dim);
+  for (size_t i = 0; i < config.size; ++i) {
+    std::vector<double> sigma(config.dim);
+    for (double& s : sigma) s = std::max(1e-9, sigma_model.Draw(rng));
+    dataset.Add(Pfv(i, std::move(mus[i]), std::move(sigma)));
+  }
+  return dataset;
+}
+
+PfvDataset GenerateClusteredDataset(const ClusteredDatasetConfig& config) {
+  GAUSS_CHECK(config.dim > 0 && config.size > 0 && config.cluster_count > 0);
+  Rng rng(config.seed);
+  std::vector<std::vector<double>> centers(config.cluster_count);
+  for (auto& center : centers) {
+    center.resize(config.dim);
+    for (double& v : center) v = rng.NextDouble();
+  }
+  PfvDataset dataset(config.dim);
+  for (size_t i = 0; i < config.size; ++i) {
+    const auto& center = centers[rng.UniformInt(config.cluster_count)];
+    std::vector<double> mu(config.dim), sigma(config.dim);
+    for (size_t j = 0; j < config.dim; ++j) {
+      mu[j] = center[j] + rng.Gaussian(0.0, config.cluster_stddev);
+    }
+    for (double& s : sigma) s = std::max(1e-9, config.sigma_model.Draw(rng));
+    dataset.Add(Pfv(i, std::move(mu), std::move(sigma)));
+  }
+  return dataset;
+}
+
+PfvDataset GenerateUniformDataset(const UniformDatasetConfig& config) {
+  GAUSS_CHECK(config.dim > 0 && config.size > 0);
+  Rng rng(config.seed);
+  PfvDataset dataset(config.dim);
+  for (size_t i = 0; i < config.size; ++i) {
+    std::vector<double> mu(config.dim), sigma(config.dim);
+    for (double& m : mu) m = rng.NextDouble();
+    for (double& s : sigma) s = std::max(1e-9, config.sigma_model.Draw(rng));
+    dataset.Add(Pfv(i, std::move(mu), std::move(sigma)));
+  }
+  return dataset;
+}
+
+}  // namespace gauss

@@ -1,0 +1,36 @@
+#include "data/workload.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+std::vector<IdentificationQuery> GenerateWorkload(
+    const PfvDataset& dataset, const WorkloadConfig& config) {
+  GAUSS_CHECK(dataset.size() > 0);
+  GAUSS_CHECK(config.query_count > 0);
+  Rng rng(config.seed);
+
+  const std::vector<size_t> picks = rng.SampleWithoutReplacement(
+      dataset.size(), std::min(config.query_count, dataset.size()));
+
+  std::vector<IdentificationQuery> workload;
+  workload.reserve(picks.size());
+  for (size_t index : picks) {
+    const Pfv& source = dataset[index];
+    std::vector<double> mu(dataset.dim()), sigma(dataset.dim());
+    for (size_t j = 0; j < dataset.dim(); ++j) {
+      // Observed value drawn w.r.t. the source object's Gaussian.
+      mu[j] = rng.Gaussian(source.mu[j], source.sigma[j]);
+      sigma[j] = std::max(1e-9, config.query_sigma_model.Draw(rng));
+    }
+    IdentificationQuery iq;
+    iq.query = Pfv(1000000000ull + source.id, std::move(mu), std::move(sigma));
+    iq.true_id = source.id;
+    workload.push_back(std::move(iq));
+  }
+  return workload;
+}
+
+}  // namespace gauss

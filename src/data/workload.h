@@ -1,0 +1,35 @@
+#ifndef GAUSS_DATA_WORKLOAD_H_
+#define GAUSS_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "pfv/pfv.h"
+
+namespace gauss {
+
+// One identification query plus its ground truth: the database object the
+// query observation was generated from.
+struct IdentificationQuery {
+  Pfv query;
+  uint64_t true_id = 0;
+};
+
+// Query workload following the paper's protocol (Section 6): select a number
+// of database objects at random; for each, generate a *new observed mean*
+// with respect to the object's own Gaussian (mu_q ~ N(mu_v, sigma_v) per
+// dimension) and draw fresh random standard deviations for the query.
+struct WorkloadConfig {
+  size_t query_count = 100;
+  SigmaModel query_sigma_model;  // defaults below mirror the dataset's model
+  uint64_t seed = 77;
+};
+
+std::vector<IdentificationQuery> GenerateWorkload(const PfvDataset& dataset,
+                                                  const WorkloadConfig& config);
+
+}  // namespace gauss
+
+#endif  // GAUSS_DATA_WORKLOAD_H_

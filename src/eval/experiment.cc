@@ -1,0 +1,78 @@
+#include "eval/experiment.h"
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace gauss {
+
+namespace {
+
+double Percent(double value, double base) {
+  return base > 0.0 ? 100.0 * value / base : 0.0;
+}
+
+}  // namespace
+
+double MethodCosts::PagesPercentOf(const MethodCosts& base) const {
+  return Percent(static_cast<double>(mean.physical_pages),
+                 static_cast<double>(base.mean.physical_pages));
+}
+
+double MethodCosts::LogicalPagesPercentOf(const MethodCosts& base) const {
+  return Percent(static_cast<double>(mean.logical_pages),
+                 static_cast<double>(base.mean.logical_pages));
+}
+
+double MethodCosts::CpuPercentOf(const MethodCosts& base) const {
+  return Percent(mean.cpu_seconds, base.mean.cpu_seconds);
+}
+
+double MethodCosts::OverallPercentOf(const MethodCosts& base) const {
+  return Percent(mean.overall_seconds, base.mean.overall_seconds);
+}
+
+MethodCosts RunMethod(const std::string& name, BufferPool* pool,
+                      const DiskModel& disk, size_t query_count,
+                      CachePolicy cache_policy, AccessPattern pattern,
+                      const std::function<size_t(size_t)>& run_query) {
+  GAUSS_CHECK(pool != nullptr);
+  GAUSS_CHECK(query_count > 0);
+
+  MethodCosts costs;
+  costs.method = name;
+  costs.query_count = query_count;
+
+  pool->Clear();  // cold start
+  uint64_t physical_total = 0;
+  uint64_t logical_total = 0;
+  double cpu_total = 0.0;
+  double io_total = 0.0;
+  size_t results_total = 0;
+
+  for (size_t q = 0; q < query_count; ++q) {
+    if (cache_policy == CachePolicy::kColdPerQuery && q > 0) pool->Clear();
+    const IoStats before = pool->stats();
+    CpuStopwatch cpu;
+    results_total += run_query(q);
+    cpu_total += cpu.ElapsedSeconds();
+    const IoStats delta = pool->stats() - before;
+    physical_total += delta.physical_reads;
+    logical_total += delta.logical_reads;
+    io_total += pattern == AccessPattern::kSequential
+                    ? disk.SequentialReadSeconds(delta.physical_reads)
+                    : disk.RandomReadSeconds(delta.physical_reads);
+  }
+
+  const double n = static_cast<double>(query_count);
+  costs.mean.physical_pages =
+      static_cast<uint64_t>(static_cast<double>(physical_total) / n + 0.5);
+  costs.mean.logical_pages =
+      static_cast<uint64_t>(static_cast<double>(logical_total) / n + 0.5);
+  costs.mean.cpu_seconds = cpu_total / n;
+  costs.mean.io_seconds = io_total / n;
+  costs.mean.overall_seconds = (cpu_total + io_total) / n;
+  costs.mean.result_size = results_total / query_count;
+  return costs;
+}
+
+}  // namespace gauss

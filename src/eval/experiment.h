@@ -1,0 +1,69 @@
+#ifndef GAUSS_EVAL_EXPERIMENT_H_
+#define GAUSS_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/workload.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+
+namespace gauss {
+
+// Cost observations of one query execution.
+struct QueryCosts {
+  uint64_t physical_pages = 0;   // the paper's "page accesses"
+  uint64_t logical_pages = 0;
+  double cpu_seconds = 0.0;
+  double io_seconds = 0.0;       // simulated, from the disk model
+  double overall_seconds = 0.0;  // cpu + io
+  size_t result_size = 0;
+  uint64_t objects_evaluated = 0;
+};
+
+// Average costs over a workload.
+struct MethodCosts {
+  std::string method;
+  QueryCosts mean;
+  size_t query_count = 0;
+
+  // Percentage of this method's metric relative to a baseline (the paper
+  // reports everything as % of the sequential scan). "Pages" are physical
+  // device reads; "LogicalPages" are buffer-pool requests — the page-access
+  // metric index papers of the era report, since a warm database cache makes
+  // physical reads approach zero for every method.
+  double PagesPercentOf(const MethodCosts& base) const;
+  double LogicalPagesPercentOf(const MethodCosts& base) const;
+  double CpuPercentOf(const MethodCosts& base) const;
+  double OverallPercentOf(const MethodCosts& base) const;
+};
+
+// Cache behaviour between queries of a workload.
+enum class CachePolicy {
+  // Drop the cache before every query: each query observes a cold cache
+  // (the headline configuration; the paper cold-started its 50 MB cache
+  // before each experiment).
+  kColdPerQuery,
+  // Cold start only before the first query; later queries may hit.
+  kColdAtStart,
+};
+
+// Sequential-vs-random access treatment when converting page counts into
+// simulated I/O time.
+enum class AccessPattern {
+  kRandom,       // index traversal: every physical page read pays positioning
+  kSequential,   // relation scan: one positioning per query, then streaming
+};
+
+// Runs `run_query(query_index)` for every workload entry, measuring CPU time
+// natively and charging simulated I/O for the physical page accesses
+// observed on `pool`. `run_query` returns the result size.
+MethodCosts RunMethod(const std::string& name, BufferPool* pool,
+                      const DiskModel& disk, size_t query_count,
+                      CachePolicy cache_policy, AccessPattern pattern,
+                      const std::function<size_t(size_t)>& run_query);
+
+}  // namespace gauss
+
+#endif  // GAUSS_EVAL_EXPERIMENT_H_

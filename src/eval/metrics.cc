@@ -1,0 +1,53 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+PrecisionRecall EvaluateAtScale(
+    const std::vector<std::vector<uint64_t>>& retrieved,
+    const std::vector<uint64_t>& truth, size_t x) {
+  GAUSS_CHECK(retrieved.size() == truth.size());
+  GAUSS_CHECK(x > 0);
+  size_t hits = 0;
+  size_t retrieved_total = 0;
+  for (size_t q = 0; q < retrieved.size(); ++q) {
+    const size_t take = std::min(x, retrieved[q].size());
+    retrieved_total += take;
+    for (size_t r = 0; r < take; ++r) {
+      if (retrieved[q][r] == truth[q]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  PrecisionRecall pr;
+  if (!retrieved.empty()) {
+    pr.recall = static_cast<double>(hits) / static_cast<double>(truth.size());
+  }
+  if (retrieved_total > 0) {
+    pr.precision =
+        static_cast<double>(hits) / static_cast<double>(retrieved_total);
+  }
+  return pr;
+}
+
+double MeanReciprocalRank(const std::vector<std::vector<uint64_t>>& retrieved,
+                          const std::vector<uint64_t>& truth) {
+  GAUSS_CHECK(retrieved.size() == truth.size());
+  if (retrieved.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t q = 0; q < retrieved.size(); ++q) {
+    for (size_t r = 0; r < retrieved[q].size(); ++r) {
+      if (retrieved[q][r] == truth[q]) {
+        total += 1.0 / static_cast<double>(r + 1);
+        break;
+      }
+    }
+  }
+  return total / static_cast<double>(retrieved.size());
+}
+
+}  // namespace gauss

@@ -1,0 +1,37 @@
+#ifndef GAUSS_EVAL_METRICS_H_
+#define GAUSS_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gauss {
+
+// Precision/recall of identification over a batch of queries, each with one
+// correct (ground-truth) object and a retrieved result list.
+//
+// Following the paper's effectiveness experiment (Figure 6): the recall at
+// result-set scale x is the fraction of queries whose correct object appears
+// among the top x results; precision divides the number of correct retrievals
+// by the total number of retrieved objects (x per query), which makes
+// precision ~ recall / x when only one answer is correct ("due to the
+// dependency between precision and recall, the precision dropped").
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+// `retrieved[q]` is the ranked result list of query q (best first);
+// `truth[q]` the correct id. Evaluates at result-set size `x` (lists shorter
+// than x contribute their full length to the precision denominator).
+PrecisionRecall EvaluateAtScale(
+    const std::vector<std::vector<uint64_t>>& retrieved,
+    const std::vector<uint64_t>& truth, size_t x);
+
+// Mean reciprocal rank of the correct object (0 contribution if absent).
+double MeanReciprocalRank(const std::vector<std::vector<uint64_t>>& retrieved,
+                          const std::vector<uint64_t>& truth);
+
+}  // namespace gauss
+
+#endif  // GAUSS_EVAL_METRICS_H_

@@ -1,0 +1,35 @@
+#ifndef GAUSS_EVAL_REPORT_H_
+#define GAUSS_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gauss {
+
+// Minimal fixed-width table printer for the figure-reproduction benches:
+// every bench prints the rows/series the corresponding paper figure reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience formatters.
+  static std::string Num(double value, int precision = 1);
+  static std::string Int(uint64_t value);
+  static std::string Pct(double value, int precision = 1);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace gauss
+
+#endif  // GAUSS_EVAL_REPORT_H_

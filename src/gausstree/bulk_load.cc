@@ -1,0 +1,183 @@
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/macros.h"
+#include "gausstree/gauss_tree.h"
+#include "math/hull_integral.h"
+
+// Bulk loading (GaussTree::BulkLoad): a top-down recursive median
+// partitioning in the 2d-dimensional (mu, sigma) parameter space, choosing
+// at every level the axis that minimizes the summed hull integrals of the
+// two halves — the same objective the paper's insertion-time split strategy
+// optimizes (Section 5.3), applied globally. Compared to one-by-one
+// insertion this yields fuller nodes and more selective MBRs in a fraction
+// of the build time (bench: ablation_bulkload).
+
+namespace gauss {
+
+namespace {
+
+// Parameter-space bounds of a contiguous range of a permutation of pfvs.
+std::vector<DimBounds> RangeBounds(const std::vector<Pfv>& items,
+                                   const std::vector<size_t>& order,
+                                   size_t from, size_t to, size_t dim) {
+  GtNode probe;
+  probe.kind = GtNodeKind::kLeaf;
+  for (size_t i = from; i < to; ++i) probe.pfvs.push_back(items[order[i]]);
+  return probe.ComputeBounds(dim);
+}
+
+double EntryCenterKey(const GtChildEntry& entry, size_t axis, size_t dim) {
+  if (axis < dim) {
+    return 0.5 * (entry.bounds[axis].mu_lo + entry.bounds[axis].mu_hi);
+  }
+  const DimBounds& b = entry.bounds[axis - dim];
+  return 0.5 * (b.sigma_lo + b.sigma_hi);
+}
+
+std::vector<DimBounds> EntryRangeBounds(const std::vector<GtChildEntry>& items,
+                                        const std::vector<size_t>& order,
+                                        size_t from, size_t to, size_t dim) {
+  GtNode probe;
+  probe.kind = GtNodeKind::kInner;
+  for (size_t i = from; i < to; ++i) probe.children.push_back(items[order[i]]);
+  return probe.ComputeBounds(dim);
+}
+
+}  // namespace
+
+void GaussTree::BulkLoad(const PfvDataset& dataset) {
+  GAUSS_CHECK_MSG(size_ == 0, "BulkLoad requires an empty tree");
+  GAUSS_CHECK_MSG(!store_.finalized(), "BulkLoad requires build mode");
+  GAUSS_CHECK(dataset.dim() == dim_);
+  if (dataset.size() == 0) return;
+
+  const std::vector<Pfv>& items = dataset.objects();
+  const size_t n = items.size();
+
+  // Leaf level: recursively split index ranges at the median along the axis
+  // whose split minimizes the summed hull-integral measure of the halves.
+  std::vector<GtChildEntry> level;
+  {
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+
+    struct Range {
+      size_t from, to;
+    };
+    std::vector<Range> stack{{0, n}};
+    while (!stack.empty()) {
+      const Range range = stack.back();
+      stack.pop_back();
+      const size_t count = range.to - range.from;
+      if (count <= caps_.leaf) {
+        // Materialize a leaf. The root-leaf created by the constructor is
+        // reused for the very first materialized leaf.
+        GtNode* leaf = level.empty() ? store_.GetMutable(root_)
+                                     : store_.Create(GtNodeKind::kLeaf);
+        for (size_t i = range.from; i < range.to; ++i) {
+          leaf->pfvs.push_back(items[order[i]]);
+        }
+        GtChildEntry entry;
+        entry.child = leaf->id;
+        entry.count = static_cast<uint32_t>(leaf->pfvs.size());
+        entry.bounds = leaf->ComputeBounds(dim_);
+        level.push_back(std::move(entry));
+        continue;
+      }
+      const size_t median = range.from + count / 2;
+      double best_cost = std::numeric_limits<double>::infinity();
+      size_t best_axis = 0;
+      for (size_t axis = 0; axis < 2 * dim_; ++axis) {
+        auto key = [&](size_t item) {
+          return axis < dim_ ? items[item].mu[axis]
+                             : items[item].sigma[axis - dim_];
+        };
+        std::nth_element(order.begin() + range.from, order.begin() + median,
+                         order.begin() + range.to,
+                         [&](size_t a, size_t b) { return key(a) < key(b); });
+        const auto left =
+            RangeBounds(items, order, range.from, median, dim_);
+        const auto right = RangeBounds(items, order, median, range.to, dim_);
+        const double cost = NodeCost(left) + NodeCost(right);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_axis = axis;
+        }
+      }
+      // Re-partition along the winning axis (the last nth_element pass may
+      // have been for a different axis).
+      auto key = [&](size_t item) {
+        return best_axis < dim_ ? items[item].mu[best_axis]
+                                : items[item].sigma[best_axis - dim_];
+      };
+      std::nth_element(order.begin() + range.from, order.begin() + median,
+                       order.begin() + range.to,
+                       [&](size_t a, size_t b) { return key(a) < key(b); });
+      stack.push_back({range.from, median});
+      stack.push_back({median, range.to});
+    }
+  }
+  size_ = n;
+
+  // Upper levels: group the previous level's entries with the same recursive
+  // median partitioning on MBR centers until everything fits in one root.
+  while (level.size() > 1) {
+    std::vector<GtChildEntry> next;
+    std::vector<size_t> order(level.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+
+    struct Range {
+      size_t from, to;
+    };
+    std::vector<Range> stack{{0, level.size()}};
+    while (!stack.empty()) {
+      const Range range = stack.back();
+      stack.pop_back();
+      const size_t count = range.to - range.from;
+      if (count <= caps_.inner) {
+        GtNode* inner = store_.Create(GtNodeKind::kInner);
+        for (size_t i = range.from; i < range.to; ++i) {
+          inner->children.push_back(level[order[i]]);
+        }
+        GtChildEntry entry;
+        entry.child = inner->id;
+        entry.count = inner->SubtreeCount();
+        entry.bounds = inner->ComputeBounds(dim_);
+        next.push_back(std::move(entry));
+        continue;
+      }
+      const size_t median = range.from + count / 2;
+      double best_cost = std::numeric_limits<double>::infinity();
+      size_t best_axis = 0;
+      for (size_t axis = 0; axis < 2 * dim_; ++axis) {
+        std::nth_element(order.begin() + range.from, order.begin() + median,
+                         order.begin() + range.to, [&](size_t a, size_t b) {
+                           return EntryCenterKey(level[a], axis, dim_) <
+                                  EntryCenterKey(level[b], axis, dim_);
+                         });
+        const auto left =
+            EntryRangeBounds(level, order, range.from, median, dim_);
+        const auto right =
+            EntryRangeBounds(level, order, median, range.to, dim_);
+        const double cost = NodeCost(left) + NodeCost(right);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_axis = axis;
+        }
+      }
+      std::nth_element(order.begin() + range.from, order.begin() + median,
+                       order.begin() + range.to, [&](size_t a, size_t b) {
+                         return EntryCenterKey(level[a], best_axis, dim_) <
+                                EntryCenterKey(level[b], best_axis, dim_);
+                       });
+      stack.push_back({range.from, median});
+      stack.push_back({median, range.to});
+    }
+    level = std::move(next);
+  }
+  root_ = level.front().child;
+}
+
+}  // namespace gauss

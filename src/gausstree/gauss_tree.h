@@ -1,0 +1,148 @@
+#ifndef GAUSS_GAUSSTREE_GAUSS_TREE_H_
+#define GAUSS_GAUSSTREE_GAUSS_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gausstree/node.h"
+#include "gausstree/node_store.h"
+#include "math/hull_integral.h"
+#include "math/sigma_policy.h"
+#include "pfv/pfv.h"
+#include "storage/buffer_pool.h"
+
+namespace gauss {
+
+// Split-axis selection strategy (paper Section 5.3 + ablations, DESIGN.md A1).
+enum class SplitStrategy {
+  // The paper's strategy: tentative median split along every mu- and every
+  // sigma-dimension; keep the split minimizing the summed hull integrals
+  // integral(N_hat) of the two resulting nodes.
+  kHullIntegral,
+  // Classic R-tree-style objective: minimize summed parameter-space volume.
+  kVolume,
+  // Only mu-dimensions are considered (what a conventional feature-vector
+  // index would do); cost is still the hull integral.
+  kMuOnly,
+};
+
+struct GaussTreeOptions {
+  SigmaPolicy sigma_policy = SigmaPolicy::kConvolution;
+  IntegralMethod integral_method = IntegralMethod::kErf;
+  SplitStrategy split_strategy = SplitStrategy::kHullIntegral;
+};
+
+// Aggregate structural information, used by tests/benches and Validate().
+struct GaussTreeStats {
+  size_t height = 0;        // 1 = root is a leaf
+  size_t node_count = 0;
+  size_t inner_nodes = 0;
+  size_t leaf_nodes = 0;
+  size_t object_count = 0;
+  double avg_leaf_fill = 0.0;
+  double avg_inner_fill = 0.0;
+};
+
+// The Gauss-tree (paper Section 5): a balanced R-tree-family index over the
+// parameter space (mu_i, sigma_i) of probabilistic feature vectors, with
+// conservative Gaussian hull approximations driving query processing.
+//
+// Usage:
+//   BufferPool pool(&device, capacity);
+//   GaussTree tree(&pool, dim);
+//   for (...) tree.Insert(pfv);
+//   tree.Finalize();                       // serialize to pages
+//   auto top = QueryMliq(tree, q, k);      // see mliq.h
+//   auto hits = QueryTiq(tree, q, 0.2);    // see tiq.h
+class GaussTree {
+ public:
+  GaussTree(BufferPool* pool, size_t dim, GaussTreeOptions options = {});
+
+  GaussTree(const GaussTree&) = delete;
+  GaussTree& operator=(const GaussTree&) = delete;
+
+  // Reopens a previously finalized tree from its meta page (persisted by
+  // Finalize()). The tree opens in query mode; call Definalize() to insert
+  // more objects. Aborts if `meta_page` does not hold a Gauss-tree header.
+  static std::unique_ptr<GaussTree> Open(BufferPool* pool, PageId meta_page);
+
+  // Page holding the persistent header (root id, dimensionality, options);
+  // pass it to Open() to reattach.
+  PageId meta_page() const { return meta_page_; }
+
+  // Inserts one pfv (build mode; call Definalize() first if finalized).
+  void Insert(const Pfv& pfv);
+
+  // Inserts every object of the dataset one by one.
+  void BulkInsert(const PfvDataset& dataset);
+
+  // Bulk-loads an *empty* tree with a top-down recursive median partitioning
+  // in (mu, sigma) space, minimizing the paper's hull-integral objective at
+  // every cut. Much faster to build and more selective than repeated
+  // insertion (bench: ablation_bulkload).
+  void BulkLoad(const PfvDataset& dataset);
+
+  // Serializes all nodes to pages and persists the header so the tree can be
+  // reattached with Open(); queries then pay honest page I/O.
+  void Finalize();
+  // Reloads nodes into memory to allow further Insert calls.
+  void Definalize() { store_.Definalize(); }
+
+  size_t size() const { return size_; }
+  size_t dim() const { return dim_; }
+  PageId root() const { return root_; }
+  const GaussTreeOptions& options() const { return options_; }
+  const GtCapacities& capacities() const { return caps_; }
+  const GtNodeStore& store() const { return store_; }
+  BufferPool* pool() const { return pool_; }
+
+  // Structural statistics (walks the whole tree; build or query mode).
+  GaussTreeStats ComputeStats() const;
+
+  // Checks every structural invariant (balance, fill factors, MBR
+  // containment, subtree counts); aborts on violation. Test hook.
+  void Validate() const;
+
+ private:
+  friend class GaussTreeCrawler;  // test/bench access to internals
+
+  // Open() constructor: attaches to an existing finalized tree.
+  GaussTree(BufferPool* pool, size_t dim, GaussTreeOptions options,
+            PageId meta_page, PageId root, size_t size);
+
+  // Writes the persistent header to the meta page.
+  void WriteMetaPage();
+
+  // Descends to the leaf the pfv should go to; fills `path` with the page
+  // ids from root to leaf and `slots` with child indices taken at each inner
+  // node (paper Section 5.3 insertion rules).
+  PageId ChooseLeaf(const Pfv& pfv, std::vector<PageId>* path,
+                    std::vector<size_t>* slots);
+
+  // Cost of a node's parameter-space footprint under the active strategy.
+  double NodeCost(const std::vector<DimBounds>& bounds) const;
+
+  // Splits the overflowing node, redistributing entries by the best median
+  // split; returns the entry describing the new sibling.
+  GtChildEntry SplitNode(GtNode* node);
+
+  // Handles overflow propagation along `path` after inserting into `leaf_id`.
+  void HandleOverflow(const std::vector<PageId>& path,
+                      const std::vector<size_t>& slots);
+
+  // Recomputes the parent-entry MBR/count for `child_slot` of `parent`.
+  void RefreshParentEntry(GtNode* parent, size_t child_slot);
+
+  BufferPool* pool_;
+  size_t dim_;
+  GaussTreeOptions options_;
+  GtCapacities caps_;
+  GtNodeStore store_;
+  PageId meta_page_ = kInvalidPageId;
+  PageId root_;
+  size_t size_ = 0;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_GAUSSTREE_GAUSS_TREE_H_

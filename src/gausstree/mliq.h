@@ -1,0 +1,58 @@
+#ifndef GAUSS_GAUSSTREE_MLIQ_H_
+#define GAUSS_GAUSSTREE_MLIQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gausstree/gauss_tree.h"
+#include "pfv/pfv.h"
+
+namespace gauss {
+
+// One answer of an identification query.
+struct IdentificationResult {
+  uint64_t id = 0;
+  // Relative log density log p(q|v) (unnormalized identification weight).
+  double log_density = 0.0;
+  // Bayes-normalized identification probability P(v|q) (midpoint of the
+  // certified interval) and half-width of that interval.
+  double probability = 0.0;
+  double probability_error = 0.0;
+};
+
+struct MliqOptions {
+  // Relative accuracy of the reported probabilities: the traversal keeps
+  // tightening the denominator bounds until the uncertainty of every
+  // reported probability is below this fraction (paper Section 5.2.2:
+  // "according to user's specification of exactness").
+  double probability_accuracy = 1e-6;
+  // If false, only the k best objects are determined (paper Section 5.2.1)
+  // and `probability` fields are filled from the denominator bounds reached
+  // at that point, without further refinement.
+  bool refine_probabilities = true;
+};
+
+struct MliqStats {
+  uint64_t nodes_visited = 0;
+  uint64_t leaf_nodes_visited = 0;
+  uint64_t objects_evaluated = 0;
+  double denominator_lo = 0.0;  // scaled
+  double denominator_hi = 0.0;  // scaled
+};
+
+struct MliqResult {
+  std::vector<IdentificationResult> items;  // descending probability
+  MliqStats stats;
+};
+
+// k-most-likely identification query over the Gauss-tree (paper Definition 3
+// + Sections 5.2.1/5.2.2): best-first traversal ordered by the conservative
+// joint upper hull, stopping when the k-th candidate's exact density exceeds
+// the best unexpanded subtree bound, then refining the Bayes denominator
+// until the probabilities are certified to `probability_accuracy`.
+MliqResult QueryMliq(const GaussTree& tree, const Pfv& q, size_t k,
+                     const MliqOptions& options = {});
+
+}  // namespace gauss
+
+#endif  // GAUSS_GAUSSTREE_MLIQ_H_

@@ -1,0 +1,199 @@
+#include "gausstree/node.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+// Page layout.
+//
+// Header:
+//   [u8  kind]
+//   [u32 entry_count]
+// Leaf record (per pfv):
+//   [u64 id][d x f64 mu][d x f64 sigma]
+// Inner entry (per child):
+//   [u32 child][u32 count][d x (f64 mu_lo, f64 mu_hi, f64 sg_lo, f64 sg_hi)]
+namespace {
+
+constexpr size_t kHeaderBytes = 1 + sizeof(uint32_t);
+
+size_t LeafRecordBytes(size_t dim) {
+  return sizeof(uint64_t) + 2 * dim * sizeof(double);
+}
+
+size_t InnerEntryBytes(size_t dim) {
+  return 2 * sizeof(uint32_t) + 4 * dim * sizeof(double);
+}
+
+template <typename T>
+void Put(uint8_t** p, const T& value) {
+  std::memcpy(*p, &value, sizeof(T));
+  *p += sizeof(T);
+}
+
+template <typename T>
+T Take(const uint8_t** p) {
+  T value;
+  std::memcpy(&value, *p, sizeof(T));
+  *p += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+void GtChildEntry::Merge(const GtChildEntry& other) {
+  GAUSS_DCHECK(bounds.size() == other.bounds.size());
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    bounds[i].mu_lo = std::min(bounds[i].mu_lo, other.bounds[i].mu_lo);
+    bounds[i].mu_hi = std::max(bounds[i].mu_hi, other.bounds[i].mu_hi);
+    bounds[i].sigma_lo = std::min(bounds[i].sigma_lo, other.bounds[i].sigma_lo);
+    bounds[i].sigma_hi = std::max(bounds[i].sigma_hi, other.bounds[i].sigma_hi);
+  }
+  count += other.count;
+}
+
+void GtChildEntry::Include(const Pfv& pfv) {
+  GAUSS_DCHECK(bounds.size() == pfv.dim());
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    bounds[i].mu_lo = std::min(bounds[i].mu_lo, pfv.mu[i]);
+    bounds[i].mu_hi = std::max(bounds[i].mu_hi, pfv.mu[i]);
+    bounds[i].sigma_lo = std::min(bounds[i].sigma_lo, pfv.sigma[i]);
+    bounds[i].sigma_hi = std::max(bounds[i].sigma_hi, pfv.sigma[i]);
+  }
+}
+
+bool GtChildEntry::Contains(const Pfv& pfv) const {
+  GAUSS_DCHECK(bounds.size() == pfv.dim());
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (!bounds[i].Contains(pfv.mu[i], pfv.sigma[i])) return false;
+  }
+  return true;
+}
+
+uint32_t GtNode::SubtreeCount() const {
+  if (leaf()) return static_cast<uint32_t>(pfvs.size());
+  uint32_t total = 0;
+  for (const GtChildEntry& e : children) total += e.count;
+  return total;
+}
+
+std::vector<DimBounds> GtNode::ComputeBounds(size_t dim) const {
+  std::vector<DimBounds> bounds(dim);
+  for (DimBounds& b : bounds) {
+    b.mu_lo = std::numeric_limits<double>::infinity();
+    b.mu_hi = -std::numeric_limits<double>::infinity();
+    b.sigma_lo = std::numeric_limits<double>::infinity();
+    b.sigma_hi = -std::numeric_limits<double>::infinity();
+  }
+  if (leaf()) {
+    for (const Pfv& pfv : pfvs) {
+      GAUSS_DCHECK(pfv.dim() == dim);
+      for (size_t i = 0; i < dim; ++i) {
+        bounds[i].mu_lo = std::min(bounds[i].mu_lo, pfv.mu[i]);
+        bounds[i].mu_hi = std::max(bounds[i].mu_hi, pfv.mu[i]);
+        bounds[i].sigma_lo = std::min(bounds[i].sigma_lo, pfv.sigma[i]);
+        bounds[i].sigma_hi = std::max(bounds[i].sigma_hi, pfv.sigma[i]);
+      }
+    }
+  } else {
+    for (const GtChildEntry& e : children) {
+      GAUSS_DCHECK(e.bounds.size() == dim);
+      for (size_t i = 0; i < dim; ++i) {
+        bounds[i].mu_lo = std::min(bounds[i].mu_lo, e.bounds[i].mu_lo);
+        bounds[i].mu_hi = std::max(bounds[i].mu_hi, e.bounds[i].mu_hi);
+        bounds[i].sigma_lo = std::min(bounds[i].sigma_lo, e.bounds[i].sigma_lo);
+        bounds[i].sigma_hi = std::max(bounds[i].sigma_hi, e.bounds[i].sigma_hi);
+      }
+    }
+  }
+  return bounds;
+}
+
+size_t GtNode::SerializedSize(size_t dim) const {
+  if (leaf()) return kHeaderBytes + pfvs.size() * LeafRecordBytes(dim);
+  return kHeaderBytes + children.size() * InnerEntryBytes(dim);
+}
+
+void GtNode::Serialize(uint8_t* page, size_t dim) const {
+  uint8_t* p = page;
+  Put<uint8_t>(&p, static_cast<uint8_t>(kind));
+  Put<uint32_t>(&p, static_cast<uint32_t>(EntryCount()));
+  if (leaf()) {
+    for (const Pfv& pfv : pfvs) {
+      GAUSS_DCHECK(pfv.dim() == dim);
+      Put<uint64_t>(&p, pfv.id);
+      std::memcpy(p, pfv.mu.data(), dim * sizeof(double));
+      p += dim * sizeof(double);
+      std::memcpy(p, pfv.sigma.data(), dim * sizeof(double));
+      p += dim * sizeof(double);
+    }
+  } else {
+    for (const GtChildEntry& e : children) {
+      GAUSS_DCHECK(e.bounds.size() == dim);
+      Put<uint32_t>(&p, e.child);
+      Put<uint32_t>(&p, e.count);
+      for (size_t i = 0; i < dim; ++i) {
+        Put<double>(&p, e.bounds[i].mu_lo);
+        Put<double>(&p, e.bounds[i].mu_hi);
+        Put<double>(&p, e.bounds[i].sigma_lo);
+        Put<double>(&p, e.bounds[i].sigma_hi);
+      }
+    }
+  }
+}
+
+GtNode GtNode::Deserialize(const uint8_t* page, size_t dim, PageId id) {
+  const uint8_t* p = page;
+  GtNode node;
+  node.id = id;
+  node.kind = static_cast<GtNodeKind>(Take<uint8_t>(&p));
+  const uint32_t count = Take<uint32_t>(&p);
+  if (node.leaf()) {
+    node.pfvs.reserve(count);
+    for (uint32_t r = 0; r < count; ++r) {
+      Pfv pfv;
+      pfv.id = Take<uint64_t>(&p);
+      pfv.mu.resize(dim);
+      std::memcpy(pfv.mu.data(), p, dim * sizeof(double));
+      p += dim * sizeof(double);
+      pfv.sigma.resize(dim);
+      std::memcpy(pfv.sigma.data(), p, dim * sizeof(double));
+      p += dim * sizeof(double);
+      node.pfvs.push_back(std::move(pfv));
+    }
+  } else {
+    node.children.reserve(count);
+    for (uint32_t r = 0; r < count; ++r) {
+      GtChildEntry e;
+      e.child = Take<uint32_t>(&p);
+      e.count = Take<uint32_t>(&p);
+      e.bounds.resize(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        e.bounds[i].mu_lo = Take<double>(&p);
+        e.bounds[i].mu_hi = Take<double>(&p);
+        e.bounds[i].sigma_lo = Take<double>(&p);
+        e.bounds[i].sigma_hi = Take<double>(&p);
+      }
+      node.children.push_back(std::move(e));
+    }
+  }
+  return node;
+}
+
+GtCapacities GtCapacities::ForPageSize(uint32_t page_size, size_t dim) {
+  GtCapacities caps;
+  const size_t payload = page_size - kHeaderBytes;
+  caps.leaf = payload / LeafRecordBytes(dim);
+  caps.inner = payload / InnerEntryBytes(dim);
+  GAUSS_CHECK_MSG(caps.leaf >= 2 && caps.inner >= 2,
+                  "page too small for this dimensionality");
+  caps.leaf_min = std::max<size_t>(1, caps.leaf / 2);
+  caps.inner_min = std::max<size_t>(1, caps.inner / 2);
+  return caps;
+}
+
+}  // namespace gauss

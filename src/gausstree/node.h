@@ -1,0 +1,71 @@
+#ifndef GAUSS_GAUSSTREE_NODE_H_
+#define GAUSS_GAUSSTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/hull.h"
+#include "pfv/pfv.h"
+#include "storage/page.h"
+
+namespace gauss {
+
+// Inner-node entry: the 2d-dimensional minimum bounding rectangle over the
+// (mu, sigma) parameter space of one child subtree, plus the child's page id
+// and the number of pfv stored below it (needed for the n * N_check /
+// n * N_hat denominator bounds of paper Section 5.2.2).
+struct GtChildEntry {
+  PageId child = kInvalidPageId;
+  uint32_t count = 0;
+  std::vector<DimBounds> bounds;
+
+  // Extends the MBR to cover `other`.
+  void Merge(const GtChildEntry& other);
+  // Extends the MBR to cover a single pfv.
+  void Include(const Pfv& pfv);
+  bool Contains(const Pfv& pfv) const;
+};
+
+enum class GtNodeKind : uint8_t { kLeaf = 0, kInner = 1 };
+
+// A Gauss-tree node. Leaves hold pfv records; inner nodes hold child MBR
+// entries. Nodes serialize to fixed-size pages (see node.cc for the layout).
+struct GtNode {
+  PageId id = kInvalidPageId;
+  GtNodeKind kind = GtNodeKind::kLeaf;
+  std::vector<Pfv> pfvs;                 // leaf payload
+  std::vector<GtChildEntry> children;    // inner payload
+
+  bool leaf() const { return kind == GtNodeKind::kLeaf; }
+  size_t EntryCount() const { return leaf() ? pfvs.size() : children.size(); }
+
+  // Total number of pfv in this subtree.
+  uint32_t SubtreeCount() const;
+
+  // Parameter-space MBR over the node's contents (d DimBounds).
+  std::vector<DimBounds> ComputeBounds(size_t dim) const;
+
+  // Serialized size in bytes for the given dimensionality.
+  size_t SerializedSize(size_t dim) const;
+
+  // Serializes into `page` (must hold at least SerializedSize bytes).
+  void Serialize(uint8_t* page, size_t dim) const;
+
+  // Deserializes a node from page bytes. `id` is not stored on the page and
+  // must be supplied by the caller.
+  static GtNode Deserialize(const uint8_t* page, size_t dim, PageId id);
+};
+
+// Per-node-type capacities derived from the page size.
+struct GtCapacities {
+  size_t leaf = 0;        // max pfv records per leaf
+  size_t inner = 0;       // max child entries per inner node
+  size_t leaf_min = 0;    // min fill (non-root)
+  size_t inner_min = 0;
+
+  static GtCapacities ForPageSize(uint32_t page_size, size_t dim);
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_GAUSSTREE_NODE_H_

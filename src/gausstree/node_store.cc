@@ -1,0 +1,84 @@
+#include "gausstree/node_store.h"
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+GtNodeStore::GtNodeStore(BufferPool* pool, size_t dim)
+    : pool_(pool), dim_(dim) {
+  GAUSS_CHECK(pool != nullptr);
+  GAUSS_CHECK(dim > 0);
+}
+
+GtNode* GtNodeStore::Create(GtNodeKind kind) {
+  GAUSS_CHECK_MSG(!finalized_, "Create requires build mode (Definalize first)");
+  const PageId id = pool_->device()->Allocate();
+  auto node = std::make_unique<GtNode>();
+  node->id = id;
+  node->kind = kind;
+  GtNode* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  all_pages_.push_back(id);
+  return raw;
+}
+
+GtNode* GtNodeStore::GetMutable(PageId id) {
+  GAUSS_CHECK_MSG(!finalized_, "mutation requires build mode");
+  auto it = nodes_.find(id);
+  GAUSS_CHECK(it != nodes_.end());
+  return it->second.get();
+}
+
+void GtNodeStore::Load(PageId id, GtNode* scratch) const {
+  if (!finalized_) {
+    auto it = nodes_.find(id);
+    GAUSS_CHECK(it != nodes_.end());
+    *scratch = *it->second;  // copy: callers own their view
+    return;
+  }
+  const uint8_t* page = pool_->Fetch(id);
+  *scratch = GtNode::Deserialize(page, dim_, id);
+}
+
+void GtNodeStore::Finalize() {
+  if (finalized_) return;
+  std::vector<uint8_t> buffer(pool_->device()->page_size(), 0);
+  for (const auto& [id, node] : nodes_) {
+    GAUSS_CHECK_MSG(node->SerializedSize(dim_) <= buffer.size(),
+                    "node exceeds page capacity");
+    std::fill(buffer.begin(), buffer.end(), 0);
+    node->Serialize(buffer.data(), dim_);
+    pool_->WritePage(id, buffer.data());
+  }
+  pool_->FlushAll();
+  finalized_count_ = nodes_.size();
+  nodes_.clear();
+  finalized_ = true;
+}
+
+void GtNodeStore::OpenFinalized(std::vector<PageId> pages) {
+  GAUSS_CHECK_MSG(nodes_.empty() && all_pages_.empty(),
+                  "OpenFinalized requires a fresh store");
+  all_pages_ = std::move(pages);
+  finalized_count_ = all_pages_.size();
+  finalized_ = true;
+}
+
+void GtNodeStore::Definalize() {
+  if (!finalized_) return;
+  for (PageId id : all_pages_) {
+    const uint8_t* page = pool_->Fetch(id);
+    auto node = std::make_unique<GtNode>(GtNode::Deserialize(page, dim_, id));
+    nodes_.emplace(id, std::move(node));
+  }
+  finalized_ = false;
+  finalized_count_ = 0;
+}
+
+size_t GtNodeStore::node_count() const {
+  return finalized_ ? finalized_count_ : nodes_.size();
+}
+
+}  // namespace gauss

@@ -1,0 +1,72 @@
+#ifndef GAUSS_GAUSSTREE_NODE_STORE_H_
+#define GAUSS_GAUSSTREE_NODE_STORE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "gausstree/node.h"
+#include "storage/buffer_pool.h"
+
+namespace gauss {
+
+// Owns the mapping from page ids to Gauss-tree nodes.
+//
+// Two phases:
+//  * Build phase: nodes live as in-memory objects (a write-back cache of the
+//    whole tree); page ids are pre-allocated on the device so the final
+//    layout is fixed. This keeps construction fast without distorting query
+//    measurements.
+//  * Query phase (after Finalize()): every access goes through the buffer
+//    pool — a fetch is a logical page access, a miss is a physical one — and
+//    the node is deserialized from page bytes, exactly what a disk-resident
+//    index pays.
+//
+// Definalize() reloads every node into memory to resume building (dynamic
+// insert after a finalized load).
+class GtNodeStore {
+ public:
+  GtNodeStore(BufferPool* pool, size_t dim);
+
+  GtNodeStore(const GtNodeStore&) = delete;
+  GtNodeStore& operator=(const GtNodeStore&) = delete;
+
+  // Creates a fresh node of the given kind with a newly allocated page.
+  GtNode* Create(GtNodeKind kind);
+
+  // Build-phase mutable access.
+  GtNode* GetMutable(PageId id);
+
+  // Query access. In the build phase returns the in-memory object without
+  // touching the pool; after Finalize() fetches + deserializes.
+  // The returned value is a copy in the finalized case; `scratch` avoids
+  // reallocation across calls.
+  void Load(PageId id, GtNode* scratch) const;
+
+  // Serializes every node to its page and switches to query mode.
+  void Finalize();
+
+  // Loads every node back into memory and switches to build mode.
+  void Definalize();
+
+  // Switches an empty store into query mode over an existing on-device tree
+  // whose node pages are `pages` (the root-reachable set). Used by
+  // GaussTree::Open.
+  void OpenFinalized(std::vector<PageId> pages);
+
+  bool finalized() const { return finalized_; }
+  size_t node_count() const;
+  size_t dim() const { return dim_; }
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  BufferPool* pool_;
+  size_t dim_;
+  bool finalized_ = false;
+  std::unordered_map<PageId, std::unique_ptr<GtNode>> nodes_;
+  size_t finalized_count_ = 0;
+  std::vector<PageId> all_pages_;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_GAUSSTREE_NODE_STORE_H_

@@ -1,0 +1,110 @@
+#ifndef GAUSS_GAUSSTREE_QUERY_COMMON_H_
+#define GAUSS_GAUSSTREE_QUERY_COMMON_H_
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/log_sum_exp.h"
+#include "gausstree/gauss_tree.h"
+#include "math/hull.h"
+#include "pfv/pfv.h"
+
+namespace gauss::internal {
+
+// Cost/coverage counters shared by both query types.
+struct QueryCounters {
+  uint64_t nodes_visited = 0;        // nodes popped and expanded
+  uint64_t leaf_nodes_visited = 0;
+  uint64_t objects_evaluated = 0;    // exact density computations
+};
+
+// One unexpanded subtree in the active-page priority queue. All densities are
+// *scaled*: exp(log_density - log_ref), where log_ref is the root's joint
+// upper hull at the query — a global maximum over everything in the tree —
+// so scaled values lie in [0, 1] and linear-space sums of n terms are safe.
+struct ActiveNode {
+  PageId page = kInvalidPageId;
+  uint32_t count = 0;        // objects below this subtree
+  double upper = 0.0;        // scaled per-object upper bound (N_hat)
+  double lower = 0.0;        // scaled per-object lower bound (N_check)
+
+  // Max-heap on the upper bound (paper: queue ordered by approximation
+  // function value).
+  bool operator<(const ActiveNode& other) const { return upper < other.upper; }
+};
+
+// Shared traversal state: the active-node priority queue plus incremental
+// bounds on the part of the Bayes denominator contributed by *unexpanded*
+// subtrees (paper Section 5.2.2). exact_sum accumulates the scaled densities
+// of every object seen in visited leaves.
+class DenominatorTracker {
+ public:
+  void Push(const ActiveNode& node) {
+    queue_.push(node);
+    rest_min_.Add(static_cast<double>(node.count) * node.lower);
+    rest_max_.Add(static_cast<double>(node.count) * node.upper);
+  }
+
+  ActiveNode Pop() {
+    ActiveNode top = queue_.top();
+    queue_.pop();
+    rest_min_.Subtract(static_cast<double>(top.count) * top.lower);
+    rest_max_.Subtract(static_cast<double>(top.count) * top.upper);
+    return top;
+  }
+
+  bool Empty() const { return queue_.empty(); }
+  const ActiveNode& Top() const { return queue_.top(); }
+
+  void AddExact(double scaled_density) { exact_.Add(scaled_density); }
+
+  double exact_sum() const { return exact_.Value(); }
+  // Compensated sums can drift a hair below zero after many +/- updates.
+  double rest_min() const { return std::max(0.0, rest_min_.Value()); }
+  double rest_max() const { return std::max(0.0, rest_max_.Value()); }
+
+  // Bounds on the full scaled Bayes denominator.
+  double DenominatorLo() const { return exact_sum() + rest_min(); }
+  double DenominatorHi() const { return exact_sum() + rest_max(); }
+
+ private:
+  std::priority_queue<ActiveNode> queue_;
+  KahanSum exact_;
+  KahanSum rest_min_;
+  KahanSum rest_max_;
+};
+
+// Reference log scale for a query: the root's joint log upper hull, the
+// largest log density any stored object can attain against q.
+inline double ComputeLogRef(const GaussTree& tree, const Pfv& q) {
+  GtNode root;
+  tree.store().Load(tree.root(), &root);
+  if (root.EntryCount() == 0) return 0.0;
+  const std::vector<DimBounds> bounds = root.ComputeBounds(tree.dim());
+  return JointLogUpperHull(bounds.data(), q.mu.data(), q.sigma.data(),
+                           tree.dim(), tree.options().sigma_policy);
+}
+
+// Scaled upper/lower hull bounds of a child entry against the query.
+inline ActiveNode MakeActiveNode(const GtChildEntry& entry, const Pfv& q,
+                                 SigmaPolicy policy, double log_ref) {
+  ActiveNode node;
+  node.page = entry.child;
+  node.count = entry.count;
+  const double log_upper =
+      JointLogUpperHull(entry.bounds.data(), q.mu.data(), q.sigma.data(),
+                        entry.bounds.size(), policy);
+  const double log_lower =
+      JointLogLowerHull(entry.bounds.data(), q.mu.data(), q.sigma.data(),
+                        entry.bounds.size(), policy);
+  node.upper = std::exp(log_upper - log_ref);
+  node.lower = std::exp(log_lower - log_ref);
+  // Guard against rounding: the lower bound must never exceed the upper.
+  if (node.lower > node.upper) node.lower = node.upper;
+  return node;
+}
+
+}  // namespace gauss::internal
+
+#endif  // GAUSS_GAUSSTREE_QUERY_COMMON_H_

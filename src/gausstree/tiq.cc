@@ -1,0 +1,162 @@
+#include "gausstree/tiq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "gausstree/query_common.h"
+
+namespace gauss {
+
+namespace {
+
+using internal::ActiveNode;
+using internal::DenominatorTracker;
+
+struct Candidate {
+  uint64_t id = 0;
+  double scaled_density = 0.0;
+  double log_density = 0.0;
+};
+
+}  // namespace
+
+TiqResult QueryTiq(const GaussTree& tree, const Pfv& q, double threshold,
+                   const TiqOptions& options) {
+  GAUSS_CHECK(q.dim() == tree.dim());
+  GAUSS_CHECK(q.Valid());
+  GAUSS_CHECK(threshold > 0.0 && threshold <= 1.0);
+
+  TiqResult result;
+  if (tree.size() == 0) return result;
+
+  const SigmaPolicy policy = tree.options().sigma_policy;
+  const double log_ref = internal::ComputeLogRef(tree, q);
+
+  DenominatorTracker tracker;
+  internal::QueryCounters counters;
+  std::vector<Candidate> candidates;
+
+  tracker.Push(ActiveNode{tree.root(), static_cast<uint32_t>(tree.size()),
+                          1.0, 0.0});
+
+  GtNode node;
+  auto expand = [&](const ActiveNode& active) {
+    tree.store().Load(active.page, &node);
+    ++counters.nodes_visited;
+    if (node.leaf()) {
+      ++counters.leaf_nodes_visited;
+      for (const Pfv& v : node.pfvs) {
+        const double log_density = PfvJointLogDensity(v, q, policy);
+        const double scaled = std::exp(log_density - log_ref);
+        tracker.AddExact(scaled);
+        ++counters.objects_evaluated;
+        candidates.push_back({v.id, scaled, log_density});
+      }
+    } else {
+      for (const GtChildEntry& e : node.children) {
+        tracker.Push(internal::MakeActiveNode(e, q, policy, log_ref));
+      }
+    }
+  };
+
+  // Upper/lower bound on a candidate's probability given current denominator
+  // bounds. den_lo can be 0 early on: treat the upper bound as 1.
+  auto prob_hi = [&](double p) {
+    const double den = tracker.DenominatorLo();
+    return den > 0.0 ? std::min(1.0, p / den) : 1.0;
+  };
+  auto prob_lo = [&](double p) {
+    const double den = tracker.DenominatorHi();
+    return den > 0.0 ? p / den : 0.0;
+  };
+
+  // Discards candidates that can no longer qualify (paper Figure 5's
+  // "delete unnecessary candidates" step). Their densities remain part of
+  // the exact denominator sum.
+  auto sweep = [&]() {
+    std::erase_if(candidates,
+                  [&](const Candidate& c) {
+                    return prob_hi(c.scaled_density) < threshold;
+                  });
+  };
+
+  // Is every remaining candidate decidably above (or below) the threshold?
+  auto all_decided = [&]() {
+    for (const Candidate& c : candidates) {
+      const double hi = prob_hi(c.scaled_density);
+      const double lo = prob_lo(c.scaled_density);
+      if (lo < threshold && hi >= threshold) return false;
+    }
+    return true;
+  };
+
+  while (!tracker.Empty()) {
+    // A subtree can still contribute a qualifying object only if its
+    // per-object upper bound against the *smallest possible* denominator
+    // clears the threshold.
+    const bool frontier_can_qualify =
+        prob_hi(tracker.Top().upper) >= threshold;
+    if (!frontier_can_qualify) {
+      sweep();
+      // Paper Figure 5 stopping: once the frontier cannot qualify, stop.
+      // Exact mode keeps expanding until every surviving candidate is
+      // decided (no interval straddles the threshold).
+      if (!options.exact_membership || all_decided()) break;
+    }
+    expand(tracker.Pop());
+    sweep();
+  }
+  sweep();
+
+  // Optional extra refinement so the *values* of the reported probabilities
+  // (not just set membership) meet the requested accuracy.
+  if (options.refine_probabilities) {
+    const double eps = options.probability_accuracy;
+    while (!tracker.Empty()) {
+      const double lo = tracker.DenominatorLo();
+      const double hi = tracker.DenominatorHi();
+      if (lo > 0.0 && (hi - lo) <= eps * lo) break;
+      expand(tracker.Pop());
+      sweep();
+    }
+  }
+
+  const double den_lo = tracker.DenominatorLo();
+  const double den_hi = tracker.DenominatorHi();
+  result.stats.nodes_visited = counters.nodes_visited;
+  result.stats.leaf_nodes_visited = counters.leaf_nodes_visited;
+  result.stats.objects_evaluated = counters.objects_evaluated;
+  result.stats.denominator_lo = den_lo;
+  result.stats.denominator_hi = den_hi;
+
+  // Degenerate case: every density underflowed to zero (the query is
+  // astronomically far from all data). P(v|q) is then 0/0; by the model's
+  // property 3 the identification probability degenerates to 1/n, which
+  // cannot reach any meaningful threshold for large n — report no answers.
+  if (den_lo <= 0.0) return result;
+
+  // Final filter on the certified lower bound; report interval midpoints.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.scaled_density > b.scaled_density;
+            });
+  for (const Candidate& c : candidates) {
+    const double hi = prob_hi(c.scaled_density);
+    const double lo = prob_lo(c.scaled_density);
+    const double mid = 0.5 * (hi + lo);
+    // Exact mode: every surviving candidate is certified (lo >= threshold up
+    // to the final bounds); filter at the midpoint for robustness. Lazy mode
+    // (paper Figure 5): report every candidate whose upper bound qualifies.
+    if (options.exact_membership && mid < threshold) continue;
+    IdentificationResult item;
+    item.id = c.id;
+    item.log_density = c.log_density;
+    item.probability = mid;
+    item.probability_error = 0.5 * (hi - lo);
+    result.items.push_back(item);
+  }
+  return result;
+}
+
+}  // namespace gauss

@@ -1,0 +1,61 @@
+#include "gausstree/tree_stats.h"
+
+#include <deque>
+#include <iomanip>
+
+#include "math/hull_integral.h"
+
+namespace gauss {
+
+std::vector<LevelProfile> ProfileLevels(const GaussTree& tree) {
+  std::vector<LevelProfile> profile;
+  struct Item {
+    PageId id;
+    size_t level;
+  };
+  std::deque<Item> queue{{tree.root(), 0}};
+  GtNode node;
+  while (!queue.empty()) {
+    const Item item = queue.front();
+    queue.pop_front();
+    tree.store().Load(item.id, &node);
+    if (profile.size() <= item.level) profile.resize(item.level + 1);
+    LevelProfile& lp = profile[item.level];
+    lp.level = item.level;
+    ++lp.nodes;
+    lp.entries += node.EntryCount();
+    const std::vector<DimBounds> bounds = node.ComputeBounds(tree.dim());
+    if (node.EntryCount() > 0) {
+      lp.avg_hull_integral += HullIntegralMeasure(
+          bounds.data(), bounds.size(), tree.options().integral_method);
+    }
+    if (!node.leaf()) {
+      for (const GtChildEntry& e : node.children) {
+        queue.push_back({e.child, item.level + 1});
+      }
+    }
+  }
+  for (LevelProfile& lp : profile) {
+    if (lp.nodes > 0) lp.avg_hull_integral /= static_cast<double>(lp.nodes);
+  }
+  return profile;
+}
+
+void PrintTreeSummary(const GaussTree& tree, std::ostream& os) {
+  const GaussTreeStats stats = tree.ComputeStats();
+  os << "Gauss-tree: " << stats.object_count << " objects, dim " << tree.dim()
+     << ", height " << stats.height << ", " << stats.node_count << " nodes ("
+     << stats.inner_nodes << " inner / " << stats.leaf_nodes << " leaves)\n";
+  os << "  leaf fill " << std::fixed << std::setprecision(1)
+     << 100.0 * stats.avg_leaf_fill << "%, inner fill "
+     << 100.0 * stats.avg_inner_fill << "%\n";
+  const std::vector<LevelProfile> profile = ProfileLevels(tree);
+  for (const LevelProfile& lp : profile) {
+    os << "  level " << lp.level << ": " << lp.nodes << " nodes, "
+       << lp.entries << " entries, avg hull-integral measure "
+       << std::setprecision(3) << lp.avg_hull_integral << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace gauss

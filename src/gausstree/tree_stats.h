@@ -1,0 +1,27 @@
+#ifndef GAUSS_GAUSSTREE_TREE_STATS_H_
+#define GAUSS_GAUSSTREE_TREE_STATS_H_
+
+#include <ostream>
+#include <vector>
+
+#include "gausstree/gauss_tree.h"
+
+namespace gauss {
+
+// Per-level structural profile of a Gauss-tree.
+struct LevelProfile {
+  size_t level = 0;           // 0 = root level
+  size_t nodes = 0;
+  size_t entries = 0;
+  double avg_hull_integral = 0.0;  // mean node access-probability measure
+};
+
+// Walks the tree and reports a profile per level (root first).
+std::vector<LevelProfile> ProfileLevels(const GaussTree& tree);
+
+// Human-readable structural summary, used by examples and benches.
+void PrintTreeSummary(const GaussTree& tree, std::ostream& os);
+
+}  // namespace gauss
+
+#endif  // GAUSS_GAUSSTREE_TREE_STATS_H_

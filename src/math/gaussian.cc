@@ -1,0 +1,49 @@
+#include "math/gaussian.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+double GaussianPdf(double x, double mu, double sigma) {
+  GAUSS_DCHECK(sigma > 0.0);
+  const double z = (x - mu) / sigma;
+  return std::exp(-0.5 * z * z) / (kSqrt2Pi * sigma);
+}
+
+double GaussianLogPdf(double x, double mu, double sigma) {
+  GAUSS_DCHECK(sigma > 0.0);
+  const double z = (x - mu) / sigma;
+  return -0.5 * z * z - std::log(sigma) - kLogSqrt2Pi;
+}
+
+double StdNormalCdf(double z) { return 0.5 * (1.0 + std::erf(z / kSqrt2)); }
+
+double GaussianCdf(double x, double mu, double sigma) {
+  GAUSS_DCHECK(sigma > 0.0);
+  return StdNormalCdf((x - mu) / sigma);
+}
+
+double JointDensity(double mu_v, double sigma_v, double mu_q, double sigma_q,
+                    SigmaPolicy policy) {
+  return GaussianPdf(mu_q, mu_v, CombineSigma(sigma_v, sigma_q, policy));
+}
+
+double JointLogDensity(double mu_v, double sigma_v, double mu_q,
+                       double sigma_q, SigmaPolicy policy) {
+  return GaussianLogPdf(mu_q, mu_v, CombineSigma(sigma_v, sigma_q, policy));
+}
+
+double JointLogDensity(const double* mu_v, const double* sigma_v,
+                       const double* mu_q, const double* sigma_q, size_t d,
+                       SigmaPolicy policy) {
+  double log_density = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    log_density +=
+        JointLogDensity(mu_v[i], sigma_v[i], mu_q[i], sigma_q[i], policy);
+  }
+  return log_density;
+}
+
+}  // namespace gauss

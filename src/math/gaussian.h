@@ -1,0 +1,54 @@
+#ifndef GAUSS_MATH_GAUSSIAN_H_
+#define GAUSS_MATH_GAUSSIAN_H_
+
+#include <cstddef>
+
+#include "math/sigma_policy.h"
+
+namespace gauss {
+
+// sqrt(2*pi) and friends, to double precision.
+inline constexpr double kSqrt2Pi = 2.5066282746310005024;
+inline constexpr double kLogSqrt2Pi = 0.91893853320467274178;
+inline constexpr double kSqrt2 = 1.4142135623730950488;
+// 1 / sqrt(2*pi*e): the peak value of N(x; mu, sigma=|mu-x|), which appears
+// in cases II/VI of the hull function (paper Lemma 2).
+inline constexpr double kInvSqrt2PiE = 0.24197072451914334980;
+
+// Univariate Gaussian probability density N(x; mu, sigma). sigma > 0.
+double GaussianPdf(double x, double mu, double sigma);
+
+// log N(x; mu, sigma). Robust for extreme |x - mu| / sigma.
+double GaussianLogPdf(double x, double mu, double sigma);
+
+// Standard normal CDF Phi(z), via std::erf.
+double StdNormalCdf(double z);
+
+// Gaussian CDF P[X <= x] for X ~ N(mu, sigma).
+double GaussianCdf(double x, double mu, double sigma);
+
+// Paper Lemma 1 (joint probability): density that the query feature
+// (mu_q, sigma_q) and the database feature (mu_v, sigma_v) describe the same
+// true value:
+//   integral N(x; mu_v, sigma_v) N(x; mu_q, sigma_q) dx
+//     = N(mu_q; mu_v, combined_sigma).
+// The combination of the two sigmas is governed by `policy` (see
+// sigma_policy.h).
+double JointDensity(double mu_v, double sigma_v, double mu_q, double sigma_q,
+                    SigmaPolicy policy = SigmaPolicy::kConvolution);
+
+// log of JointDensity().
+double JointLogDensity(double mu_v, double sigma_v, double mu_q,
+                       double sigma_q,
+                       SigmaPolicy policy = SigmaPolicy::kConvolution);
+
+// Multivariate (axis-independent) joint log density: sum over d dimensions of
+// JointLogDensity. `mu_v`, `sigma_v`, `mu_q`, `sigma_q` each point to `d`
+// doubles.
+double JointLogDensity(const double* mu_v, const double* sigma_v,
+                       const double* mu_q, const double* sigma_q, size_t d,
+                       SigmaPolicy policy = SigmaPolicy::kConvolution);
+
+}  // namespace gauss
+
+#endif  // GAUSS_MATH_GAUSSIAN_H_

@@ -1,0 +1,95 @@
+#include "math/hull.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "math/gaussian.h"
+
+namespace gauss {
+
+namespace {
+
+// Resolves Lemma 2's case analysis to the (mu, sigma) pair whose Gaussian is
+// maximal at x. Returns {mu, sigma} of the maximizing Gaussian.
+struct MuSigma {
+  double mu;
+  double sigma;
+};
+
+MuSigma ArgUpperHull(double x, const DimBounds& b) {
+  GAUSS_DCHECK(b.Valid());
+  if (x < b.mu_lo) {
+    // Left of the mu range: the best mean is mu_lo; the best sigma is
+    // |mu_lo - x| clamped into [sigma_lo, sigma_hi] (cases I-III).
+    const double dist = b.mu_lo - x;
+    return {b.mu_lo, std::clamp(dist, b.sigma_lo, b.sigma_hi)};
+  }
+  if (x > b.mu_hi) {
+    // Symmetric cases V-VII.
+    const double dist = x - b.mu_hi;
+    return {b.mu_hi, std::clamp(dist, b.sigma_lo, b.sigma_hi)};
+  }
+  // Case IV: a Gaussian can be centered on x; steepest wins.
+  return {x, b.sigma_lo};
+}
+
+}  // namespace
+
+double UpperHull(double x, const DimBounds& b) {
+  const MuSigma best = ArgUpperHull(x, b);
+  return GaussianPdf(x, best.mu, best.sigma);
+}
+
+double LogUpperHull(double x, const DimBounds& b) {
+  const MuSigma best = ArgUpperHull(x, b);
+  return GaussianLogPdf(x, best.mu, best.sigma);
+}
+
+double LowerHull(double x, const DimBounds& b) {
+  GAUSS_DCHECK(b.Valid());
+  const double a = GaussianPdf(x, b.mu_lo, b.sigma_lo);
+  const double c = GaussianPdf(x, b.mu_lo, b.sigma_hi);
+  const double d = GaussianPdf(x, b.mu_hi, b.sigma_lo);
+  const double e = GaussianPdf(x, b.mu_hi, b.sigma_hi);
+  return std::min(std::min(a, c), std::min(d, e));
+}
+
+double LogLowerHull(double x, const DimBounds& b) {
+  GAUSS_DCHECK(b.Valid());
+  const double a = GaussianLogPdf(x, b.mu_lo, b.sigma_lo);
+  const double c = GaussianLogPdf(x, b.mu_lo, b.sigma_hi);
+  const double d = GaussianLogPdf(x, b.mu_hi, b.sigma_lo);
+  const double e = GaussianLogPdf(x, b.mu_hi, b.sigma_hi);
+  return std::min(std::min(a, c), std::min(d, e));
+}
+
+DimBounds QueryAdjustedBounds(const DimBounds& b, double sigma_q,
+                              SigmaPolicy policy) {
+  DimBounds adjusted = b;
+  adjusted.sigma_lo = CombineSigma(b.sigma_lo, sigma_q, policy);
+  adjusted.sigma_hi = CombineSigma(b.sigma_hi, sigma_q, policy);
+  return adjusted;
+}
+
+double JointLogUpperHull(const DimBounds* bounds, const double* mu_q,
+                         const double* sigma_q, size_t d, SigmaPolicy policy) {
+  double log_hull = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    const DimBounds adjusted = QueryAdjustedBounds(bounds[i], sigma_q[i], policy);
+    log_hull += LogUpperHull(mu_q[i], adjusted);
+  }
+  return log_hull;
+}
+
+double JointLogLowerHull(const DimBounds* bounds, const double* mu_q,
+                         const double* sigma_q, size_t d, SigmaPolicy policy) {
+  double log_hull = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    const DimBounds adjusted = QueryAdjustedBounds(bounds[i], sigma_q[i], policy);
+    log_hull += LogLowerHull(mu_q[i], adjusted);
+  }
+  return log_hull;
+}
+
+}  // namespace gauss

@@ -1,0 +1,64 @@
+#include "math/hull_integral.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "math/gaussian.h"
+
+namespace gauss {
+
+double SigmoidPoly5Cdf(double z) {
+  // Abramowitz & Stegun 26.2.17: Phi(z) = 1 - phi(z) * P5(t), t = 1/(1+p z),
+  // for z >= 0, with a degree-5 polynomial P5. Mirrored for z < 0.
+  constexpr double p = 0.2316419;
+  constexpr double b1 = 0.319381530;
+  constexpr double b2 = -0.356563782;
+  constexpr double b3 = 1.781477937;
+  constexpr double b4 = -1.821255978;
+  constexpr double b5 = 1.330274429;
+  const double az = std::fabs(z);
+  const double t = 1.0 / (1.0 + p * az);
+  const double poly = t * (b1 + t * (b2 + t * (b3 + t * (b4 + t * b5))));
+  const double pdf = std::exp(-0.5 * az * az) / kSqrt2Pi;
+  const double upper_tail = pdf * poly;
+  return z >= 0.0 ? 1.0 - upper_tail : upper_tail;
+}
+
+namespace {
+
+double Phi(double z, IntegralMethod method) {
+  return method == IntegralMethod::kErf ? StdNormalCdf(z) : SigmoidPoly5Cdf(z);
+}
+
+}  // namespace
+
+double UpperHullIntegral(const DimBounds& b, IntegralMethod method) {
+  GAUSS_DCHECK(b.Valid());
+  // Case analysis of Lemma 2 integrated piecewise; see header for the map.
+  //
+  // (I): integral_{-inf}^{mu_lo - sigma_hi} N(x; mu_lo, sigma_hi) dx
+  //      = Phi(-1). (VII) is symmetric.
+  const double tail = Phi(-1.0, method);
+  // (III): integral_{mu_lo - sigma_lo}^{mu_lo} N(x; mu_lo, sigma_lo) dx
+  //        = Phi(0) - Phi(-1). (V) is symmetric.
+  const double shoulder = Phi(0.0, method) - Phi(-1.0, method);
+  // (II): N(x; mu_lo, mu_lo - x) = 1 / (sqrt(2 pi e) (mu_lo - x)); integrating
+  // from mu_lo - sigma_hi to mu_lo - sigma_lo gives
+  // (ln sigma_hi - ln sigma_lo) / sqrt(2 pi e). (VI) is symmetric.
+  const double wedge = kInvSqrt2PiE * (std::log(b.sigma_hi) - std::log(b.sigma_lo));
+  // (IV): constant strip at peak height 1 / (sqrt(2 pi) sigma_lo).
+  const double strip = (b.mu_hi - b.mu_lo) / (kSqrt2Pi * b.sigma_lo);
+
+  return 2.0 * (tail + shoulder + wedge) + strip;
+}
+
+double HullIntegralMeasure(const DimBounds* bounds, size_t d,
+                           IntegralMethod method) {
+  double measure = 1.0;
+  for (size_t i = 0; i < d; ++i) {
+    measure *= UpperHullIntegral(bounds[i], method);
+  }
+  return measure;
+}
+
+}  // namespace gauss

@@ -1,0 +1,47 @@
+#ifndef GAUSS_MATH_HULL_INTEGRAL_H_
+#define GAUSS_MATH_HULL_INTEGRAL_H_
+
+#include <cstddef>
+
+#include "math/hull.h"
+
+namespace gauss {
+
+// How the Gaussian-tail portions of the hull integral are evaluated.
+enum class IntegralMethod {
+  // Exact, via std::erf (the tail areas collapse to standard-normal CDF
+  // values, see the derivation in hull_integral.cc).
+  kErf,
+  // The paper's choice: sigmoid approximation of the standard normal CDF by a
+  // degree-5 polynomial (faster in 2006-era JVMs; kept as an ablation).
+  kSigmoidPoly5,
+};
+
+// Integral over the whole real line of the one-dimensional upper hull
+// N_hat(x) for the given bounds (paper Section 5.3). This is the node's
+// "access probability" mass that the split strategy minimizes. Closed form:
+//
+//   integral = [tail + shoulder masses]                          (cases
+//              I + III + V + VII, = 1.0 exactly)
+//            + (mu_hi - mu_lo) / (sqrt(2 pi) sigma_lo)           (case IV)
+//            + 2 (ln sigma_hi - ln sigma_lo) / sqrt(2 pi e)      (cases II+VI)
+//
+// With kSigmoidPoly5 the constant 1.0 is instead assembled from the
+// polynomial CDF approximation, reproducing the paper's arithmetic.
+double UpperHullIntegral(const DimBounds& b,
+                         IntegralMethod method = IntegralMethod::kErf);
+
+// d-dimensional access-probability measure of a node: the product of the
+// per-dimension hull integrals (independence across dimensions). This is the
+// quantity the split and the insertion heuristics minimize.
+double HullIntegralMeasure(const DimBounds* bounds, size_t d,
+                           IntegralMethod method = IntegralMethod::kErf);
+
+// Standard normal CDF approximated by the degree-5 polynomial sigmoid
+// (Abramowitz & Stegun 26.2.17 family). Exposed for tests and the ablation
+// benchmark. Absolute error < 7.5e-8.
+double SigmoidPoly5Cdf(double z);
+
+}  // namespace gauss
+
+#endif  // GAUSS_MATH_HULL_INTEGRAL_H_

@@ -1,0 +1,50 @@
+#include "pfv/pfv.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/macros.h"
+#include "math/gaussian.h"
+
+namespace gauss {
+
+Pfv::Pfv(uint64_t object_id, std::vector<double> means,
+         std::vector<double> devs)
+    : id(object_id), mu(std::move(means)), sigma(std::move(devs)) {
+  GAUSS_CHECK(Valid());
+}
+
+bool Pfv::Valid() const {
+  if (mu.size() != sigma.size()) return false;
+  for (double s : sigma) {
+    if (!(s > 0.0) || !std::isfinite(s)) return false;
+  }
+  for (double m : mu) {
+    if (!std::isfinite(m)) return false;
+  }
+  return true;
+}
+
+double PfvJointLogDensity(const Pfv& v, const Pfv& q, SigmaPolicy policy) {
+  GAUSS_DCHECK(v.dim() == q.dim());
+  return JointLogDensity(v.mu.data(), v.sigma.data(), q.mu.data(),
+                         q.sigma.data(), v.dim(), policy);
+}
+
+double MeanSquaredDistance(const Pfv& a, const Pfv& b) {
+  GAUSS_DCHECK(a.dim() == b.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    const double d = a.mu[i] - b.mu[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+void PfvDataset::Add(Pfv pfv) {
+  GAUSS_CHECK(pfv.dim() == dim_);
+  GAUSS_CHECK(pfv.Valid());
+  objects_.push_back(std::move(pfv));
+}
+
+}  // namespace gauss

@@ -1,0 +1,59 @@
+#ifndef GAUSS_PFV_PFV_H_
+#define GAUSS_PFV_PFV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/sigma_policy.h"
+
+namespace gauss {
+
+// A probabilistic feature vector (pfv): d observed feature values `mu` plus
+// d uncertainty values `sigma` (paper Definition 1). Each (mu_i, sigma_i)
+// pair defines a univariate Gaussian over the unknown true feature value.
+struct Pfv {
+  uint64_t id = 0;
+  std::vector<double> mu;
+  std::vector<double> sigma;
+
+  Pfv() = default;
+  Pfv(uint64_t object_id, std::vector<double> means, std::vector<double> devs);
+
+  size_t dim() const { return mu.size(); }
+
+  // Validity: equal lengths and strictly positive sigmas.
+  bool Valid() const;
+};
+
+// Joint log density that `q` and `v` describe the same object (paper
+// Lemma 1 applied per dimension and summed). This is the *relative*
+// (unnormalized) identification weight; the Bayes normalization over the
+// database turns it into P(v|q).
+double PfvJointLogDensity(const Pfv& v, const Pfv& q,
+                          SigmaPolicy policy = SigmaPolicy::kConvolution);
+
+// Squared Euclidean distance between the mean vectors (the conventional
+// feature-vector view used by the NN baseline).
+double MeanSquaredDistance(const Pfv& a, const Pfv& b);
+
+// A database of pfv with a fixed dimensionality.
+class PfvDataset {
+ public:
+  explicit PfvDataset(size_t dim) : dim_(dim) {}
+
+  // Appends a pfv; aborts on dimension mismatch or invalid sigmas.
+  void Add(Pfv pfv);
+
+  size_t size() const { return objects_.size(); }
+  size_t dim() const { return dim_; }
+  const Pfv& operator[](size_t i) const { return objects_[i]; }
+  const std::vector<Pfv>& objects() const { return objects_; }
+
+ private:
+  size_t dim_;
+  std::vector<Pfv> objects_;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_PFV_PFV_H_

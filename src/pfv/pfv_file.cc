@@ -1,0 +1,80 @@
+#include "pfv/pfv_file.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+namespace {
+constexpr size_t kHeaderBytes = sizeof(uint32_t);
+}  // namespace
+
+PfvFile::PfvFile(BufferPool* pool, size_t dim)
+    : pool_(pool), dim_(dim) {
+  GAUSS_CHECK(pool != nullptr);
+  GAUSS_CHECK(dim > 0);
+  record_size_ = sizeof(uint64_t) + 2 * dim * sizeof(double);
+  const size_t payload = pool->device()->page_size() - kHeaderBytes;
+  records_per_page_ = payload / record_size_;
+  GAUSS_CHECK_MSG(records_per_page_ > 0,
+                  "page too small for a single pfv record");
+}
+
+uint32_t PfvFile::PageRecordCount(const uint8_t* page) const {
+  uint32_t count;
+  std::memcpy(&count, page, sizeof(count));
+  return count;
+}
+
+Pfv PfvFile::DeserializeRecord(const uint8_t* page, uint32_t slot) const {
+  const uint8_t* p = page + kHeaderBytes + slot * record_size_;
+  Pfv pfv;
+  std::memcpy(&pfv.id, p, sizeof(uint64_t));
+  p += sizeof(uint64_t);
+  pfv.mu.resize(dim_);
+  std::memcpy(pfv.mu.data(), p, dim_ * sizeof(double));
+  p += dim_ * sizeof(double);
+  pfv.sigma.resize(dim_);
+  std::memcpy(pfv.sigma.data(), p, dim_ * sizeof(double));
+  return pfv;
+}
+
+void PfvFile::SerializeRecord(uint8_t* page, uint32_t slot,
+                              const Pfv& pfv) const {
+  uint8_t* p = page + kHeaderBytes + slot * record_size_;
+  std::memcpy(p, &pfv.id, sizeof(uint64_t));
+  p += sizeof(uint64_t);
+  std::memcpy(p, pfv.mu.data(), dim_ * sizeof(double));
+  p += dim_ * sizeof(double);
+  std::memcpy(p, pfv.sigma.data(), dim_ * sizeof(double));
+}
+
+void PfvFile::Append(const Pfv& pfv) {
+  GAUSS_CHECK(pfv.dim() == dim_);
+  const size_t slot = size_ % records_per_page_;
+  if (slot == 0) {
+    pages_.push_back(pool_->device()->Allocate());
+  }
+  uint8_t* page = pool_->FetchMutable(pages_.back());
+  SerializeRecord(page, static_cast<uint32_t>(slot), pfv);
+  const uint32_t count = static_cast<uint32_t>(slot + 1);
+  std::memcpy(page, &count, sizeof(count));
+  ++size_;
+}
+
+void PfvFile::AppendAll(const PfvDataset& dataset) {
+  GAUSS_CHECK(dataset.dim() == dim_);
+  for (const Pfv& pfv : dataset.objects()) Append(pfv);
+}
+
+Pfv PfvFile::Read(size_t i) const {
+  GAUSS_CHECK(i < size_);
+  const size_t page_idx = i / records_per_page_;
+  const uint32_t slot = static_cast<uint32_t>(i % records_per_page_);
+  const uint8_t* page = pool_->Fetch(pages_[page_idx]);
+  GAUSS_DCHECK(slot < PageRecordCount(page));
+  return DeserializeRecord(page, slot);
+}
+
+}  // namespace gauss

@@ -1,0 +1,70 @@
+#ifndef GAUSS_PFV_PFV_FILE_H_
+#define GAUSS_PFV_PFV_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pfv/pfv.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace gauss {
+
+// A paged, unordered file of fixed-dimensionality pfv records — the storage
+// substrate of the sequential-scan baseline and the bulk data carrier for
+// index construction.
+//
+// Page layout:
+//   [uint32 record_count][records...]
+// Record layout (fixed size for dimension d):
+//   [uint64 id][d x double mu][d x double sigma]
+class PfvFile {
+ public:
+  // `pool` must outlive the file; pages are allocated from its device.
+  PfvFile(BufferPool* pool, size_t dim);
+
+  // Appends a record (fills pages densely in insertion order).
+  void Append(const Pfv& pfv);
+
+  // Bulk-appends a dataset.
+  void AppendAll(const PfvDataset& dataset);
+
+  // Reads the record at global index `i` (page computed from the index).
+  Pfv Read(size_t i) const;
+
+  // Invokes `fn(pfv)` for every record in file order: one buffer-pool fetch
+  // per page, records deserialized on the fly.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      const uint8_t* page = pool_->Fetch(pages_[p]);
+      const uint32_t count = PageRecordCount(page);
+      for (uint32_t r = 0; r < count; ++r) {
+        fn(DeserializeRecord(page, r));
+      }
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t dim() const { return dim_; }
+  size_t page_count() const { return pages_.size(); }
+  size_t records_per_page() const { return records_per_page_; }
+  const std::vector<PageId>& pages() const { return pages_; }
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  uint32_t PageRecordCount(const uint8_t* page) const;
+  Pfv DeserializeRecord(const uint8_t* page, uint32_t slot) const;
+  void SerializeRecord(uint8_t* page, uint32_t slot, const Pfv& pfv) const;
+
+  BufferPool* pool_;
+  size_t dim_;
+  size_t record_size_;
+  size_t records_per_page_;
+  size_t size_ = 0;
+  std::vector<PageId> pages_;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_PFV_PFV_FILE_H_

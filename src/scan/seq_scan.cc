@@ -1,0 +1,117 @@
+#include "scan/seq_scan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log_sum_exp.h"
+#include "common/macros.h"
+
+namespace gauss {
+
+SeqScan::SeqScan(const PfvFile* file, SigmaPolicy policy)
+    : file_(file), policy_(policy) {
+  GAUSS_CHECK(file != nullptr);
+}
+
+MliqResult SeqScan::QueryMliq(const Pfv& q, size_t k) const {
+  GAUSS_CHECK(q.dim() == file_->dim());
+  GAUSS_CHECK(k > 0);
+  MliqResult result;
+
+  struct Candidate {
+    uint64_t id;
+    double log_density;
+  };
+  std::vector<Candidate> top;  // sorted descending by log_density
+  LogSumExp denominator;
+
+  file_->ForEach([&](const Pfv& v) {
+    const double log_density = PfvJointLogDensity(v, q, policy_);
+    denominator.Add(log_density);
+    ++result.stats.objects_evaluated;
+    if (top.size() == k && log_density <= top.back().log_density) return;
+    const Candidate c{v.id, log_density};
+    auto pos = std::lower_bound(top.begin(), top.end(), c,
+                                [](const Candidate& a, const Candidate& b) {
+                                  return a.log_density > b.log_density;
+                                });
+    top.insert(pos, c);
+    if (top.size() > k) top.pop_back();
+  });
+
+  const double log_total = denominator.LogTotal();
+  for (const Candidate& c : top) {
+    IdentificationResult item;
+    item.id = c.id;
+    item.log_density = c.log_density;
+    item.probability =
+        std::isinf(log_total) ? 0.0 : std::exp(c.log_density - log_total);
+    item.probability_error = 0.0;
+    result.items.push_back(item);
+  }
+  result.stats.denominator_lo = result.stats.denominator_hi =
+      std::isinf(log_total) ? 0.0 : 1.0;  // exact (scale-free marker)
+  return result;
+}
+
+TiqResult SeqScan::QueryTiq(const Pfv& q, double threshold) const {
+  GAUSS_CHECK(q.dim() == file_->dim());
+  GAUSS_CHECK(threshold > 0.0 && threshold <= 1.0);
+  TiqResult result;
+
+  // Pass 1: the Bayes denominator.
+  LogSumExp denominator;
+  file_->ForEach([&](const Pfv& v) {
+    denominator.Add(PfvJointLogDensity(v, q, policy_));
+    ++result.stats.objects_evaluated;
+  });
+  const double log_total = denominator.LogTotal();
+  if (std::isinf(log_total)) return result;  // all densities underflowed
+
+  // Pass 2: report qualifying objects.
+  file_->ForEach([&](const Pfv& v) {
+    const double log_density = PfvJointLogDensity(v, q, policy_);
+    ++result.stats.objects_evaluated;
+    const double probability = std::exp(log_density - log_total);
+    if (probability >= threshold) {
+      IdentificationResult item;
+      item.id = v.id;
+      item.log_density = log_density;
+      item.probability = probability;
+      item.probability_error = 0.0;
+      result.items.push_back(item);
+    }
+  });
+  std::sort(result.items.begin(), result.items.end(),
+            [](const IdentificationResult& a, const IdentificationResult& b) {
+              return a.probability > b.probability;
+            });
+  return result;
+}
+
+std::vector<uint64_t> SeqScan::QueryKnnMeans(const Pfv& q, size_t k) const {
+  GAUSS_CHECK(q.dim() == file_->dim());
+  GAUSS_CHECK(k > 0);
+  struct Neighbor {
+    uint64_t id;
+    double dist2;
+  };
+  std::vector<Neighbor> top;  // ascending by distance
+  file_->ForEach([&](const Pfv& v) {
+    const double dist2 = MeanSquaredDistance(v, q);
+    if (top.size() == k && dist2 >= top.back().dist2) return;
+    const Neighbor n{v.id, dist2};
+    auto pos = std::lower_bound(top.begin(), top.end(), n,
+                                [](const Neighbor& a, const Neighbor& b) {
+                                  return a.dist2 < b.dist2;
+                                });
+    top.insert(pos, n);
+    if (top.size() > k) top.pop_back();
+  });
+  std::vector<uint64_t> ids;
+  ids.reserve(top.size());
+  for (const Neighbor& n : top) ids.push_back(n.id);
+  return ids;
+}
+
+}  // namespace gauss

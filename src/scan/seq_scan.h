@@ -1,0 +1,49 @@
+#ifndef GAUSS_SCAN_SEQ_SCAN_H_
+#define GAUSS_SCAN_SEQ_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+#include "math/sigma_policy.h"
+#include "pfv/pfv.h"
+#include "pfv/pfv_file.h"
+
+namespace gauss {
+
+// Exact identification queries on top of a sequential scan of an unordered
+// paged pfv file (paper Section 4). This is both the reference baseline of
+// the evaluation and the correctness oracle for the Gauss-tree tests.
+class SeqScan {
+ public:
+  // `file` must outlive the scanner.
+  explicit SeqScan(const PfvFile* file,
+                   SigmaPolicy policy = SigmaPolicy::kConvolution);
+
+  // k-most-likely identification query: one pass, keeping the k densest
+  // objects; probabilities from the full density sum (computed in the same
+  // pass with a numerically robust accumulator).
+  MliqResult QueryMliq(const Pfv& q, size_t k) const;
+
+  // Threshold identification query: two passes as described in the paper —
+  // the first accumulates the total density (Bayes denominator), the second
+  // reports every object at or above the threshold.
+  TiqResult QueryTiq(const Pfv& q, double threshold) const;
+
+  // Euclidean k-nearest-neighbour query on the mean vectors: the
+  // conventional-similarity-search contender of the effectiveness
+  // experiment (paper Figure 6).
+  std::vector<uint64_t> QueryKnnMeans(const Pfv& q, size_t k) const;
+
+  const PfvFile* file() const { return file_; }
+  SigmaPolicy policy() const { return policy_; }
+
+ private:
+  const PfvFile* file_;
+  SigmaPolicy policy_;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_SCAN_SEQ_SCAN_H_

@@ -1,0 +1,99 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+BufferPool::BufferPool(PageDevice* device, size_t capacity_pages)
+    : device_(device), capacity_(capacity_pages) {
+  GAUSS_CHECK(device != nullptr);
+  GAUSS_CHECK(capacity_pages > 0);
+}
+
+void BufferPool::Touch(PageId id, Frame& frame) {
+  lru_.erase(frame.lru_pos);
+  lru_.push_front(id);
+  frame.lru_pos = lru_.begin();
+}
+
+void BufferPool::EvictIfFull() {
+  if (frames_.size() < capacity_) return;
+  GAUSS_CHECK(!lru_.empty());
+  const PageId victim = lru_.back();
+  auto it = frames_.find(victim);
+  GAUSS_CHECK(it != frames_.end());
+  if (it->second.dirty) {
+    device_->Write(victim, it->second.data.get());
+    ++stats_.physical_writes;
+  }
+  lru_.pop_back();
+  frames_.erase(it);
+  ++stats_.evictions;
+}
+
+BufferPool::Frame& BufferPool::GetFrame(PageId id, bool count_read) {
+  if (count_read) ++stats_.logical_reads;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Touch(id, it->second);
+    return it->second;
+  }
+  EvictIfFull();
+  Frame frame;
+  frame.data = std::make_unique<uint8_t[]>(device_->page_size());
+  device_->Read(id, frame.data.get());
+  if (count_read) ++stats_.physical_reads;
+  lru_.push_front(id);
+  frame.lru_pos = lru_.begin();
+  auto [pos, inserted] = frames_.emplace(id, std::move(frame));
+  GAUSS_CHECK(inserted);
+  return pos->second;
+}
+
+const uint8_t* BufferPool::Fetch(PageId id) {
+  return GetFrame(id, /*count_read=*/true).data.get();
+}
+
+uint8_t* BufferPool::FetchMutable(PageId id) {
+  Frame& frame = GetFrame(id, /*count_read=*/true);
+  frame.dirty = true;
+  return frame.data.get();
+}
+
+void BufferPool::WritePage(PageId id, const void* data) {
+  // A full-page write does not need to read the old contents from the
+  // device; install the new bytes directly.
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    EvictIfFull();
+    Frame frame;
+    frame.data = std::make_unique<uint8_t[]>(device_->page_size());
+    lru_.push_front(id);
+    frame.lru_pos = lru_.begin();
+    it = frames_.emplace(id, std::move(frame)).first;
+  } else {
+    Touch(id, it->second);
+  }
+  std::memcpy(it->second.data.get(), data, device_->page_size());
+  it->second.dirty = true;
+}
+
+void BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) {
+      device_->Write(id, frame.data.get());
+      frame.dirty = false;
+      ++stats_.physical_writes;
+    }
+  }
+}
+
+void BufferPool::Clear() {
+  FlushAll();
+  frames_.clear();
+  lru_.clear();
+}
+
+}  // namespace gauss

@@ -1,0 +1,79 @@
+#ifndef GAUSS_STORAGE_BUFFER_POOL_H_
+#define GAUSS_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/page_device.h"
+
+namespace gauss {
+
+// LRU page cache in front of a PageDevice, with read/write accounting.
+//
+// The paper's workstation used up to 50 MB of database cache, cold-started
+// before each experiment; Capacity is expressed in pages and the cache can be
+// dropped with `Clear()` to reproduce cold starts.
+//
+// Single-threaded by design (as is the whole library): the paper's system is
+// a single-query-at-a-time index evaluation.
+class BufferPool {
+ public:
+  // `capacity_pages` > 0. The pool does not own the device.
+  BufferPool(PageDevice* device, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns a pointer to the cached page contents (page_size() bytes),
+  // reading from the device on a miss. The pointer stays valid until the
+  // page is evicted; callers must not hold it across another Fetch.
+  const uint8_t* Fetch(PageId id);
+
+  // Fetch for writing: marks the frame dirty. Same lifetime rules.
+  uint8_t* FetchMutable(PageId id);
+
+  // Writes a whole page through the pool (allocating a frame, marking dirty).
+  void WritePage(PageId id, const void* data);
+
+  // Flushes all dirty frames to the device.
+  void FlushAll();
+
+  // Drops every frame (flushing dirty ones first): a cold start.
+  void Clear();
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  size_t capacity_pages() const { return capacity_; }
+  size_t resident_pages() const { return frames_.size(); }
+  PageDevice* device() { return device_; }
+
+ private:
+  struct Frame {
+    std::unique_ptr<uint8_t[]> data;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  // Moves `id` to the most-recently-used position.
+  void Touch(PageId id, Frame& frame);
+
+  // Ensures a free slot exists, evicting the LRU frame if needed.
+  void EvictIfFull();
+
+  Frame& GetFrame(PageId id, bool count_read);
+
+  PageDevice* device_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = most recently used
+  IoStats stats_;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,16 @@
+#include "storage/disk_model.h"
+
+namespace gauss {
+
+double DiskModel::RandomReadSeconds(uint64_t pages) const {
+  return static_cast<double>(pages) *
+         (positioning_seconds + TransferSecondsPerPage());
+}
+
+double DiskModel::SequentialReadSeconds(uint64_t pages) const {
+  if (pages == 0) return 0.0;
+  return positioning_seconds +
+         static_cast<double>(pages) * TransferSecondsPerPage();
+}
+
+}  // namespace gauss

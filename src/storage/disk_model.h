@@ -1,0 +1,40 @@
+#ifndef GAUSS_STORAGE_DISK_MODEL_H_
+#define GAUSS_STORAGE_DISK_MODEL_H_
+
+#include <cstdint>
+
+namespace gauss {
+
+// Analytic disk-cost model used to convert *physical* page-access counts
+// into simulated elapsed I/O time, mirroring the paper's "overall time"
+// metric. Random accesses (index traversal) pay a positioning cost per page;
+// sequential accesses (relation scan) pay positioning once per run plus pure
+// transfer.
+//
+// Defaults approximate the paper's 2006-era SCSI disk (~8 ms average
+// positioning, ~60 MB/s sustained transfer). Note the paper's 50 MB database
+// cache holds both evaluation datasets entirely, so with its cold-start-per-
+// experiment protocol the physical I/O amortizes over the query batch; the
+// residual random-vs-sequential asymmetry is what makes the Gauss-tree's
+// overall-time win smaller than its page-access win (paper Section 6).
+struct DiskModel {
+  double positioning_seconds = 0.008;           // per random page access
+  double transfer_mb_per_second = 60.0;         // sustained transfer rate
+  uint32_t page_size_bytes = 8192;
+
+  double TransferSecondsPerPage() const {
+    return static_cast<double>(page_size_bytes) /
+           (transfer_mb_per_second * 1024.0 * 1024.0);
+  }
+
+  // Cost of `pages` random single-page reads.
+  double RandomReadSeconds(uint64_t pages) const;
+
+  // Cost of scanning `pages` consecutive pages (one positioning, then
+  // streaming transfer).
+  double SequentialReadSeconds(uint64_t pages) const;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_STORAGE_DISK_MODEL_H_

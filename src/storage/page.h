@@ -1,0 +1,19 @@
+#ifndef GAUSS_STORAGE_PAGE_H_
+#define GAUSS_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace gauss {
+
+// Identifier of a fixed-size page inside a PageDevice.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+// Default page size. The paper's evaluation ran on 2006-era hardware where
+// 8 KiB index pages were typical; page size is configurable everywhere.
+inline constexpr uint32_t kDefaultPageSize = 8192;
+
+}  // namespace gauss
+
+#endif  // GAUSS_STORAGE_PAGE_H_

@@ -1,0 +1,76 @@
+#include "storage/page_device.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+InMemoryPageDevice::InMemoryPageDevice(uint32_t page_size)
+    : PageDevice(page_size) {}
+
+PageId InMemoryPageDevice::Allocate() {
+  auto page = std::make_unique<uint8_t[]>(page_size());
+  std::memset(page.get(), 0, page_size());
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void InMemoryPageDevice::Read(PageId id, void* out) const {
+  GAUSS_CHECK(id < pages_.size());
+  std::memcpy(out, pages_[id].get(), page_size());
+}
+
+void InMemoryPageDevice::Write(PageId id, const void* data) {
+  GAUSS_CHECK(id < pages_.size());
+  std::memcpy(pages_[id].get(), data, page_size());
+}
+
+size_t InMemoryPageDevice::PageCount() const { return pages_.size(); }
+
+FilePageDevice::FilePageDevice(const std::string& path, uint32_t page_size,
+                               bool truncate)
+    : PageDevice(page_size) {
+  file_ = std::fopen(path.c_str(), truncate ? "w+b" : "r+b");
+  if (file_ == nullptr && !truncate) {
+    file_ = std::fopen(path.c_str(), "w+b");
+  }
+  GAUSS_CHECK_MSG(file_ != nullptr, path.c_str());
+  GAUSS_CHECK(std::fseek(file_, 0, SEEK_END) == 0);
+  const long size = std::ftell(file_);
+  GAUSS_CHECK(size >= 0);
+  GAUSS_CHECK_MSG(static_cast<size_t>(size) % page_size == 0,
+                  "file size is not a multiple of the page size");
+  page_count_ = static_cast<size_t>(size) / page_size;
+}
+
+FilePageDevice::~FilePageDevice() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+PageId FilePageDevice::Allocate() {
+  std::vector<uint8_t> zeros(page_size(), 0);
+  GAUSS_CHECK(std::fseek(file_, 0, SEEK_END) == 0);
+  GAUSS_CHECK(std::fwrite(zeros.data(), 1, page_size(), file_) == page_size());
+  return static_cast<PageId>(page_count_++);
+}
+
+void FilePageDevice::Read(PageId id, void* out) const {
+  GAUSS_CHECK(id < page_count_);
+  GAUSS_CHECK(std::fseek(file_, static_cast<long>(id) * page_size(),
+                         SEEK_SET) == 0);
+  GAUSS_CHECK(std::fread(out, 1, page_size(), file_) == page_size());
+}
+
+void FilePageDevice::Write(PageId id, const void* data) {
+  GAUSS_CHECK(id < page_count_);
+  GAUSS_CHECK(std::fseek(file_, static_cast<long>(id) * page_size(),
+                         SEEK_SET) == 0);
+  GAUSS_CHECK(std::fwrite(data, 1, page_size(), file_) == page_size());
+}
+
+size_t FilePageDevice::PageCount() const { return page_count_; }
+
+void FilePageDevice::Sync() { GAUSS_CHECK(std::fflush(file_) == 0); }
+
+}  // namespace gauss

@@ -1,0 +1,84 @@
+#ifndef GAUSS_STORAGE_PAGE_DEVICE_H_
+#define GAUSS_STORAGE_PAGE_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace gauss {
+
+// Abstraction of a block device holding fixed-size pages. Implementations
+// must be deterministic; all I/O accounting happens in the BufferPool layer
+// above, not here.
+class PageDevice {
+ public:
+  explicit PageDevice(uint32_t page_size) : page_size_(page_size) {}
+  virtual ~PageDevice() = default;
+
+  PageDevice(const PageDevice&) = delete;
+  PageDevice& operator=(const PageDevice&) = delete;
+
+  // Appends a zero-filled page and returns its id.
+  virtual PageId Allocate() = 0;
+
+  // Copies the page contents into `out` (page_size() bytes).
+  virtual void Read(PageId id, void* out) const = 0;
+
+  // Overwrites the page with `data` (page_size() bytes).
+  virtual void Write(PageId id, const void* data) = 0;
+
+  // Number of allocated pages.
+  virtual size_t PageCount() const = 0;
+
+  uint32_t page_size() const { return page_size_; }
+
+ private:
+  uint32_t page_size_;
+};
+
+// Heap-backed device; the default for experiments (the disk model converts
+// page-access counts into simulated elapsed I/O, so a RAM-backed device keeps
+// measurements noise-free while the access accounting stays honest).
+class InMemoryPageDevice : public PageDevice {
+ public:
+  explicit InMemoryPageDevice(uint32_t page_size = kDefaultPageSize);
+
+  PageId Allocate() override;
+  void Read(PageId id, void* out) const override;
+  void Write(PageId id, const void* data) override;
+  size_t PageCount() const override;
+
+ private:
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+};
+
+// File-backed device for persistence tests and on-disk operation.
+class FilePageDevice : public PageDevice {
+ public:
+  // Opens (or creates) the backing file. `truncate` discards existing
+  // content. Aborts on I/O failure (storage corruption is not recoverable).
+  FilePageDevice(const std::string& path, uint32_t page_size = kDefaultPageSize,
+                 bool truncate = true);
+  ~FilePageDevice() override;
+
+  PageId Allocate() override;
+  void Read(PageId id, void* out) const override;
+  void Write(PageId id, const void* data) override;
+  size_t PageCount() const override;
+
+  // Flushes buffered writes to the OS.
+  void Sync();
+
+ private:
+  std::FILE* file_ = nullptr;
+  size_t page_count_ = 0;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_STORAGE_PAGE_DEVICE_H_

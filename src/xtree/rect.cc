@@ -1,0 +1,115 @@
+#include "xtree/rect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+Rect::Rect(size_t dim)
+    : lo_(dim, std::numeric_limits<double>::infinity()),
+      hi_(dim, -std::numeric_limits<double>::infinity()) {}
+
+Rect::Rect(std::vector<double> lo, std::vector<double> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  GAUSS_CHECK(lo_.size() == hi_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) GAUSS_CHECK(lo_[i] <= hi_[i]);
+}
+
+Rect Rect::FromPfvQuantile(const Pfv& pfv, double z) {
+  GAUSS_CHECK(z > 0.0);
+  std::vector<double> lo(pfv.dim()), hi(pfv.dim());
+  for (size_t i = 0; i < pfv.dim(); ++i) {
+    lo[i] = pfv.mu[i] - z * pfv.sigma[i];
+    hi[i] = pfv.mu[i] + z * pfv.sigma[i];
+  }
+  return Rect(std::move(lo), std::move(hi));
+}
+
+Rect Rect::FromPoint(const std::vector<double>& point) {
+  return Rect(point, point);
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  GAUSS_DCHECK(dim() == other.dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    if (lo_[i] > other.hi_[i] || hi_[i] < other.lo_[i]) return false;
+  }
+  return true;
+}
+
+bool Rect::Contains(const Rect& other) const {
+  GAUSS_DCHECK(dim() == other.dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+void Rect::Include(const Rect& other) {
+  GAUSS_DCHECK(dim() == other.dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    lo_[i] = std::min(lo_[i], other.lo_[i]);
+    hi_[i] = std::max(hi_[i], other.hi_[i]);
+  }
+}
+
+double Rect::Volume() const {
+  double volume = 1.0;
+  for (size_t i = 0; i < dim(); ++i) volume *= hi_[i] - lo_[i];
+  return volume;
+}
+
+double Rect::Margin() const {
+  double margin = 0.0;
+  for (size_t i = 0; i < dim(); ++i) margin += hi_[i] - lo_[i];
+  return margin;
+}
+
+double Rect::OverlapVolume(const Rect& other) const {
+  GAUSS_DCHECK(dim() == other.dim());
+  double volume = 1.0;
+  for (size_t i = 0; i < dim(); ++i) {
+    const double lo = std::max(lo_[i], other.lo_[i]);
+    const double hi = std::min(hi_[i], other.hi_[i]);
+    if (hi <= lo) return 0.0;
+    volume *= hi - lo;
+  }
+  return volume;
+}
+
+double Rect::Enlargement(const Rect& other) const {
+  Rect grown = *this;
+  grown.Include(other);
+  return grown.Volume() - Volume();
+}
+
+double Rect::MinDist2(const std::vector<double>& point) const {
+  GAUSS_DCHECK(point.size() == dim());
+  double dist2 = 0.0;
+  for (size_t i = 0; i < dim(); ++i) {
+    double d = 0.0;
+    if (point[i] < lo_[i]) {
+      d = lo_[i] - point[i];
+    } else if (point[i] > hi_[i]) {
+      d = point[i] - hi_[i];
+    }
+    dist2 += d * d;
+  }
+  return dist2;
+}
+
+double Rect::CenterDist2(const std::vector<double>& point) const {
+  GAUSS_DCHECK(point.size() == dim());
+  double dist2 = 0.0;
+  for (size_t i = 0; i < dim(); ++i) {
+    const double d = point[i] - 0.5 * (lo_[i] + hi_[i]);
+    dist2 += d * d;
+  }
+  return dist2;
+}
+
+}  // namespace gauss

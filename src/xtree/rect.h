@@ -1,0 +1,59 @@
+#ifndef GAUSS_XTREE_RECT_H_
+#define GAUSS_XTREE_RECT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "pfv/pfv.h"
+
+namespace gauss {
+
+// Axis-aligned hyperrectangle in feature space (the X-tree baseline indexes
+// rectangular approximations of pfv, paper Section 6: the interval around the
+// mean containing a random observation with 95% probability).
+class Rect {
+ public:
+  Rect() = default;
+  explicit Rect(size_t dim);
+  Rect(std::vector<double> lo, std::vector<double> hi);
+
+  // The paper's approximation: [mu - z sigma, mu + z sigma] per dimension,
+  // with z = 1.96 for the 95% quantile.
+  static Rect FromPfvQuantile(const Pfv& pfv, double z);
+
+  // Degenerate point box at the pfv's mean.
+  static Rect FromPoint(const std::vector<double>& point);
+
+  size_t dim() const { return lo_.size(); }
+  double lo(size_t i) const { return lo_[i]; }
+  double hi(size_t i) const { return hi_[i]; }
+
+  bool Intersects(const Rect& other) const;
+  bool Contains(const Rect& other) const;
+
+  // Grows this rectangle to cover `other`.
+  void Include(const Rect& other);
+
+  // Volume (product of extents). Can be 0 for degenerate boxes.
+  double Volume() const;
+  // Sum of extents (the R*-tree margin objective).
+  double Margin() const;
+  // Volume of the intersection with `other` (0 if disjoint).
+  double OverlapVolume(const Rect& other) const;
+  // Volume increase if `other` were included.
+  double Enlargement(const Rect& other) const;
+
+  // Squared Euclidean distance from `point` to the nearest point of the
+  // rectangle (MINDIST); 0 if the point is inside.
+  double MinDist2(const std::vector<double>& point) const;
+  // Squared distance from `point` to the rectangle's center.
+  double CenterDist2(const std::vector<double>& point) const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_XTREE_RECT_H_

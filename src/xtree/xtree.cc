@@ -1,0 +1,437 @@
+#include "xtree/xtree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+// Serialized layouts (per page; supernodes concatenate page payloads):
+// Header: [u8 leaf][u32 entry_count][u32 page_span]
+// Leaf entry:  [u64 id][u32 record_index][d x (f64 lo, f64 hi)]
+// Inner entry: [u32 child][u32 count][d x (f64 lo, f64 hi)]
+namespace {
+
+constexpr size_t kHeaderBytes = 1 + 2 * sizeof(uint32_t);
+
+size_t LeafEntryBytes(size_t dim) {
+  return sizeof(uint64_t) + sizeof(uint32_t) + 2 * dim * sizeof(double);
+}
+
+size_t InnerEntryBytes(size_t dim) {
+  return 2 * sizeof(uint32_t) + 2 * dim * sizeof(double);
+}
+
+template <typename T>
+void Put(uint8_t** p, const T& value) {
+  std::memcpy(*p, &value, sizeof(T));
+  *p += sizeof(T);
+}
+
+template <typename T>
+T Take(const uint8_t** p) {
+  T value;
+  std::memcpy(&value, *p, sizeof(T));
+  *p += sizeof(T);
+  return value;
+}
+
+void PutRect(uint8_t** p, const Rect& rect) {
+  for (size_t i = 0; i < rect.dim(); ++i) {
+    Put<double>(p, rect.lo(i));
+    Put<double>(p, rect.hi(i));
+  }
+}
+
+Rect TakeRect(const uint8_t** p, size_t dim) {
+  std::vector<double> lo(dim), hi(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    lo[i] = Take<double>(p);
+    hi[i] = Take<double>(p);
+  }
+  return Rect(std::move(lo), std::move(hi));
+}
+
+}  // namespace
+
+Rect XtNode::ComputeRect(size_t dim) const {
+  Rect rect(dim);
+  if (leaf) {
+    for (const XtLeafEntry& e : leaf_entries) rect.Include(e.rect);
+  } else {
+    for (const XtInnerEntry& e : inner_entries) rect.Include(e.rect);
+  }
+  return rect;
+}
+
+uint32_t XtNode::SubtreeCount() const {
+  if (leaf) return static_cast<uint32_t>(leaf_entries.size());
+  uint32_t total = 0;
+  for (const XtInnerEntry& e : inner_entries) total += e.count;
+  return total;
+}
+
+XTree::XTree(BufferPool* pool, size_t dim, XTreeOptions options)
+    : pool_(pool), dim_(dim), options_(options) {
+  GAUSS_CHECK(pool != nullptr);
+  GAUSS_CHECK(dim > 0);
+  const size_t payload = pool->device()->page_size() - kHeaderBytes;
+  leaf_capacity_ = payload / LeafEntryBytes(dim);
+  inner_capacity_ = payload / InnerEntryBytes(dim);
+  GAUSS_CHECK_MSG(leaf_capacity_ >= 2 && inner_capacity_ >= 2,
+                  "page too small for this dimensionality");
+  root_ = Create(/*leaf=*/true)->id;
+}
+
+XtNode* XTree::Create(bool leaf) {
+  GAUSS_CHECK(!finalized_);
+  const PageId id = pool_->device()->Allocate();
+  auto node = std::make_unique<XtNode>();
+  node->id = id;
+  node->leaf = leaf;
+  XtNode* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  all_first_pages_.push_back(id);
+  return raw;
+}
+
+XtNode* XTree::GetMutable(PageId id) {
+  GAUSS_CHECK(!finalized_);
+  auto it = nodes_.find(id);
+  GAUSS_CHECK(it != nodes_.end());
+  return it->second.get();
+}
+
+size_t XTree::NodeCapacity(const XtNode& node) const {
+  const size_t base = node.leaf ? leaf_capacity_ : inner_capacity_;
+  return base * node.page_span;
+}
+
+PageId XTree::ChooseLeaf(const Rect& rect, std::vector<PageId>* path,
+                         std::vector<size_t>* slots) {
+  path->clear();
+  slots->clear();
+  PageId current = root_;
+  while (true) {
+    path->push_back(current);
+    XtNode* node = GetMutable(current);
+    if (node->leaf) return current;
+    // Least enlargement, ties by smaller volume (Guttman's ChooseLeaf; the
+    // R*-tree refinement of minimizing overlap enlargement at the leaf level
+    // does not change the baseline's character).
+    size_t best = 0;
+    double best_enl = std::numeric_limits<double>::infinity();
+    double best_vol = std::numeric_limits<double>::infinity();
+    for (size_t s = 0; s < node->inner_entries.size(); ++s) {
+      const Rect& r = node->inner_entries[s].rect;
+      const double enl = r.Enlargement(rect);
+      const double vol = r.Volume();
+      if (enl < best_enl || (enl == best_enl && vol < best_vol)) {
+        best_enl = enl;
+        best_vol = vol;
+        best = s;
+      }
+    }
+    slots->push_back(best);
+    current = node->inner_entries[best].child;
+  }
+}
+
+double XTree::PlanSplit(const XtNode& node, std::vector<size_t>* order,
+                        size_t* split_at) const {
+  const size_t n = node.EntryCount();
+  GAUSS_CHECK(n >= 4);
+  const size_t min_fill = std::max<size_t>(2, n / 3);
+
+  auto entry_rect = [&](size_t i) -> const Rect& {
+    return node.leaf ? node.leaf_entries[i].rect : node.inner_entries[i].rect;
+  };
+
+  auto union_rect = [&](const std::vector<size_t>& idx, size_t from,
+                        size_t to) {
+    Rect rect(dim_);
+    for (size_t i = from; i < to; ++i) rect.Include(entry_rect(idx[i]));
+    return rect;
+  };
+
+  // R*-style: for each axis, sort by lower then by upper boundary; the axis
+  // with the minimal sum of margins wins; within the winning axis the
+  // distribution with minimal overlap (ties: minimal total volume) wins.
+  double best_margin = std::numeric_limits<double>::infinity();
+  std::vector<size_t> best_axis_order;
+  std::vector<size_t> idx(n);
+
+  for (size_t axis = 0; axis < dim_; ++axis) {
+    for (int by_upper = 0; by_upper < 2; ++by_upper) {
+      std::iota(idx.begin(), idx.end(), size_t{0});
+      std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+        return by_upper ? entry_rect(a).hi(axis) < entry_rect(b).hi(axis)
+                        : entry_rect(a).lo(axis) < entry_rect(b).lo(axis);
+      });
+      double margin_sum = 0.0;
+      for (size_t split = min_fill; split <= n - min_fill; ++split) {
+        margin_sum += union_rect(idx, 0, split).Margin() +
+                      union_rect(idx, split, n).Margin();
+      }
+      if (margin_sum < best_margin) {
+        best_margin = margin_sum;
+        best_axis_order = idx;
+      }
+    }
+  }
+  GAUSS_CHECK(!best_axis_order.empty());
+
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_volume = std::numeric_limits<double>::infinity();
+  size_t best_split = min_fill;
+  for (size_t split = min_fill; split <= n - min_fill; ++split) {
+    const Rect a = union_rect(best_axis_order, 0, split);
+    const Rect b = union_rect(best_axis_order, split, n);
+    const double overlap = a.OverlapVolume(b);
+    const double volume = a.Volume() + b.Volume();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && volume < best_volume)) {
+      best_overlap = overlap;
+      best_volume = volume;
+      best_split = split;
+    }
+  }
+
+  *order = best_axis_order;
+  *split_at = best_split;
+  const Rect a = union_rect(best_axis_order, 0, best_split);
+  const Rect b = union_rect(best_axis_order, best_split, n);
+  const double union_volume = [&] {
+    Rect u = a;
+    u.Include(b);
+    return u.Volume();
+  }();
+  return union_volume > 0.0 ? best_overlap / union_volume : 0.0;
+}
+
+XtInnerEntry XTree::DoSplit(XtNode* node, const std::vector<size_t>& order,
+                            size_t split_at) {
+  XtNode* sibling = Create(node->leaf);
+  const size_t n = node->EntryCount();
+  if (node->leaf) {
+    std::vector<XtLeafEntry> left, right;
+    for (size_t i = 0; i < split_at; ++i)
+      left.push_back(node->leaf_entries[order[i]]);
+    for (size_t i = split_at; i < n; ++i)
+      right.push_back(node->leaf_entries[order[i]]);
+    node->leaf_entries = std::move(left);
+    sibling->leaf_entries = std::move(right);
+  } else {
+    std::vector<XtInnerEntry> left, right;
+    for (size_t i = 0; i < split_at; ++i)
+      left.push_back(node->inner_entries[order[i]]);
+    for (size_t i = split_at; i < n; ++i)
+      right.push_back(node->inner_entries[order[i]]);
+    node->inner_entries = std::move(left);
+    sibling->inner_entries = std::move(right);
+  }
+  XtInnerEntry entry;
+  entry.child = sibling->id;
+  entry.count = sibling->SubtreeCount();
+  entry.rect = sibling->ComputeRect(dim_);
+  return entry;
+}
+
+void XTree::RefreshParentEntry(XtNode* parent, size_t slot) {
+  GAUSS_CHECK(slot < parent->inner_entries.size());
+  XtInnerEntry& entry = parent->inner_entries[slot];
+  const XtNode* child = GetMutable(entry.child);
+  entry.rect = child->ComputeRect(dim_);
+  entry.count = child->SubtreeCount();
+}
+
+void XTree::HandleOverflow(const std::vector<PageId>& path,
+                           const std::vector<size_t>& slots) {
+  for (size_t level = path.size(); level-- > 0;) {
+    XtNode* node = GetMutable(path[level]);
+    if (node->EntryCount() <= NodeCapacity(*node)) return;
+    if (node->EntryCount() < 4) return;  // too small to split; rare tiny pages
+
+    std::vector<size_t> order;
+    size_t split_at = 0;
+    const double overlap_ratio = PlanSplit(*node, &order, &split_at);
+
+    if (!node->leaf && overlap_ratio > options_.max_overlap) {
+      // X-tree supernode: no overlap-free split exists; extend the node by
+      // one page instead of splitting.
+      node->page_span += 1;
+      extra_pages_[node->id].push_back(pool_->device()->Allocate());
+      if (node->page_span == 2) ++supernodes_;
+      return;
+    }
+
+    XtInnerEntry sibling_entry = DoSplit(node, order, split_at);
+    if (level == 0) {
+      XtNode* new_root = Create(/*leaf=*/false);
+      XtInnerEntry old_entry;
+      old_entry.child = node->id;
+      old_entry.count = node->SubtreeCount();
+      old_entry.rect = node->ComputeRect(dim_);
+      new_root->inner_entries.push_back(std::move(old_entry));
+      new_root->inner_entries.push_back(std::move(sibling_entry));
+      root_ = new_root->id;
+      return;
+    }
+    XtNode* parent = GetMutable(path[level - 1]);
+    RefreshParentEntry(parent, slots[level - 1]);
+    parent->inner_entries.push_back(std::move(sibling_entry));
+  }
+}
+
+void XTree::Insert(const Pfv& pfv, uint32_t record_index) {
+  GAUSS_CHECK(!finalized_);
+  GAUSS_CHECK(pfv.dim() == dim_);
+  const Rect rect = Rect::FromPfvQuantile(pfv, options_.quantile_z);
+
+  std::vector<PageId> path;
+  std::vector<size_t> slots;
+  const PageId leaf_id = ChooseLeaf(rect, &path, &slots);
+
+  XtNode* leaf = GetMutable(leaf_id);
+  leaf->leaf_entries.push_back({rect, pfv.id, record_index});
+  ++size_;
+
+  for (size_t level = 0; level + 1 < path.size(); ++level) {
+    XtNode* inner = GetMutable(path[level]);
+    XtInnerEntry& entry = inner->inner_entries[slots[level]];
+    entry.rect.Include(rect);
+    entry.count += 1;
+  }
+  HandleOverflow(path, slots);
+}
+
+void XTree::Finalize() {
+  if (finalized_) return;
+  const size_t page_size = pool_->device()->page_size();
+  for (const auto& [id, node] : nodes_) {
+    // Serialize into a buffer spanning all pages of the node.
+    std::vector<uint8_t> buffer(page_size * node->page_span, 0);
+    uint8_t* p = buffer.data();
+    Put<uint8_t>(&p, node->leaf ? 1 : 0);
+    Put<uint32_t>(&p, static_cast<uint32_t>(node->EntryCount()));
+    Put<uint32_t>(&p, node->page_span);
+    if (node->leaf) {
+      for (const XtLeafEntry& e : node->leaf_entries) {
+        Put<uint64_t>(&p, e.id);
+        Put<uint32_t>(&p, e.record_index);
+        PutRect(&p, e.rect);
+      }
+    } else {
+      for (const XtInnerEntry& e : node->inner_entries) {
+        Put<uint32_t>(&p, e.child);
+        Put<uint32_t>(&p, e.count);
+        PutRect(&p, e.rect);
+      }
+    }
+    GAUSS_CHECK_MSG(static_cast<size_t>(p - buffer.data()) <= buffer.size(),
+                    "node exceeds its page span");
+    pool_->WritePage(id, buffer.data());
+    const auto extra = extra_pages_.find(id);
+    if (extra != extra_pages_.end()) {
+      for (size_t i = 0; i < extra->second.size(); ++i) {
+        pool_->WritePage(extra->second[i], buffer.data() + (i + 1) * page_size);
+      }
+    }
+  }
+  pool_->FlushAll();
+  nodes_.clear();
+  finalized_ = true;
+}
+
+void XTree::Load(PageId id, XtNode* out) const {
+  if (!finalized_) {
+    auto it = nodes_.find(id);
+    GAUSS_CHECK(it != nodes_.end());
+    *out = *it->second;
+    return;
+  }
+  const size_t page_size = pool_->device()->page_size();
+  const uint8_t* first = pool_->Fetch(id);
+  const uint8_t* p = first;
+  XtNode node;
+  node.id = id;
+  node.leaf = Take<uint8_t>(&p) != 0;
+  const uint32_t count = Take<uint32_t>(&p);
+  node.page_span = Take<uint32_t>(&p);
+
+  // Supernodes: reassemble the contiguous serialization across pages,
+  // charging one fetch per page.
+  std::vector<uint8_t> assembled;
+  if (node.page_span > 1) {
+    const auto extra = extra_pages_.find(id);
+    GAUSS_CHECK(extra != extra_pages_.end());
+    assembled.assign(first, first + page_size);
+    for (PageId extra_id : extra->second) {
+      const uint8_t* page = pool_->Fetch(extra_id);
+      assembled.insert(assembled.end(), page, page + page_size);
+    }
+    p = assembled.data() + kHeaderBytes;
+  }
+
+  if (node.leaf) {
+    node.leaf_entries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      XtLeafEntry e;
+      e.id = Take<uint64_t>(&p);
+      e.record_index = Take<uint32_t>(&p);
+      e.rect = TakeRect(&p, dim_);
+      node.leaf_entries.push_back(std::move(e));
+    }
+  } else {
+    node.inner_entries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      XtInnerEntry e;
+      e.child = Take<uint32_t>(&p);
+      e.count = Take<uint32_t>(&p);
+      e.rect = TakeRect(&p, dim_);
+      node.inner_entries.push_back(std::move(e));
+    }
+  }
+  *out = std::move(node);
+}
+
+void XTree::Validate() const {
+  struct Item {
+    PageId id;
+    size_t depth;
+    bool is_root;
+    Rect parent_rect;
+    uint32_t parent_count;
+  };
+  std::deque<Item> queue{{root_, 1, true, Rect(), 0}};
+  size_t leaf_depth = 0;
+  size_t total = 0;
+  XtNode node;
+  while (!queue.empty()) {
+    Item item = queue.front();
+    queue.pop_front();
+    Load(item.id, &node);
+    GAUSS_CHECK(node.EntryCount() <= NodeCapacity(node));
+    if (!item.is_root) {
+      GAUSS_CHECK(item.parent_rect.Contains(node.ComputeRect(dim_)));
+      GAUSS_CHECK(item.parent_count == node.SubtreeCount());
+    }
+    if (node.leaf) {
+      if (leaf_depth == 0) leaf_depth = item.depth;
+      GAUSS_CHECK_MSG(leaf_depth == item.depth, "leaves at different depths");
+      total += node.leaf_entries.size();
+    } else {
+      GAUSS_CHECK(node.EntryCount() >= 1);
+      for (const XtInnerEntry& e : node.inner_entries) {
+        queue.push_back({e.child, item.depth + 1, false, e.rect, e.count});
+      }
+    }
+  }
+  GAUSS_CHECK(total == size_);
+}
+
+}  // namespace gauss

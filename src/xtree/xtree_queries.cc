@@ -1,0 +1,163 @@
+#include "xtree/xtree_queries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/log_sum_exp.h"
+#include "common/macros.h"
+
+namespace gauss {
+
+XTreeQueries::XTreeQueries(const XTree* tree, const PfvFile* file,
+                           SigmaPolicy policy)
+    : tree_(tree), file_(file), policy_(policy) {
+  GAUSS_CHECK(tree != nullptr);
+  GAUSS_CHECK(file != nullptr);
+}
+
+std::vector<uint32_t> XTreeQueries::RangeCandidates(
+    const Rect& query_rect) const {
+  std::vector<uint32_t> candidates;
+  std::vector<PageId> stack{tree_->root()};
+  XtNode node;
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    tree_->Load(id, &node);
+    if (node.leaf) {
+      for (const XtLeafEntry& e : node.leaf_entries) {
+        if (e.rect.Intersects(query_rect)) {
+          candidates.push_back(e.record_index);
+        }
+      }
+    } else {
+      for (const XtInnerEntry& e : node.inner_entries) {
+        if (e.rect.Intersects(query_rect)) stack.push_back(e.child);
+      }
+    }
+  }
+  return candidates;
+}
+
+std::vector<XTreeQueries::Refined> XTreeQueries::RefineCandidates(
+    const Pfv& q, const std::vector<uint32_t>& candidates,
+    double* log_total) const {
+  // Sort by record index so refinement reads each data page at most once per
+  // run of co-located records (the buffer pool dedups repeats anyway).
+  std::vector<uint32_t> sorted = candidates;
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<Refined> refined;
+  refined.reserve(sorted.size());
+  LogSumExp total;
+  for (uint32_t index : sorted) {
+    const Pfv v = file_->Read(index);
+    const double log_density = PfvJointLogDensity(v, q, policy_);
+    total.Add(log_density);
+    refined.push_back({v.id, log_density});
+  }
+  *log_total = total.LogTotal();
+  return refined;
+}
+
+MliqResult XTreeQueries::QueryMliq(const Pfv& q, size_t k) const {
+  GAUSS_CHECK(q.dim() == tree_->dim());
+  GAUSS_CHECK(k > 0);
+  MliqResult result;
+
+  const Rect query_rect = Rect::FromPfvQuantile(q, tree_->options().quantile_z);
+  const std::vector<uint32_t> candidates = RangeCandidates(query_rect);
+  double log_total = 0.0;
+  std::vector<Refined> refined = RefineCandidates(q, candidates, &log_total);
+  result.stats.objects_evaluated = refined.size();
+
+  std::sort(refined.begin(), refined.end(),
+            [](const Refined& a, const Refined& b) {
+              return a.log_density > b.log_density;
+            });
+  if (refined.size() > k) refined.resize(k);
+  for (const Refined& r : refined) {
+    IdentificationResult item;
+    item.id = r.id;
+    item.log_density = r.log_density;
+    item.probability =
+        std::isinf(log_total) ? 0.0 : std::exp(r.log_density - log_total);
+    result.items.push_back(item);
+  }
+  return result;
+}
+
+TiqResult XTreeQueries::QueryTiq(const Pfv& q, double threshold) const {
+  GAUSS_CHECK(q.dim() == tree_->dim());
+  GAUSS_CHECK(threshold > 0.0 && threshold <= 1.0);
+  TiqResult result;
+
+  const Rect query_rect = Rect::FromPfvQuantile(q, tree_->options().quantile_z);
+  const std::vector<uint32_t> candidates = RangeCandidates(query_rect);
+  double log_total = 0.0;
+  std::vector<Refined> refined = RefineCandidates(q, candidates, &log_total);
+  result.stats.objects_evaluated = refined.size();
+  if (std::isinf(log_total)) return result;
+
+  std::sort(refined.begin(), refined.end(),
+            [](const Refined& a, const Refined& b) {
+              return a.log_density > b.log_density;
+            });
+  for (const Refined& r : refined) {
+    const double probability = std::exp(r.log_density - log_total);
+    if (probability < threshold) break;  // sorted descending
+    IdentificationResult item;
+    item.id = r.id;
+    item.log_density = r.log_density;
+    item.probability = probability;
+    result.items.push_back(item);
+  }
+  return result;
+}
+
+std::vector<uint64_t> XTreeQueries::QueryKnnMeans(const Pfv& q,
+                                                  size_t k) const {
+  GAUSS_CHECK(q.dim() == tree_->dim());
+  GAUSS_CHECK(k > 0);
+
+  // Best-first search (Hjaltason/Samet). Inner nodes are ranked by MINDIST
+  // of their MBR (a lower bound on the center distance of anything below,
+  // because an MBR contains all descendant rectangles and each rectangle
+  // contains its own center); leaf entries by exact center distance.
+  struct QueueItem {
+    double dist2;
+    bool is_entry;
+    PageId page;      // when !is_entry
+    uint64_t id;      // when is_entry
+    bool operator<(const QueueItem& other) const {
+      return dist2 > other.dist2;  // min-heap
+    }
+  };
+  std::priority_queue<QueueItem> queue;
+  queue.push({0.0, false, tree_->root(), 0});
+
+  std::vector<uint64_t> results;
+  XtNode node;
+  while (!queue.empty() && results.size() < k) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    if (item.is_entry) {
+      results.push_back(item.id);
+      continue;
+    }
+    tree_->Load(item.page, &node);
+    if (node.leaf) {
+      for (const XtLeafEntry& e : node.leaf_entries) {
+        queue.push({e.rect.CenterDist2(q.mu), true, kInvalidPageId, e.id});
+      }
+    } else {
+      for (const XtInnerEntry& e : node.inner_entries) {
+        queue.push({e.rect.MinDist2(q.mu), false, e.child, 0});
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace gauss

@@ -1,0 +1,59 @@
+#ifndef GAUSS_XTREE_XTREE_QUERIES_H_
+#define GAUSS_XTREE_XTREE_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+#include "pfv/pfv_file.h"
+#include "xtree/xtree.h"
+
+namespace gauss {
+
+// Query processing on rectangular pfv approximations stored in an X-tree —
+// the competitor method of the paper's efficiency evaluation (Section 6).
+//
+// Filter step: intersect the query pfv's quantile rectangle with the index.
+// Refinement step: fetch the exact pfv records of all candidates from the
+// backing PfvFile and compute exact joint densities; probabilities are
+// normalized over the *candidate set* (the filter may produce false
+// dismissals, as the paper notes — this method is approximate by design).
+class XTreeQueries {
+ public:
+  // `tree` and `file` must outlive this object; `file` is the record store
+  // the tree's record indices point into.
+  XTreeQueries(const XTree* tree, const PfvFile* file,
+               SigmaPolicy policy = SigmaPolicy::kConvolution);
+
+  // Candidate record indices whose approximation intersects the query rect.
+  std::vector<uint32_t> RangeCandidates(const Rect& query_rect) const;
+
+  // Approximate k-MLIQ: filter + exact refinement of the candidates.
+  MliqResult QueryMliq(const Pfv& q, size_t k) const;
+
+  // Approximate TIQ.
+  TiqResult QueryTiq(const Pfv& q, double threshold) const;
+
+  // Exact k-nearest-neighbour query on the mean vectors, best-first with
+  // MINDIST pruning (valid because every stored rectangle is centered on its
+  // mean). Returns ids, nearest first.
+  std::vector<uint64_t> QueryKnnMeans(const Pfv& q, size_t k) const;
+
+ private:
+  struct Refined {
+    uint64_t id;
+    double log_density;
+  };
+  std::vector<Refined> RefineCandidates(const Pfv& q,
+                                        const std::vector<uint32_t>& candidates,
+                                        double* log_total) const;
+
+  const XTree* tree_;
+  const PfvFile* file_;
+  SigmaPolicy policy_;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_XTREE_XTREE_QUERIES_H_

@@ -1,0 +1,186 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "gausstree/gauss_tree.h"
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+#include "pfv/pfv_file.h"
+#include "scan/seq_scan.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_device.h"
+
+namespace gauss {
+namespace {
+
+Pfv RandomPfv(Rng& rng, uint64_t id, size_t dim) {
+  std::vector<double> mu(dim), sigma(dim);
+  for (double& m : mu) m = rng.Uniform(0, 1);
+  for (double& s : sigma) s = rng.Uniform(0.01, 0.2);
+  return Pfv(id, std::move(mu), std::move(sigma));
+}
+
+PfvDataset RandomDataset(uint64_t seed, size_t n, size_t dim) {
+  Rng rng(seed);
+  PfvDataset dataset(dim);
+  for (uint64_t i = 0; i < n; ++i) dataset.Add(RandomPfv(rng, i, dim));
+  return dataset;
+}
+
+TEST(BulkLoadTest, StructureInvariantsHold) {
+  InMemoryPageDevice device(2048);
+  BufferPool pool(&device, 1 << 14);
+  GaussTree tree(&pool, 3);
+  tree.BulkLoad(RandomDataset(301, 3000, 3));
+  tree.Validate();
+  EXPECT_EQ(tree.size(), 3000u);
+}
+
+TEST(BulkLoadTest, QueriesMatchSequentialScan) {
+  InMemoryPageDevice device(4096);
+  BufferPool pool(&device, 1 << 14);
+  GaussTree tree(&pool, 4);
+  PfvFile file(&pool, 4);
+  const PfvDataset dataset = RandomDataset(302, 2500, 4);
+  tree.BulkLoad(dataset);
+  tree.Finalize();
+  file.AppendAll(dataset);
+  SeqScan scan(&file);
+
+  Rng rng(303);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Pfv q = RandomPfv(rng, 50000 + trial, 4);
+    const MliqResult a = QueryMliq(tree, q, 5);
+    const MliqResult b = scan.QueryMliq(q, 5);
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_NEAR(a.items[i].log_density, b.items[i].log_density, 1e-9);
+    }
+    const TiqResult ta = QueryTiq(tree, q, 0.25);
+    const TiqResult tb = scan.QueryTiq(q, 0.25);
+    std::set<uint64_t> ids_a, ids_b;
+    for (const auto& item : ta.items) ids_a.insert(item.id);
+    for (const auto& item : tb.items) ids_b.insert(item.id);
+    EXPECT_EQ(ids_a, ids_b);
+  }
+}
+
+TEST(BulkLoadTest, SameAnswersAsIncrementalBuild) {
+  const PfvDataset dataset = RandomDataset(304, 1500, 3);
+  Rng rng(305);
+  const Pfv q = RandomPfv(rng, 77777, 3);
+
+  InMemoryPageDevice device_a(2048);
+  BufferPool pool_a(&device_a, 1 << 14);
+  GaussTree bulk(&pool_a, 3);
+  bulk.BulkLoad(dataset);
+  bulk.Finalize();
+
+  InMemoryPageDevice device_b(2048);
+  BufferPool pool_b(&device_b, 1 << 14);
+  GaussTree incremental(&pool_b, 3);
+  incremental.BulkInsert(dataset);
+  incremental.Finalize();
+
+  const MliqResult a = QueryMliq(bulk, q, 7);
+  const MliqResult b = QueryMliq(incremental, q, 7);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].id, b.items[i].id);
+  }
+}
+
+TEST(BulkLoadTest, FullerLeavesThanIncrementalBuild) {
+  const PfvDataset dataset = RandomDataset(306, 4000, 3);
+
+  InMemoryPageDevice device_a(2048);
+  BufferPool pool_a(&device_a, 1 << 14);
+  GaussTree bulk(&pool_a, 3);
+  bulk.BulkLoad(dataset);
+
+  InMemoryPageDevice device_b(2048);
+  BufferPool pool_b(&device_b, 1 << 14);
+  GaussTree incremental(&pool_b, 3);
+  incremental.BulkInsert(dataset);
+
+  const GaussTreeStats bulk_stats = bulk.ComputeStats();
+  const GaussTreeStats incr_stats = incremental.ComputeStats();
+  EXPECT_GT(bulk_stats.avg_leaf_fill, incr_stats.avg_leaf_fill);
+  EXPECT_LE(bulk_stats.node_count, incr_stats.node_count);
+}
+
+TEST(BulkLoadTest, SmallInputsAndEdgeCases) {
+  // Empty dataset: no-op.
+  {
+    InMemoryPageDevice device(2048);
+    BufferPool pool(&device, 64);
+    GaussTree tree(&pool, 2);
+    tree.BulkLoad(PfvDataset(2));
+    tree.Validate();
+    EXPECT_EQ(tree.size(), 0u);
+  }
+  // Single object.
+  {
+    InMemoryPageDevice device(2048);
+    BufferPool pool(&device, 64);
+    GaussTree tree(&pool, 2);
+    PfvDataset one(2);
+    one.Add(Pfv(1, {0.5, 0.5}, {0.1, 0.1}));
+    tree.BulkLoad(one);
+    tree.Validate();
+    const MliqResult r = QueryMliq(tree, Pfv(0, {0.5, 0.5}, {0.1, 0.1}), 1);
+    ASSERT_EQ(r.items.size(), 1u);
+    EXPECT_EQ(r.items[0].id, 1u);
+  }
+  // Exactly one full leaf.
+  {
+    InMemoryPageDevice device(2048);
+    BufferPool pool(&device, 64);
+    GaussTree tree(&pool, 2);
+    const size_t cap = tree.capacities().leaf;
+    tree.BulkLoad(RandomDataset(307, cap, 2));
+    tree.Validate();
+    EXPECT_EQ(tree.ComputeStats().height, 1u);
+  }
+  // One more than a leaf: must split into a 2-level tree.
+  {
+    InMemoryPageDevice device(2048);
+    BufferPool pool(&device, 64);
+    GaussTree tree(&pool, 2);
+    const size_t cap = tree.capacities().leaf;
+    tree.BulkLoad(RandomDataset(308, cap + 1, 2));
+    tree.Validate();
+    EXPECT_EQ(tree.ComputeStats().height, 2u);
+  }
+}
+
+TEST(BulkLoadTest, PersistsAndReopens) {
+  InMemoryPageDevice device(2048);
+  BufferPool pool(&device, 1 << 14);
+  GaussTree tree(&pool, 3);
+  tree.BulkLoad(RandomDataset(309, 2000, 3));
+  tree.Finalize();
+  auto reopened = GaussTree::Open(&pool, tree.meta_page());
+  reopened->Validate();
+  EXPECT_EQ(reopened->size(), 2000u);
+}
+
+TEST(BulkLoadTest, WorksWithClusteredData) {
+  ClusteredDatasetConfig config;
+  config.size = 5000;
+  config.dim = 6;
+  config.cluster_count = 15;
+  const PfvDataset dataset = GenerateClusteredDataset(config);
+  InMemoryPageDevice device(kDefaultPageSize);
+  BufferPool pool(&device, 1 << 14);
+  GaussTree tree(&pool, 6);
+  tree.BulkLoad(dataset);
+  tree.Validate();
+  EXPECT_EQ(tree.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace gauss

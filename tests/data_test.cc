@@ -1,0 +1,187 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace gauss {
+namespace {
+
+TEST(HistogramGeneratorTest, ShapeAndNormalization) {
+  HistogramDatasetConfig config;
+  config.size = 500;
+  config.dim = 27;
+  const PfvDataset dataset = GenerateHistogramDataset(config);
+  EXPECT_EQ(dataset.size(), 500u);
+  EXPECT_EQ(dataset.dim(), 27u);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    double sum = 0.0;
+    for (double v : dataset[i].mu) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);  // histogram: L1-normalized
+    for (double s : dataset[i].sigma) EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST(HistogramGeneratorTest, Deterministic) {
+  HistogramDatasetConfig config;
+  config.size = 100;
+  const PfvDataset a = GenerateHistogramDataset(config);
+  const PfvDataset b = GenerateHistogramDataset(config);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mu, b[i].mu);
+    EXPECT_EQ(a[i].sigma, b[i].sigma);
+  }
+}
+
+TEST(HistogramGeneratorTest, SeedChangesData) {
+  HistogramDatasetConfig a_config, b_config;
+  a_config.size = b_config.size = 50;
+  b_config.seed = 999;
+  const PfvDataset a = GenerateHistogramDataset(a_config);
+  const PfvDataset b = GenerateHistogramDataset(b_config);
+  EXPECT_NE(a[0].mu, b[0].mu);
+}
+
+TEST(HistogramGeneratorTest, DataIsClustered) {
+  // Clustered data: the average nearest-neighbour distance must be clearly
+  // below the average pairwise distance (uniform data would have them close).
+  HistogramDatasetConfig config;
+  config.size = 300;
+  config.cluster_count = 10;
+  const PfvDataset dataset = GenerateHistogramDataset(config);
+
+  double nn_total = 0.0, pair_total = 0.0;
+  size_t pair_count = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    double nn = 1e100;
+    for (size_t j = 0; j < dataset.size(); ++j) {
+      if (i == j) continue;
+      const double d = MeanSquaredDistance(dataset[i], dataset[j]);
+      nn = std::min(nn, d);
+      pair_total += d;
+      ++pair_count;
+    }
+    nn_total += nn;
+  }
+  const double avg_nn = nn_total / static_cast<double>(dataset.size());
+  const double avg_pair = pair_total / static_cast<double>(pair_count);
+  EXPECT_LT(avg_nn, avg_pair / 4.0);
+}
+
+TEST(HistogramGeneratorTest, SigmaAutoScaleTracksSpread) {
+  HistogramDatasetConfig config;
+  config.size = 400;
+  const PfvDataset dataset = GenerateHistogramDataset(config);
+  const DatasetMoments moments = ComputeMoments(dataset);
+  // Sigmas were drawn from [0.05, 0.5] x avg stddev of the means.
+  double max_sigma = 0.0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    for (double s : dataset[i].sigma) max_sigma = std::max(max_sigma, s);
+  }
+  EXPECT_LE(max_sigma, 0.5 * moments.avg_stddev * 1.3 + 1e-9);
+}
+
+TEST(UniformGeneratorTest, ShapeAndRanges) {
+  UniformDatasetConfig config;
+  config.size = 1000;
+  config.dim = 10;
+  const PfvDataset dataset = GenerateUniformDataset(config);
+  EXPECT_EQ(dataset.size(), 1000u);
+  EXPECT_EQ(dataset.dim(), 10u);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    for (double m : dataset[i].mu) {
+      EXPECT_GE(m, 0.0);
+      EXPECT_LT(m, 1.0);
+    }
+    for (double s : dataset[i].sigma) {
+      EXPECT_GE(s, 0.01 - 1e-12);
+      EXPECT_LE(s, 0.1 + 1e-12);
+    }
+  }
+}
+
+TEST(UniformGeneratorTest, MeansCoverTheUnitCube) {
+  UniformDatasetConfig config;
+  config.size = 5000;
+  config.dim = 3;
+  const PfvDataset dataset = GenerateUniformDataset(config);
+  const DatasetMoments moments = ComputeMoments(dataset);
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(moments.mean[j], 0.5, 0.03);
+    EXPECT_NEAR(moments.stddev[j], std::sqrt(1.0 / 12.0), 0.02);
+  }
+}
+
+TEST(ComputeMomentsTest, HandComputed) {
+  PfvDataset dataset(2);
+  dataset.Add(Pfv(1, {0.0, 2.0}, {0.1, 0.1}));
+  dataset.Add(Pfv(2, {2.0, 4.0}, {0.1, 0.1}));
+  const DatasetMoments moments = ComputeMoments(dataset);
+  EXPECT_DOUBLE_EQ(moments.mean[0], 1.0);
+  EXPECT_DOUBLE_EQ(moments.mean[1], 3.0);
+  EXPECT_DOUBLE_EQ(moments.stddev[0], 1.0);
+  EXPECT_DOUBLE_EQ(moments.stddev[1], 1.0);
+}
+
+TEST(WorkloadTest, QueriesDeriveFromDatasetObjects) {
+  UniformDatasetConfig dc;
+  dc.size = 2000;
+  dc.dim = 5;
+  const PfvDataset dataset = GenerateUniformDataset(dc);
+
+  WorkloadConfig wc;
+  wc.query_count = 100;
+  wc.query_sigma_model = dc.sigma_model;
+  const auto workload = GenerateWorkload(dataset, wc);
+  EXPECT_EQ(workload.size(), 100u);
+
+  std::set<uint64_t> truth_ids;
+  for (const auto& iq : workload) {
+    EXPECT_EQ(iq.query.dim(), 5u);
+    EXPECT_TRUE(iq.query.Valid());
+    truth_ids.insert(iq.true_id);
+    // The observed mean must be near the source object (within ~6 sigma).
+    const Pfv& source = dataset[iq.true_id];
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_LT(std::fabs(iq.query.mu[j] - source.mu[j]),
+                6.0 * source.sigma[j] + 1e-9);
+    }
+  }
+  // Sampling without replacement: all distinct sources.
+  EXPECT_EQ(truth_ids.size(), 100u);
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  UniformDatasetConfig dc;
+  dc.size = 500;
+  const PfvDataset dataset = GenerateUniformDataset(dc);
+  WorkloadConfig wc;
+  wc.query_count = 20;
+  wc.query_sigma_model = dc.sigma_model;
+  const auto a = GenerateWorkload(dataset, wc);
+  const auto b = GenerateWorkload(dataset, wc);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].true_id, b[i].true_id);
+    EXPECT_EQ(a[i].query.mu, b[i].query.mu);
+  }
+}
+
+TEST(WorkloadTest, QueryCountClampedToDatasetSize) {
+  UniformDatasetConfig dc;
+  dc.size = 10;
+  const PfvDataset dataset = GenerateUniformDataset(dc);
+  WorkloadConfig wc;
+  wc.query_count = 100;
+  wc.query_sigma_model = dc.sigma_model;
+  const auto workload = GenerateWorkload(dataset, wc);
+  EXPECT_EQ(workload.size(), 10u);
+}
+
+}  // namespace
+}  // namespace gauss

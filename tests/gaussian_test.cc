@@ -1,0 +1,192 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "math/gaussian.h"
+
+namespace gauss {
+namespace {
+
+// Numeric quadrature of f over [lo, hi] (composite Simpson).
+template <typename F>
+double Quadrature(F f, double lo, double hi, int steps = 20000) {
+  const double h = (hi - lo) / steps;
+  double sum = f(lo) + f(hi);
+  for (int i = 1; i < steps; ++i) {
+    sum += f(lo + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+TEST(GaussianPdfTest, PeakValue) {
+  // N(mu; mu, sigma) = 1 / (sqrt(2 pi) sigma).
+  EXPECT_NEAR(GaussianPdf(3.0, 3.0, 2.0), 1.0 / (kSqrt2Pi * 2.0), 1e-15);
+}
+
+TEST(GaussianPdfTest, KnownValueStandardNormal) {
+  // N(1; 0, 1) = e^{-1/2} / sqrt(2 pi).
+  EXPECT_NEAR(GaussianPdf(1.0, 0.0, 1.0), std::exp(-0.5) / kSqrt2Pi, 1e-15);
+}
+
+TEST(GaussianPdfTest, SymmetryInXAndMu) {
+  // N(x; mu, sigma) == N(mu; x, sigma) — the property the paper's model
+  // exploits to swap observed and true values.
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Uniform(-5, 5);
+    const double mu = rng.Uniform(-5, 5);
+    const double sigma = rng.Uniform(0.01, 3.0);
+    EXPECT_DOUBLE_EQ(GaussianPdf(x, mu, sigma), GaussianPdf(mu, x, sigma));
+  }
+}
+
+TEST(GaussianPdfTest, IntegratesToOne) {
+  const double integral = Quadrature(
+      [](double x) { return GaussianPdf(x, 1.5, 0.7); }, 1.5 - 10 * 0.7,
+      1.5 + 10 * 0.7);
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(GaussianLogPdfTest, AgreesWithLogOfPdf) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Uniform(-5, 5);
+    const double mu = rng.Uniform(-5, 5);
+    const double sigma = rng.Uniform(0.01, 3.0);
+    const double pdf = GaussianPdf(x, mu, sigma);
+    if (pdf == 0.0) continue;  // linear-space underflow; covered by the
+                               // RobustFarFromMean test below
+    EXPECT_NEAR(GaussianLogPdf(x, mu, sigma), std::log(pdf), 1e-10);
+  }
+}
+
+TEST(GaussianLogPdfTest, RobustFarFromMean) {
+  // 100-sigma away: pdf underflows, log pdf must not.
+  const double log_pdf = GaussianLogPdf(100.0, 0.0, 1.0);
+  EXPECT_NEAR(log_pdf, -0.5 * 100.0 * 100.0 - kLogSqrt2Pi, 1e-9);
+  EXPECT_TRUE(std::isfinite(log_pdf));
+}
+
+TEST(StdNormalCdfTest, KnownValues) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(StdNormalCdf(1.96), 0.9750021048517795, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(-1.96), 1.0 - 0.9750021048517795, 1e-12);
+}
+
+TEST(GaussianCdfTest, MatchesQuadrature) {
+  const double cdf = GaussianCdf(2.0, 1.0, 0.5);
+  const double integral = Quadrature(
+      [](double x) { return GaussianPdf(x, 1.0, 0.5); }, 1.0 - 10 * 0.5, 2.0);
+  EXPECT_NEAR(cdf, integral, 1e-9);
+}
+
+// The heart of the model: Lemma 1 states that the integral of the product of
+// the two Gaussians equals a single Gaussian evaluated at the query mean.
+// The statistically exact combined deviation is sqrt(sv^2 + sq^2)
+// (kConvolution); verify against numeric quadrature.
+TEST(JointDensityTest, LemmaOneMatchesQuadratureConvolution) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const double mu_v = rng.Uniform(-3, 3);
+    const double sigma_v = rng.Uniform(0.1, 1.5);
+    const double mu_q = rng.Uniform(-3, 3);
+    const double sigma_q = rng.Uniform(0.1, 1.5);
+    const double integral = Quadrature(
+        [&](double x) {
+          return GaussianPdf(x, mu_v, sigma_v) * GaussianPdf(x, mu_q, sigma_q);
+        },
+        -30.0, 30.0, 40000);
+    const double lemma =
+        JointDensity(mu_v, sigma_v, mu_q, sigma_q, SigmaPolicy::kConvolution);
+    EXPECT_NEAR(lemma, integral, 1e-8)
+        << "mu_v=" << mu_v << " sv=" << sigma_v << " mu_q=" << mu_q
+        << " sq=" << sigma_q;
+  }
+}
+
+TEST(JointDensityTest, AdditivePolicyIsConservative) {
+  // sigma_v + sigma_q >= sqrt(sigma_v^2 + sigma_q^2): the additive policy
+  // spreads the Gaussian more, so at the mean it is never larger ... and far
+  // in the tails never smaller.
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const double mu_v = rng.Uniform(-3, 3);
+    const double sigma_v = rng.Uniform(0.1, 1.5);
+    const double sigma_q = rng.Uniform(0.1, 1.5);
+    const double at_mean_add =
+        JointDensity(mu_v, sigma_v, mu_v, sigma_q, SigmaPolicy::kAdditive);
+    const double at_mean_conv =
+        JointDensity(mu_v, sigma_v, mu_v, sigma_q, SigmaPolicy::kConvolution);
+    EXPECT_LE(at_mean_add, at_mean_conv);
+  }
+}
+
+TEST(JointDensityTest, SymmetricInArguments) {
+  // p(q|v) == p(v|q): identification weight must not depend on which side is
+  // the query.
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double mu_v = rng.Uniform(-3, 3);
+    const double sigma_v = rng.Uniform(0.1, 1.5);
+    const double mu_q = rng.Uniform(-3, 3);
+    const double sigma_q = rng.Uniform(0.1, 1.5);
+    for (SigmaPolicy policy :
+         {SigmaPolicy::kConvolution, SigmaPolicy::kAdditive}) {
+      EXPECT_DOUBLE_EQ(JointDensity(mu_v, sigma_v, mu_q, sigma_q, policy),
+                       JointDensity(mu_q, sigma_q, mu_v, sigma_v, policy));
+    }
+  }
+}
+
+TEST(JointDensityTest, DecreasesWithUncertaintyWhenAligned) {
+  // Paper property 2: with mu_q == mu_v, increasing either uncertainty
+  // decreases the identification weight.
+  double previous = JointDensity(0.0, 0.1, 0.0, 0.1);
+  for (double sigma = 0.2; sigma < 3.0; sigma += 0.1) {
+    const double current = JointDensity(0.0, sigma, 0.0, 0.1);
+    EXPECT_LT(current, previous);
+    previous = current;
+  }
+}
+
+TEST(JointDensityTest, DisjointObjectsCanGainFromUncertainty) {
+  // Paper property 4: for quite disjoint Gaussians the weight can increase
+  // with increasing uncertainty (the object can no longer be excluded).
+  const double tight = JointDensity(0.0, 0.05, 10.0, 0.05);
+  const double loose = JointDensity(0.0, 2.0, 10.0, 2.0);
+  EXPECT_GT(loose, tight);
+}
+
+TEST(JointLogDensityTest, MultivariateIsSumOfPerDimension) {
+  Rng rng(6);
+  const size_t d = 8;
+  std::vector<double> mu_v(d), sigma_v(d), mu_q(d), sigma_q(d);
+  for (size_t i = 0; i < d; ++i) {
+    mu_v[i] = rng.Uniform(-2, 2);
+    sigma_v[i] = rng.Uniform(0.1, 1.0);
+    mu_q[i] = rng.Uniform(-2, 2);
+    sigma_q[i] = rng.Uniform(0.1, 1.0);
+  }
+  double expected = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    expected += JointLogDensity(mu_v[i], sigma_v[i], mu_q[i], sigma_q[i]);
+  }
+  EXPECT_NEAR(JointLogDensity(mu_v.data(), sigma_v.data(), mu_q.data(),
+                              sigma_q.data(), d),
+              expected, 1e-12);
+}
+
+TEST(JointLogDensityTest, HighDimensionalNoOverflow) {
+  // 100 dimensions with tiny sigmas: the linear-space density overflows any
+  // double, the log-space value must stay finite.
+  const size_t d = 100;
+  std::vector<double> mu(d, 0.5), sigma(d, 1e-4);
+  const double log_density =
+      JointLogDensity(mu.data(), sigma.data(), mu.data(), sigma.data(), d);
+  EXPECT_TRUE(std::isfinite(log_density));
+  EXPECT_GT(log_density, 500.0);  // enormous density, fine in log space
+}
+
+}  // namespace
+}  // namespace gauss

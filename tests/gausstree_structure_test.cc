@@ -1,0 +1,267 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "gausstree/gauss_tree.h"
+#include "gausstree/node.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_device.h"
+
+namespace gauss {
+namespace {
+
+Pfv RandomPfv(Rng& rng, uint64_t id, size_t dim) {
+  std::vector<double> mu(dim), sigma(dim);
+  for (double& m : mu) m = rng.Uniform(0, 1);
+  for (double& s : sigma) s = rng.Uniform(0.01, 0.2);
+  return Pfv(id, std::move(mu), std::move(sigma));
+}
+
+TEST(GtNodeTest, LeafSerializationRoundTrip) {
+  Rng rng(51);
+  GtNode node;
+  node.kind = GtNodeKind::kLeaf;
+  node.id = 17;
+  for (uint64_t i = 0; i < 10; ++i) node.pfvs.push_back(RandomPfv(rng, i, 4));
+
+  std::vector<uint8_t> page(kDefaultPageSize, 0);
+  node.Serialize(page.data(), 4);
+  const GtNode restored = GtNode::Deserialize(page.data(), 4, 17);
+
+  EXPECT_EQ(restored.id, node.id);
+  EXPECT_TRUE(restored.leaf());
+  ASSERT_EQ(restored.pfvs.size(), node.pfvs.size());
+  for (size_t i = 0; i < node.pfvs.size(); ++i) {
+    EXPECT_EQ(restored.pfvs[i].id, node.pfvs[i].id);
+    EXPECT_EQ(restored.pfvs[i].mu, node.pfvs[i].mu);
+    EXPECT_EQ(restored.pfvs[i].sigma, node.pfvs[i].sigma);
+  }
+}
+
+TEST(GtNodeTest, InnerSerializationRoundTrip) {
+  Rng rng(52);
+  GtNode node;
+  node.kind = GtNodeKind::kInner;
+  node.id = 3;
+  for (uint32_t c = 0; c < 5; ++c) {
+    GtChildEntry e;
+    e.child = 100 + c;
+    e.count = 1000 * (c + 1);
+    e.bounds.resize(3);
+    for (DimBounds& b : e.bounds) {
+      b.mu_lo = rng.Uniform(-1, 0);
+      b.mu_hi = rng.Uniform(0, 1);
+      b.sigma_lo = rng.Uniform(0.01, 0.1);
+      b.sigma_hi = rng.Uniform(0.1, 0.5);
+    }
+    node.children.push_back(std::move(e));
+  }
+
+  std::vector<uint8_t> page(kDefaultPageSize, 0);
+  node.Serialize(page.data(), 3);
+  const GtNode restored = GtNode::Deserialize(page.data(), 3, 3);
+
+  EXPECT_FALSE(restored.leaf());
+  ASSERT_EQ(restored.children.size(), 5u);
+  for (size_t c = 0; c < 5; ++c) {
+    EXPECT_EQ(restored.children[c].child, node.children[c].child);
+    EXPECT_EQ(restored.children[c].count, node.children[c].count);
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(restored.children[c].bounds[i].mu_lo,
+                node.children[c].bounds[i].mu_lo);
+      EXPECT_EQ(restored.children[c].bounds[i].sigma_hi,
+                node.children[c].bounds[i].sigma_hi);
+    }
+  }
+}
+
+TEST(GtNodeTest, ComputeBoundsCoversAllContents) {
+  Rng rng(53);
+  GtNode node;
+  node.kind = GtNodeKind::kLeaf;
+  for (uint64_t i = 0; i < 30; ++i) node.pfvs.push_back(RandomPfv(rng, i, 3));
+  const auto bounds = node.ComputeBounds(3);
+  for (const Pfv& pfv : node.pfvs) {
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_TRUE(bounds[i].Contains(pfv.mu[i], pfv.sigma[i]));
+    }
+  }
+}
+
+TEST(GtNodeTest, ChildEntryMergeAndInclude) {
+  GtChildEntry a;
+  a.count = 5;
+  a.bounds = {{0.0, 1.0, 0.1, 0.2}};
+  GtChildEntry b;
+  b.count = 7;
+  b.bounds = {{-1.0, 0.5, 0.05, 0.3}};
+  a.Merge(b);
+  EXPECT_EQ(a.count, 12u);
+  EXPECT_EQ(a.bounds[0].mu_lo, -1.0);
+  EXPECT_EQ(a.bounds[0].mu_hi, 1.0);
+  EXPECT_EQ(a.bounds[0].sigma_lo, 0.05);
+  EXPECT_EQ(a.bounds[0].sigma_hi, 0.3);
+
+  const Pfv outlier(99, {5.0}, {1.0});
+  a.Include(outlier);
+  EXPECT_EQ(a.bounds[0].mu_hi, 5.0);
+  EXPECT_EQ(a.bounds[0].sigma_hi, 1.0);
+  EXPECT_TRUE(a.Contains(outlier));
+}
+
+TEST(GtCapacitiesTest, MatchRecordSizes) {
+  // dim 10 on 8 KiB: leaf record 168 B -> 48; inner entry 328 B -> 24.
+  const GtCapacities caps = GtCapacities::ForPageSize(8192, 10);
+  EXPECT_EQ(caps.leaf, 48u);
+  EXPECT_EQ(caps.inner, 24u);
+  EXPECT_EQ(caps.leaf_min, 24u);
+  EXPECT_EQ(caps.inner_min, 12u);
+}
+
+class GaussTreeStructureTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  GaussTreeStructureTest() : device_(2048), pool_(&device_, 1024) {}
+
+  InMemoryPageDevice device_;
+  BufferPool pool_;
+};
+
+TEST_P(GaussTreeStructureTest, InvariantsHoldAfterRandomInserts) {
+  const size_t dim = GetParam();
+  Rng rng(54 + dim);
+  GaussTree tree(&pool_, dim);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    tree.Insert(RandomPfv(rng, i, dim));
+    if (i % 500 == 499) tree.Validate();
+  }
+  tree.Validate();
+  EXPECT_EQ(tree.size(), 2000u);
+
+  const GaussTreeStats stats = tree.ComputeStats();
+  EXPECT_EQ(stats.object_count, 2000u);
+  EXPECT_GT(stats.height, 1u);
+  EXPECT_GE(stats.avg_leaf_fill, 0.4);  // median splits keep nodes half full
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GaussTreeStructureTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(GaussTreeTest, EmptyTreeIsValid) {
+  InMemoryPageDevice device(2048);
+  BufferPool pool(&device, 64);
+  GaussTree tree(&pool, 4);
+  tree.Validate();
+  EXPECT_EQ(tree.size(), 0u);
+  const GaussTreeStats stats = tree.ComputeStats();
+  EXPECT_EQ(stats.height, 1u);
+  EXPECT_EQ(stats.node_count, 1u);
+}
+
+TEST(GaussTreeTest, SingleObject) {
+  InMemoryPageDevice device(2048);
+  BufferPool pool(&device, 64);
+  GaussTree tree(&pool, 2);
+  tree.Insert(Pfv(42, {0.5, 0.5}, {0.1, 0.1}));
+  tree.Validate();
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(GaussTreeTest, DuplicatePfvsAreAllStored) {
+  InMemoryPageDevice device(1024);
+  BufferPool pool(&device, 256);
+  GaussTree tree(&pool, 2);
+  const Pfv pfv(7, {0.5, 0.5}, {0.1, 0.1});
+  for (int i = 0; i < 300; ++i) tree.Insert(pfv);
+  tree.Validate();
+  EXPECT_EQ(tree.size(), 300u);
+}
+
+TEST(GaussTreeTest, FinalizeThenLoadPreservesStructure) {
+  InMemoryPageDevice device(2048);
+  BufferPool pool(&device, 1024);
+  GaussTree tree(&pool, 3);
+  Rng rng(55);
+  for (uint64_t i = 0; i < 1000; ++i) tree.Insert(RandomPfv(rng, i, 3));
+  const GaussTreeStats before = tree.ComputeStats();
+  tree.Finalize();
+  const GaussTreeStats after = tree.ComputeStats();
+  EXPECT_EQ(before.node_count, after.node_count);
+  EXPECT_EQ(before.height, after.height);
+  EXPECT_EQ(before.object_count, after.object_count);
+  tree.Validate();
+}
+
+TEST(GaussTreeTest, DefinalizeAllowsFurtherInserts) {
+  InMemoryPageDevice device(2048);
+  BufferPool pool(&device, 1024);
+  GaussTree tree(&pool, 3);
+  Rng rng(56);
+  for (uint64_t i = 0; i < 500; ++i) tree.Insert(RandomPfv(rng, i, 3));
+  tree.Finalize();
+  tree.Definalize();
+  for (uint64_t i = 500; i < 1000; ++i) tree.Insert(RandomPfv(rng, i, 3));
+  tree.Validate();
+  EXPECT_EQ(tree.size(), 1000u);
+}
+
+TEST(GaussTreeTest, AllIdsRetrievableAfterBuild) {
+  InMemoryPageDevice device(2048);
+  BufferPool pool(&device, 1024);
+  GaussTree tree(&pool, 2);
+  Rng rng(57);
+  std::set<uint64_t> inserted;
+  for (uint64_t i = 0; i < 1500; ++i) {
+    tree.Insert(RandomPfv(rng, i, 2));
+    inserted.insert(i);
+  }
+  // Walk all leaves and collect ids.
+  std::set<uint64_t> found;
+  std::vector<PageId> stack{tree.root()};
+  GtNode node;
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    tree.store().Load(id, &node);
+    if (node.leaf()) {
+      for (const Pfv& pfv : node.pfvs) found.insert(pfv.id);
+    } else {
+      for (const GtChildEntry& e : node.children) stack.push_back(e.child);
+    }
+  }
+  EXPECT_EQ(found, inserted);
+}
+
+TEST(GaussTreeSplitStrategyTest, AllStrategiesProduceValidTrees) {
+  for (SplitStrategy strategy : {SplitStrategy::kHullIntegral,
+                                 SplitStrategy::kVolume,
+                                 SplitStrategy::kMuOnly}) {
+    InMemoryPageDevice device(2048);
+    BufferPool pool(&device, 1024);
+    GaussTreeOptions options;
+    options.split_strategy = strategy;
+    GaussTree tree(&pool, 3, options);
+    Rng rng(58);
+    for (uint64_t i = 0; i < 1200; ++i) tree.Insert(RandomPfv(rng, i, 3));
+    tree.Validate();
+    EXPECT_EQ(tree.size(), 1200u);
+  }
+}
+
+TEST(GaussTreeTest, PaperDegreeConstraintsViaCapacities) {
+  // The paper's leaf degree [M, 2M] maps to capacity-derived min fill of
+  // one half; check the derived capacities drive honest splits: after many
+  // inserts no leaf exceeds capacity and non-root nodes hold >= min fill
+  // (Validate enforces this; this test just documents the relationship).
+  InMemoryPageDevice device(4096);
+  BufferPool pool(&device, 1024);
+  GaussTree tree(&pool, 4);
+  EXPECT_EQ(tree.capacities().leaf_min * 2, tree.capacities().leaf);
+  Rng rng(59);
+  for (uint64_t i = 0; i < 3000; ++i) tree.Insert(RandomPfv(rng, i, 4));
+  tree.Validate();
+}
+
+}  // namespace
+}  // namespace gauss

@@ -1,0 +1,145 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "math/gaussian.h"
+#include "math/hull.h"
+#include "math/hull_integral.h"
+
+namespace gauss {
+namespace {
+
+DimBounds MakeBounds(double mu_lo, double mu_hi, double sg_lo, double sg_hi) {
+  DimBounds b;
+  b.mu_lo = mu_lo;
+  b.mu_hi = mu_hi;
+  b.sigma_lo = sg_lo;
+  b.sigma_hi = sg_hi;
+  return b;
+}
+
+// Numeric quadrature of the hull over a generous support window.
+double NumericHullIntegral(const DimBounds& b, int steps = 400000) {
+  const double lo = b.mu_lo - 12.0 * b.sigma_hi;
+  const double hi = b.mu_hi + 12.0 * b.sigma_hi;
+  const double h = (hi - lo) / steps;
+  double sum = 0.5 * (UpperHull(lo, b) + UpperHull(hi, b));
+  for (int i = 1; i < steps; ++i) sum += UpperHull(lo + i * h, b);
+  return sum * h;
+}
+
+TEST(SigmoidPoly5Test, ApproximatesStdNormalCdf) {
+  for (double z = -6.0; z <= 6.0; z += 0.01) {
+    EXPECT_NEAR(SigmoidPoly5Cdf(z), StdNormalCdf(z), 1e-7) << "z=" << z;
+  }
+}
+
+TEST(SigmoidPoly5Test, SymmetryAroundZero) {
+  // At z == 0 both sides evaluate the same branch, so the approximation's
+  // own error at the origin (~5e-10) shows up twice in the sum.
+  for (double z = 0.0; z <= 5.0; z += 0.1) {
+    EXPECT_NEAR(SigmoidPoly5Cdf(z) + SigmoidPoly5Cdf(-z), 1.0, 1e-8);
+  }
+}
+
+TEST(HullIntegralTest, MatchesQuadrature) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double mu_lo = rng.Uniform(-2, 2);
+    const double mu_hi = mu_lo + rng.Uniform(0, 2);
+    const double sg_lo = rng.Uniform(0.1, 0.8);
+    const double sg_hi = sg_lo + rng.Uniform(0, 1.2);
+    const DimBounds b = MakeBounds(mu_lo, mu_hi, sg_lo, sg_hi);
+    const double closed = UpperHullIntegral(b, IntegralMethod::kErf);
+    const double numeric = NumericHullIntegral(b);
+    EXPECT_NEAR(closed, numeric, 1e-3 * closed)
+        << "bounds: [" << mu_lo << "," << mu_hi << "] x [" << sg_lo << ","
+        << sg_hi << "]";
+  }
+}
+
+TEST(HullIntegralTest, DegenerateBoxIntegratesToOne) {
+  // Point box: hull is a single pdf, integral must be 1.
+  const DimBounds b = MakeBounds(0.7, 0.7, 0.25, 0.25);
+  EXPECT_NEAR(UpperHullIntegral(b, IntegralMethod::kErf), 1.0, 1e-12);
+}
+
+TEST(HullIntegralTest, ClosedFormDecomposition) {
+  // integral = 1 + 2 (ln sg_hi - ln sg_lo)/sqrt(2 pi e)
+  //              + (mu_hi - mu_lo)/(sqrt(2 pi) sg_lo).
+  const DimBounds b = MakeBounds(1.0, 3.0, 0.5, 2.0);
+  const double expected = 1.0 + 2.0 * kInvSqrt2PiE * std::log(2.0 / 0.5) +
+                          2.0 / (kSqrt2Pi * 0.5);
+  EXPECT_NEAR(UpperHullIntegral(b, IntegralMethod::kErf), expected, 1e-12);
+}
+
+TEST(HullIntegralTest, SigmoidPolyCloseToErf) {
+  Rng rng(32);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double mu_lo = rng.Uniform(-2, 2);
+    const double mu_hi = mu_lo + rng.Uniform(0, 2);
+    const double sg_lo = rng.Uniform(0.1, 0.8);
+    const double sg_hi = sg_lo + rng.Uniform(0, 1.2);
+    const DimBounds b = MakeBounds(mu_lo, mu_hi, sg_lo, sg_hi);
+    EXPECT_NEAR(UpperHullIntegral(b, IntegralMethod::kErf),
+                UpperHullIntegral(b, IntegralMethod::kSigmoidPoly5), 1e-5);
+  }
+}
+
+TEST(HullIntegralTest, GrowsWithMuExtent) {
+  double previous = 0.0;
+  for (double extent = 0.0; extent < 3.0; extent += 0.25) {
+    const DimBounds b = MakeBounds(0.0, extent, 0.3, 0.6);
+    const double integral = UpperHullIntegral(b);
+    EXPECT_GT(integral, previous);
+    previous = integral;
+  }
+}
+
+TEST(HullIntegralTest, GrowsWithSigmaExtent) {
+  double previous = 0.0;
+  for (double extent = 0.0; extent < 2.0; extent += 0.2) {
+    const DimBounds b = MakeBounds(0.0, 1.0, 0.3, 0.3 + extent);
+    const double integral = UpperHullIntegral(b);
+    EXPECT_GT(integral, previous);
+    previous = integral;
+  }
+}
+
+TEST(HullIntegralTest, AtLeastOneAlways) {
+  // The hull dominates a true pdf, so its integral can never drop below 1.
+  Rng rng(33);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double mu_lo = rng.Uniform(-5, 5);
+    const double mu_hi = mu_lo + rng.Uniform(0, 4);
+    const double sg_lo = rng.Uniform(0.01, 2.0);
+    const double sg_hi = sg_lo + rng.Uniform(0, 2.0);
+    EXPECT_GE(UpperHullIntegral(MakeBounds(mu_lo, mu_hi, sg_lo, sg_hi)),
+              1.0 - 1e-12);
+  }
+}
+
+TEST(HullIntegralMeasureTest, ProductAcrossDimensions) {
+  std::vector<DimBounds> bounds = {MakeBounds(0, 1, 0.2, 0.5),
+                                   MakeBounds(-1, 0, 0.1, 0.3),
+                                   MakeBounds(2, 2.5, 0.4, 0.4)};
+  double expected = 1.0;
+  for (const DimBounds& b : bounds) expected *= UpperHullIntegral(b);
+  EXPECT_NEAR(HullIntegralMeasure(bounds.data(), bounds.size()), expected,
+              1e-12);
+}
+
+TEST(HullIntegralMeasureTest, SelectiveNodeScoresLower) {
+  // The split objective: a tight node (small sigma, small mu range) must
+  // score lower than a wide one.
+  std::vector<DimBounds> tight = {MakeBounds(0, 0.1, 0.1, 0.12),
+                                  MakeBounds(0, 0.1, 0.1, 0.12)};
+  std::vector<DimBounds> wide = {MakeBounds(0, 2.0, 0.1, 1.5),
+                                 MakeBounds(0, 2.0, 0.1, 1.5)};
+  EXPECT_LT(HullIntegralMeasure(tight.data(), 2),
+            HullIntegralMeasure(wide.data(), 2));
+}
+
+}  // namespace
+}  // namespace gauss

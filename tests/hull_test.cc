@@ -1,0 +1,252 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "math/gaussian.h"
+#include "math/hull.h"
+
+namespace gauss {
+namespace {
+
+DimBounds MakeBounds(double mu_lo, double mu_hi, double sg_lo, double sg_hi) {
+  DimBounds b;
+  b.mu_lo = mu_lo;
+  b.mu_hi = mu_hi;
+  b.sigma_lo = sg_lo;
+  b.sigma_hi = sg_hi;
+  return b;
+}
+
+// Brute-force maximum/minimum over a dense grid of (mu, sigma) pairs inside
+// the bounds — the oracle the closed-form hull is checked against.
+double BruteMax(double x, const DimBounds& b, int grid = 400) {
+  double best = 0.0;
+  for (int i = 0; i <= grid; ++i) {
+    const double mu = b.mu_lo + (b.mu_hi - b.mu_lo) * i / grid;
+    for (int j = 0; j <= grid; ++j) {
+      const double sigma = b.sigma_lo + (b.sigma_hi - b.sigma_lo) * j / grid;
+      best = std::max(best, GaussianPdf(x, mu, sigma));
+    }
+  }
+  return best;
+}
+
+double BruteMin(double x, const DimBounds& b, int grid = 400) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= grid; ++i) {
+    const double mu = b.mu_lo + (b.mu_hi - b.mu_lo) * i / grid;
+    for (int j = 0; j <= grid; ++j) {
+      const double sigma = b.sigma_lo + (b.sigma_hi - b.sigma_lo) * j / grid;
+      best = std::min(best, GaussianPdf(x, mu, sigma));
+    }
+  }
+  return best;
+}
+
+class HullCaseTest : public ::testing::Test {
+ protected:
+  // mu in [2, 4], sigma in [0.5, 1.5]: the seven Lemma 2 regions are
+  // x < 0.5 | [0.5, 1.5) | [1.5, 2) | [2, 4) | [4, 4.5) | [4.5, 5.5) | >= 5.5
+  const DimBounds b_ = MakeBounds(2.0, 4.0, 0.5, 1.5);
+};
+
+TEST_F(HullCaseTest, CaseI_FarLeftUsesMaxSigma) {
+  const double x = -1.0;  // < mu_lo - sigma_hi = 0.5
+  EXPECT_DOUBLE_EQ(UpperHull(x, b_), GaussianPdf(x, 2.0, 1.5));
+}
+
+TEST_F(HullCaseTest, CaseII_WedgeUsesDistanceAsSigma) {
+  const double x = 1.0;  // in [0.5, 1.5)
+  EXPECT_DOUBLE_EQ(UpperHull(x, b_), GaussianPdf(x, 2.0, 2.0 - x));
+  // The wedge value is the sigma-critical peak 1/(sqrt(2 pi e) dist).
+  EXPECT_NEAR(UpperHull(x, b_), kInvSqrt2PiE / (2.0 - x), 1e-15);
+}
+
+TEST_F(HullCaseTest, CaseIII_ShoulderUsesMinSigma) {
+  const double x = 1.7;  // in [1.5, 2)
+  EXPECT_DOUBLE_EQ(UpperHull(x, b_), GaussianPdf(x, 2.0, 0.5));
+}
+
+TEST_F(HullCaseTest, CaseIV_PlateauIsPeakOfMinSigma) {
+  for (double x : {2.0, 2.5, 3.0, 3.999}) {
+    EXPECT_DOUBLE_EQ(UpperHull(x, b_), 1.0 / (kSqrt2Pi * 0.5));
+  }
+}
+
+TEST_F(HullCaseTest, CaseV_RightShoulder) {
+  const double x = 4.3;  // in [4, 4.5)
+  EXPECT_DOUBLE_EQ(UpperHull(x, b_), GaussianPdf(x, 4.0, 0.5));
+}
+
+TEST_F(HullCaseTest, CaseVI_RightWedge) {
+  const double x = 5.0;  // in [4.5, 5.5)
+  EXPECT_DOUBLE_EQ(UpperHull(x, b_), GaussianPdf(x, 4.0, x - 4.0));
+}
+
+TEST_F(HullCaseTest, CaseVII_FarRight) {
+  const double x = 8.0;  // >= 5.5
+  EXPECT_DOUBLE_EQ(UpperHull(x, b_), GaussianPdf(x, 4.0, 1.5));
+}
+
+TEST_F(HullCaseTest, ContinuousAcrossCaseBoundaries) {
+  for (double boundary : {0.5, 1.5, 2.0, 4.0, 4.5, 5.5}) {
+    const double eps = 1e-9;
+    EXPECT_NEAR(UpperHull(boundary - eps, b_), UpperHull(boundary + eps, b_),
+                1e-6);
+  }
+}
+
+TEST(HullPropertyTest, UpperHullDominatesEveryMemberGaussian) {
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double mu_lo = rng.Uniform(-3, 3);
+    const double mu_hi = mu_lo + rng.Uniform(0, 2);
+    const double sg_lo = rng.Uniform(0.05, 1.0);
+    const double sg_hi = sg_lo + rng.Uniform(0, 1.0);
+    const DimBounds b = MakeBounds(mu_lo, mu_hi, sg_lo, sg_hi);
+    const double mu = rng.Uniform(mu_lo, mu_hi);
+    const double sigma = rng.Uniform(sg_lo, sg_hi);
+    const double x = rng.Uniform(mu_lo - 5, mu_hi + 5);
+    EXPECT_GE(UpperHull(x, b) * (1 + 1e-12) + 1e-300,
+              GaussianPdf(x, mu, sigma));
+  }
+}
+
+TEST(HullPropertyTest, LowerHullIsDominatedByEveryMemberGaussian) {
+  Rng rng(22);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double mu_lo = rng.Uniform(-3, 3);
+    const double mu_hi = mu_lo + rng.Uniform(0, 2);
+    const double sg_lo = rng.Uniform(0.05, 1.0);
+    const double sg_hi = sg_lo + rng.Uniform(0, 1.0);
+    const DimBounds b = MakeBounds(mu_lo, mu_hi, sg_lo, sg_hi);
+    const double mu = rng.Uniform(mu_lo, mu_hi);
+    const double sigma = rng.Uniform(sg_lo, sg_hi);
+    const double x = rng.Uniform(mu_lo - 5, mu_hi + 5);
+    EXPECT_LE(LowerHull(x, b), GaussianPdf(x, mu, sigma) * (1 + 1e-12));
+  }
+}
+
+TEST(HullPropertyTest, UpperHullMatchesBruteForceMaximum) {
+  Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double mu_lo = rng.Uniform(-2, 2);
+    const double mu_hi = mu_lo + rng.Uniform(0.1, 2);
+    const double sg_lo = rng.Uniform(0.1, 0.8);
+    const double sg_hi = sg_lo + rng.Uniform(0.1, 0.8);
+    const DimBounds b = MakeBounds(mu_lo, mu_hi, sg_lo, sg_hi);
+    for (int xi = 0; xi < 10; ++xi) {
+      const double x = rng.Uniform(mu_lo - 4, mu_hi + 4);
+      const double closed = UpperHull(x, b);
+      const double brute = BruteMax(x, b);
+      EXPECT_GE(closed * (1 + 1e-9), brute);
+      EXPECT_NEAR(closed, brute, 0.01 * closed + 1e-12);
+    }
+  }
+}
+
+TEST(HullPropertyTest, LowerHullMatchesBruteForceMinimum) {
+  Rng rng(24);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double mu_lo = rng.Uniform(-2, 2);
+    const double mu_hi = mu_lo + rng.Uniform(0.1, 2);
+    const double sg_lo = rng.Uniform(0.1, 0.8);
+    const double sg_hi = sg_lo + rng.Uniform(0.1, 0.8);
+    const DimBounds b = MakeBounds(mu_lo, mu_hi, sg_lo, sg_hi);
+    for (int xi = 0; xi < 10; ++xi) {
+      const double x = rng.Uniform(mu_lo - 4, mu_hi + 4);
+      const double closed = LowerHull(x, b);
+      const double brute = BruteMin(x, b);
+      EXPECT_LE(closed, brute * (1 + 1e-9) + 1e-300);
+      EXPECT_NEAR(closed, brute, 0.01 * brute + 1e-12);
+    }
+  }
+}
+
+TEST(HullPropertyTest, DegenerateBoxEqualsTheSingleGaussian) {
+  // A box collapsed to one (mu, sigma) point: hull == pdf everywhere.
+  const DimBounds b = MakeBounds(1.0, 1.0, 0.3, 0.3);
+  Rng rng(25);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Uniform(-4, 6);
+    EXPECT_NEAR(UpperHull(x, b), GaussianPdf(x, 1.0, 0.3), 1e-15);
+    EXPECT_NEAR(LowerHull(x, b), GaussianPdf(x, 1.0, 0.3), 1e-15);
+  }
+}
+
+TEST(HullPropertyTest, LogHullAgreesWithLogOfHull) {
+  Rng rng(26);
+  const DimBounds b = MakeBounds(0.0, 1.0, 0.2, 0.6);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Uniform(-3, 4);
+    EXPECT_NEAR(LogUpperHull(x, b), std::log(UpperHull(x, b)), 1e-12);
+    EXPECT_NEAR(LogLowerHull(x, b), std::log(LowerHull(x, b)), 1e-12);
+  }
+}
+
+TEST(HullPropertyTest, WiderBoxNeverLowersUpperHull) {
+  // Hull monotonicity under box inclusion: the query machinery scales every
+  // density by the root hull and relies on child hull <= parent hull.
+  Rng rng(27);
+  for (int trial = 0; trial < 100; ++trial) {
+    const DimBounds inner = MakeBounds(rng.Uniform(-1, 0), rng.Uniform(0, 1),
+                                       rng.Uniform(0.2, 0.5),
+                                       rng.Uniform(0.5, 0.9));
+    DimBounds outer = inner;
+    outer.mu_lo -= rng.Uniform(0, 1);
+    outer.mu_hi += rng.Uniform(0, 1);
+    outer.sigma_lo = std::max(0.01, outer.sigma_lo - rng.Uniform(0, 0.1));
+    outer.sigma_hi += rng.Uniform(0, 1);
+    const double x = rng.Uniform(-4, 4);
+    EXPECT_GE(UpperHull(x, outer) * (1 + 1e-12), UpperHull(x, inner));
+    EXPECT_LE(LowerHull(x, outer), LowerHull(x, inner) * (1 + 1e-12) + 1e-300);
+  }
+}
+
+TEST(QueryAdjustedBoundsTest, ShiftsSigmaRangeMonotonically) {
+  const DimBounds b = MakeBounds(0.0, 1.0, 0.2, 0.6);
+  const DimBounds conv = QueryAdjustedBounds(b, 0.3, SigmaPolicy::kConvolution);
+  EXPECT_NEAR(conv.sigma_lo, std::sqrt(0.2 * 0.2 + 0.3 * 0.3), 1e-15);
+  EXPECT_NEAR(conv.sigma_hi, std::sqrt(0.6 * 0.6 + 0.3 * 0.3), 1e-15);
+  const DimBounds add = QueryAdjustedBounds(b, 0.3, SigmaPolicy::kAdditive);
+  EXPECT_NEAR(add.sigma_lo, 0.5, 1e-15);
+  EXPECT_NEAR(add.sigma_hi, 0.9, 1e-15);
+  EXPECT_LE(conv.sigma_lo, add.sigma_lo);
+}
+
+TEST(JointHullTest, BoundsTheJointDensityOfContainedObjects) {
+  // Multivariate: for pfv inside the box, the joint hulls must bracket the
+  // joint density against any query.
+  Rng rng(28);
+  const size_t d = 5;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<DimBounds> bounds(d);
+    std::vector<double> mu_v(d), sg_v(d), mu_q(d), sg_q(d);
+    for (size_t i = 0; i < d; ++i) {
+      const double mu_lo = rng.Uniform(-2, 2);
+      const double mu_hi = mu_lo + rng.Uniform(0, 1);
+      const double sg_lo = rng.Uniform(0.1, 0.5);
+      const double sg_hi = sg_lo + rng.Uniform(0, 0.5);
+      bounds[i] = MakeBounds(mu_lo, mu_hi, sg_lo, sg_hi);
+      mu_v[i] = rng.Uniform(mu_lo, mu_hi);
+      sg_v[i] = rng.Uniform(sg_lo, sg_hi);
+      mu_q[i] = rng.Uniform(-3, 3);
+      sg_q[i] = rng.Uniform(0.1, 1.0);
+    }
+    for (SigmaPolicy policy :
+         {SigmaPolicy::kConvolution, SigmaPolicy::kAdditive}) {
+      const double log_density = JointLogDensity(
+          mu_v.data(), sg_v.data(), mu_q.data(), sg_q.data(), d, policy);
+      const double log_upper = JointLogUpperHull(bounds.data(), mu_q.data(),
+                                                 sg_q.data(), d, policy);
+      const double log_lower = JointLogLowerHull(bounds.data(), mu_q.data(),
+                                                 sg_q.data(), d, policy);
+      EXPECT_GE(log_upper + 1e-9, log_density);
+      EXPECT_LE(log_lower - 1e-9, log_density);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gauss

@@ -1,0 +1,128 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/paper_datasets.h"
+
+namespace gauss {
+namespace {
+
+TEST(PaperDataset1Test, ShapeMatchesPaper) {
+  const PaperDataset pd = GeneratePaperDataset1(2000);
+  EXPECT_EQ(pd.dataset.size(), 2000u);
+  EXPECT_EQ(pd.dataset.dim(), 27u);
+  EXPECT_EQ(pd.sigma_base.size(), 27u);
+  for (double b : pd.sigma_base) EXPECT_GT(b, 0.0);
+}
+
+TEST(PaperDataset1Test, MeansAreHistograms) {
+  const PaperDataset pd = GeneratePaperDataset1(500);
+  for (size_t i = 0; i < pd.dataset.size(); ++i) {
+    double sum = 0.0;
+    for (double v : pd.dataset[i].mu) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(PaperDataset1Test, SigmasFollowPerDimensionBase) {
+  const PaperDataset pd = GeneratePaperDataset1(500);
+  for (size_t i = 0; i < pd.dataset.size(); ++i) {
+    for (size_t j = 0; j < 27; ++j) {
+      const double ratio = pd.dataset[i].sigma[j] / pd.sigma_base[j];
+      EXPECT_GE(ratio, 1.0 - pd.sigma_jitter - 1e-9);
+      EXPECT_LE(ratio, 1.0 + pd.sigma_jitter + 1e-9);
+    }
+  }
+}
+
+TEST(PaperDataset2Test, ShapeMatchesPaper) {
+  const PaperDataset pd = GeneratePaperDataset2(5000);
+  EXPECT_EQ(pd.dataset.size(), 5000u);
+  EXPECT_EQ(pd.dataset.dim(), 10u);
+  EXPECT_EQ(pd.sigma_base.size(), 10u);
+  // Queries vary in observation quality on data set 2.
+  EXPECT_LT(pd.quality_lo, pd.quality_hi);
+}
+
+TEST(PaperDatasetTest, Deterministic) {
+  const PaperDataset a = GeneratePaperDataset2(1000);
+  const PaperDataset b = GeneratePaperDataset2(1000);
+  EXPECT_EQ(a.sigma_base, b.sigma_base);
+  for (size_t i = 0; i < a.dataset.size(); ++i) {
+    EXPECT_EQ(a.dataset[i].mu, b.dataset[i].mu);
+    EXPECT_EQ(a.dataset[i].sigma, b.dataset[i].sigma);
+  }
+}
+
+TEST(PaperDatasetTest, SeedChangesData) {
+  const PaperDataset a = GeneratePaperDataset2(100, /*seed=*/2);
+  const PaperDataset b = GeneratePaperDataset2(100, /*seed=*/3);
+  EXPECT_NE(a.dataset[0].mu, b.dataset[0].mu);
+}
+
+TEST(DrawQuerySigmasTest, QualityScalesSigmas) {
+  const PaperDataset pd = GeneratePaperDataset2(100);
+  Rng rng(5);
+  const auto low = pd.DrawQuerySigmas(rng, 0.5);
+  Rng rng2(5);
+  const auto high = pd.DrawQuerySigmas(rng2, 2.5);
+  for (size_t j = 0; j < low.size(); ++j) {
+    EXPECT_NEAR(high[j] / low[j], 5.0, 1e-9);  // same jitter draw, 5x quality
+  }
+}
+
+TEST(PaperWorkloadTest, ProtocolProperties) {
+  const PaperDataset pd = GeneratePaperDataset2(5000);
+  const auto workload = GeneratePaperWorkload(pd, 100);
+  EXPECT_EQ(workload.size(), 100u);
+
+  std::set<uint64_t> sources;
+  for (const auto& iq : workload) {
+    EXPECT_TRUE(iq.query.Valid());
+    EXPECT_EQ(iq.query.dim(), 10u);
+    sources.insert(iq.true_id);
+    // Displacement follows the combined noise of the two observations:
+    // bounded by ~6 combined sigmas per dimension with overwhelming
+    // probability.
+    const Pfv& source = pd.dataset[iq.true_id];
+    for (size_t j = 0; j < 10; ++j) {
+      const double combined =
+          std::sqrt(source.sigma[j] * source.sigma[j] +
+                    iq.query.sigma[j] * iq.query.sigma[j]);
+      EXPECT_LT(std::fabs(iq.query.mu[j] - source.mu[j]), 6.0 * combined);
+    }
+  }
+  EXPECT_EQ(sources.size(), 100u);  // sampled without replacement
+}
+
+TEST(PaperWorkloadTest, DeterministicPerSeed) {
+  const PaperDataset pd = GeneratePaperDataset1(1000);
+  const auto a = GeneratePaperWorkload(pd, 20, 7);
+  const auto b = GeneratePaperWorkload(pd, 20, 7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].true_id, b[i].true_id);
+    EXPECT_EQ(a[i].query.mu, b[i].query.mu);
+    EXPECT_EQ(a[i].query.sigma, b[i].query.sigma);
+  }
+}
+
+TEST(PaperWorkloadTest, DifferentSeedsDiffer) {
+  const PaperDataset pd = GeneratePaperDataset1(1000);
+  const auto a = GeneratePaperWorkload(pd, 20, 7);
+  const auto b = GeneratePaperWorkload(pd, 20, 8);
+  bool any_difference = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].true_id != b[i].true_id || a[i].query.mu != b[i].query.mu) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace gauss

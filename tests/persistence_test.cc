@@ -1,0 +1,155 @@
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "gausstree/gauss_tree.h"
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+#include "pfv/pfv_file.h"
+#include "scan/seq_scan.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_device.h"
+
+namespace gauss {
+namespace {
+
+Pfv RandomPfv(Rng& rng, uint64_t id, size_t dim) {
+  std::vector<double> mu(dim), sigma(dim);
+  for (double& m : mu) m = rng.Uniform(0, 1);
+  for (double& s : sigma) s = rng.Uniform(0.01, 0.2);
+  return Pfv(id, std::move(mu), std::move(sigma));
+}
+
+TEST(GaussTreePersistenceTest, OpenReturnsIdenticalAnswers) {
+  InMemoryPageDevice device(2048);
+  BufferPool pool(&device, 1 << 14);
+  Rng rng(201);
+
+  GaussTree original(&pool, 3);
+  PfvFile file(&pool, 3);
+  for (uint64_t i = 0; i < 1500; ++i) {
+    const Pfv pfv = RandomPfv(rng, i, 3);
+    original.Insert(pfv);
+    file.Append(pfv);
+  }
+  original.Finalize();
+  const PageId meta = original.meta_page();
+
+  // Reattach through a *fresh* buffer pool over the same device — nothing
+  // may survive except the pages themselves.
+  BufferPool pool2(&device, 1 << 14);
+  auto reopened = GaussTree::Open(&pool2, meta);
+  EXPECT_EQ(reopened->size(), original.size());
+  EXPECT_EQ(reopened->dim(), original.dim());
+  EXPECT_EQ(reopened->root(), original.root());
+  reopened->Validate();
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const Pfv q = RandomPfv(rng, 90000 + trial, 3);
+    const MliqResult a = QueryMliq(original, q, 5);
+    const MliqResult b = QueryMliq(*reopened, q, 5);
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_EQ(a.items[i].id, b.items[i].id);
+      EXPECT_DOUBLE_EQ(a.items[i].log_density, b.items[i].log_density);
+    }
+  }
+}
+
+TEST(GaussTreePersistenceTest, OpenPreservesOptions) {
+  InMemoryPageDevice device(2048);
+  BufferPool pool(&device, 1 << 12);
+  GaussTreeOptions options;
+  options.sigma_policy = SigmaPolicy::kAdditive;
+  options.split_strategy = SplitStrategy::kVolume;
+  options.integral_method = IntegralMethod::kSigmoidPoly5;
+  GaussTree tree(&pool, 2, options);
+  Rng rng(202);
+  for (uint64_t i = 0; i < 100; ++i) tree.Insert(RandomPfv(rng, i, 2));
+  tree.Finalize();
+
+  auto reopened = GaussTree::Open(&pool, tree.meta_page());
+  EXPECT_EQ(reopened->options().sigma_policy, SigmaPolicy::kAdditive);
+  EXPECT_EQ(reopened->options().split_strategy, SplitStrategy::kVolume);
+  EXPECT_EQ(reopened->options().integral_method,
+            IntegralMethod::kSigmoidPoly5);
+}
+
+TEST(GaussTreePersistenceTest, ReopenedTreeAcceptsInserts) {
+  InMemoryPageDevice device(2048);
+  BufferPool pool(&device, 1 << 14);
+  Rng rng(203);
+  GaussTree tree(&pool, 2);
+  for (uint64_t i = 0; i < 500; ++i) tree.Insert(RandomPfv(rng, i, 2));
+  tree.Finalize();
+  const PageId meta = tree.meta_page();
+
+  auto reopened = GaussTree::Open(&pool, meta);
+  reopened->Definalize();
+  for (uint64_t i = 500; i < 1000; ++i) {
+    reopened->Insert(RandomPfv(rng, i, 2));
+  }
+  reopened->Validate();
+  EXPECT_EQ(reopened->size(), 1000u);
+  reopened->Finalize();
+
+  // Second reopen sees all 1000 objects.
+  auto again = GaussTree::Open(&pool, meta);
+  EXPECT_EQ(again->size(), 1000u);
+  again->Validate();
+}
+
+TEST(GaussTreePersistenceTest, SurvivesProcessStyleReopenOnDisk) {
+  const std::string path = ::testing::TempDir() + "/gauss_persist_test.db";
+  PageId meta = kInvalidPageId;
+  Rng rng(204);
+  PfvDataset dataset(4);
+  for (uint64_t i = 0; i < 800; ++i) dataset.Add(RandomPfv(rng, i, 4));
+  const Pfv q = RandomPfv(rng, 99999, 4);
+  std::vector<uint64_t> expected_ids;
+
+  {
+    FilePageDevice device(path, 2048, /*truncate=*/true);
+    BufferPool pool(&device, 1 << 12);
+    GaussTree tree(&pool, 4);
+    tree.BulkInsert(dataset);
+    tree.Finalize();
+    meta = tree.meta_page();
+    for (const auto& item : QueryMliq(tree, q, 3).items) {
+      expected_ids.push_back(item.id);
+    }
+    pool.FlushAll();
+    device.Sync();
+  }
+  {
+    // Simulated process restart: new device handle, new pool.
+    FilePageDevice device(path, 2048, /*truncate=*/false);
+    BufferPool pool(&device, 1 << 12);
+    auto tree = GaussTree::Open(&pool, meta);
+    tree->Validate();
+    EXPECT_EQ(tree->size(), 800u);
+    std::vector<uint64_t> got_ids;
+    for (const auto& item : QueryMliq(*tree, q, 3).items) {
+      got_ids.push_back(item.id);
+    }
+    EXPECT_EQ(got_ids, expected_ids);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GaussTreePersistenceTest, EmptyTreePersists) {
+  InMemoryPageDevice device(2048);
+  BufferPool pool(&device, 64);
+  GaussTree tree(&pool, 2);
+  tree.Finalize();
+  auto reopened = GaussTree::Open(&pool, tree.meta_page());
+  EXPECT_EQ(reopened->size(), 0u);
+  const Pfv q(1, {0.5, 0.5}, {0.1, 0.1});
+  EXPECT_TRUE(QueryMliq(*reopened, q, 3).items.empty());
+}
+
+}  // namespace
+}  // namespace gauss

@@ -1,0 +1,192 @@
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+#include "storage/page_device.h"
+
+namespace gauss {
+namespace {
+
+std::vector<uint8_t> Pattern(uint32_t page_size, uint8_t seed) {
+  std::vector<uint8_t> data(page_size);
+  for (uint32_t i = 0; i < page_size; ++i) {
+    data[i] = static_cast<uint8_t>(seed + i * 31);
+  }
+  return data;
+}
+
+TEST(InMemoryPageDeviceTest, AllocateReadWriteRoundTrip) {
+  InMemoryPageDevice device(4096);
+  const PageId a = device.Allocate();
+  const PageId b = device.Allocate();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(device.PageCount(), 2u);
+
+  const auto wrote = Pattern(4096, 7);
+  device.Write(a, wrote.data());
+  std::vector<uint8_t> read(4096);
+  device.Read(a, read.data());
+  EXPECT_EQ(wrote, read);
+}
+
+TEST(InMemoryPageDeviceTest, FreshPagesAreZeroed) {
+  InMemoryPageDevice device(512);
+  const PageId id = device.Allocate();
+  std::vector<uint8_t> read(512, 0xFF);
+  device.Read(id, read.data());
+  for (uint8_t byte : read) EXPECT_EQ(byte, 0);
+}
+
+TEST(FilePageDeviceTest, PersistsAcrossReopen) {
+  const std::string path = ::testing::TempDir() + "/gauss_file_device_test.db";
+  const auto wrote = Pattern(1024, 3);
+  {
+    FilePageDevice device(path, 1024, /*truncate=*/true);
+    const PageId id = device.Allocate();
+    device.Write(id, wrote.data());
+    device.Sync();
+  }
+  {
+    FilePageDevice device(path, 1024, /*truncate=*/false);
+    EXPECT_EQ(device.PageCount(), 1u);
+    std::vector<uint8_t> read(1024);
+    device.Read(0, read.data());
+    EXPECT_EQ(wrote, read);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BufferPoolTest, SecondFetchIsLogicalOnly) {
+  InMemoryPageDevice device(256);
+  const PageId id = device.Allocate();
+  BufferPool pool(&device, 4);
+  pool.Fetch(id);
+  pool.Fetch(id);
+  EXPECT_EQ(pool.stats().logical_reads, 2u);
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  InMemoryPageDevice device(256);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(device.Allocate());
+  BufferPool pool(&device, 2);
+  pool.Fetch(ids[0]);
+  pool.Fetch(ids[1]);
+  pool.Fetch(ids[0]);       // ids[1] becomes LRU
+  pool.Fetch(ids[2]);       // evicts ids[1]
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  const uint64_t physical_before = pool.stats().physical_reads;
+  pool.Fetch(ids[0]);       // still resident
+  EXPECT_EQ(pool.stats().physical_reads, physical_before);
+  pool.Fetch(ids[1]);       // was evicted: physical again
+  EXPECT_EQ(pool.stats().physical_reads, physical_before + 1);
+}
+
+TEST(BufferPoolTest, DirtyPagesFlushOnEviction) {
+  InMemoryPageDevice device(256);
+  const PageId a = device.Allocate();
+  const PageId b = device.Allocate();
+  BufferPool pool(&device, 1);
+  uint8_t* frame = pool.FetchMutable(a);
+  frame[0] = 0xAB;
+  pool.Fetch(b);  // evicts dirty a
+  std::vector<uint8_t> read(256);
+  device.Read(a, read.data());
+  EXPECT_EQ(read[0], 0xAB);
+  EXPECT_EQ(pool.stats().physical_writes, 1u);
+}
+
+TEST(BufferPoolTest, WritePageDoesNotReadDevice) {
+  InMemoryPageDevice device(256);
+  const PageId id = device.Allocate();
+  BufferPool pool(&device, 2);
+  const auto data = Pattern(256, 9);
+  pool.WritePage(id, data.data());
+  EXPECT_EQ(pool.stats().physical_reads, 0u);
+  const uint8_t* frame = pool.Fetch(id);
+  EXPECT_EQ(std::memcmp(frame, data.data(), 256), 0);
+  EXPECT_EQ(pool.stats().physical_reads, 0u);  // still cached
+}
+
+TEST(BufferPoolTest, ClearForcesColdStart) {
+  InMemoryPageDevice device(256);
+  const PageId id = device.Allocate();
+  BufferPool pool(&device, 4);
+  pool.Fetch(id);
+  pool.Clear();
+  pool.Fetch(id);
+  EXPECT_EQ(pool.stats().physical_reads, 2u);
+}
+
+TEST(BufferPoolTest, FlushAllPersistsDirtyFrames) {
+  InMemoryPageDevice device(128);
+  const PageId id = device.Allocate();
+  BufferPool pool(&device, 2);
+  uint8_t* frame = pool.FetchMutable(id);
+  frame[5] = 0x5C;
+  pool.FlushAll();
+  std::vector<uint8_t> read(128);
+  device.Read(id, read.data());
+  EXPECT_EQ(read[5], 0x5C);
+}
+
+TEST(BufferPoolTest, StatsDeltaArithmetic) {
+  InMemoryPageDevice device(128);
+  const PageId a = device.Allocate();
+  const PageId b = device.Allocate();
+  BufferPool pool(&device, 4);
+  pool.Fetch(a);
+  const IoStats before = pool.stats();
+  pool.Fetch(b);
+  pool.Fetch(b);
+  const IoStats delta = pool.stats() - before;
+  EXPECT_EQ(delta.logical_reads, 2u);
+  EXPECT_EQ(delta.physical_reads, 1u);
+}
+
+TEST(BufferPoolTest, CapacityRespected) {
+  InMemoryPageDevice device(128);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(device.Allocate());
+  BufferPool pool(&device, 5);
+  for (PageId id : ids) pool.Fetch(id);
+  EXPECT_LE(pool.resident_pages(), 5u);
+}
+
+TEST(DiskModelTest, SequentialFasterThanRandomForManyPages) {
+  DiskModel disk;
+  EXPECT_LT(disk.SequentialReadSeconds(1000), disk.RandomReadSeconds(1000));
+}
+
+TEST(DiskModelTest, RandomCostLinearInPages) {
+  DiskModel disk;
+  EXPECT_NEAR(disk.RandomReadSeconds(200), 2.0 * disk.RandomReadSeconds(100),
+              1e-12);
+}
+
+TEST(DiskModelTest, SequentialIsPositioningPlusTransfer) {
+  DiskModel disk;
+  disk.positioning_seconds = 0.01;
+  disk.transfer_mb_per_second = 8.0;
+  disk.page_size_bytes = 8192;
+  // 8 KiB at 8 MiB/s = ~0.9765625 ms per page.
+  const double per_page = 8192.0 / (8.0 * 1024 * 1024);
+  EXPECT_NEAR(disk.SequentialReadSeconds(100), 0.01 + 100 * per_page, 1e-12);
+  EXPECT_NEAR(disk.RandomReadSeconds(100), 100 * (0.01 + per_page), 1e-12);
+}
+
+TEST(DiskModelTest, ZeroPagesCostNothing) {
+  DiskModel disk;
+  EXPECT_EQ(disk.SequentialReadSeconds(0), 0.0);
+  EXPECT_EQ(disk.RandomReadSeconds(0), 0.0);
+}
+
+}  // namespace
+}  // namespace gauss
