@@ -1,0 +1,146 @@
+// GaussServe scaling sweep: worker threads x batch size -> QPS, p50/p99
+// latency, logical pages per query. One finalized Gauss-tree is served
+// through a ShardedBufferPool; every (threads, batch) cell runs the same
+// MLIQ workload on a warm cache, and the answers of every cell are checked
+// against the single-worker run, so the speedup numbers can't come from
+// computing something different.
+//
+// Scaling expectation: queries are independent read-only traversals, so QPS
+// grows with worker count until the machine runs out of cores (on a 1-core
+// container all cells collapse to single-thread throughput — the sweep
+// reports hardware_concurrency so the context is visible in the output).
+//
+// GAUSS_BENCH_SCALE in (0,1] shrinks the dataset for quick runs.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "data/workload.h"
+#include "eval/report.h"
+#include "gausstree/gauss_tree.h"
+#include "service/query_service.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_device.h"
+#include "storage/sharded_buffer_pool.h"
+
+namespace gauss::bench {
+namespace {
+
+// Compares the shared prefix: every batch is a prefix of the 512-query
+// reference workload, so answer i must match answer i.
+bool SameAnswers(const BatchResult& a, const BatchResult& b) {
+  const size_t n = std::min(a.responses.size(), b.responses.size());
+  for (size_t i = 0; i < n; ++i) {
+    const auto& x = a.responses[i].items;
+    const auto& y = b.responses[i].items;
+    if (x.size() != y.size()) return false;
+    for (size_t j = 0; j < x.size(); ++j) {
+      if (x[j].id != y[j].id ||
+          std::memcmp(&x[j].probability, &y[j].probability, sizeof(double)) !=
+              0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Run() {
+  PrintBanner(std::cout, "GaussServe concurrency sweep (3-MLIQ, warm cache)");
+  double scale = 1.0;
+  if (const char* env = std::getenv("GAUSS_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) scale = s;
+  }
+
+  ClusteredDatasetConfig config;
+  config.size = static_cast<size_t>(100000 * scale);
+  config.dim = 10;
+  const PfvDataset dataset = GenerateClusteredDataset(config);
+
+  InMemoryPageDevice device(kDefaultPageSize);
+  PageId meta_page;
+  {
+    BufferPool build_pool(&device, 1 << 15);
+    GaussTree build_tree(&build_pool, dataset.dim());
+    build_tree.BulkLoad(dataset);
+    build_tree.Finalize();
+    meta_page = build_tree.meta_page();
+  }
+
+  // Serving pool sized for the whole tree: the sweep measures concurrency
+  // scaling, not cache misses (sweep_cache covers those).
+  ShardedBufferPool pool(&device, 1 << 15);
+  auto tree = GaussTree::Open(&pool, meta_page);
+
+  WorkloadConfig wconfig;
+  wconfig.query_count = 512;
+  const auto workload = GenerateWorkload(dataset, wconfig);
+  MliqOptions mliq_options;
+  mliq_options.probability_accuracy = 1e-2;
+
+  std::cout << "objects: " << dataset.size()
+            << "  hardware threads: " << std::thread::hardware_concurrency()
+            << "\n\n";
+
+  Table table({"workers", "batch", "qps", "speedup", "p50 us", "p99 us",
+               "pages/query"});
+  double single_thread_qps = 0.0;
+  BatchResult reference;
+  bool reference_set = false;
+
+  for (size_t workers : {1, 2, 4, 8, 16}) {
+    for (size_t batch_size : {64, 512}) {
+      std::vector<QueryRequest> batch;
+      batch.reserve(batch_size);
+      for (size_t i = 0; i < batch_size; ++i) {
+        batch.push_back(QueryRequest::Mliq(
+            workload[i % workload.size()].query, /*k=*/3, mliq_options));
+      }
+
+      QueryServiceOptions options;
+      options.num_workers = workers;
+      options.queue_capacity = batch_size;
+      QueryService service(*tree, options);
+
+      service.ExecuteBatch(batch);  // warm the cache and the threads
+      pool.ResetStats();
+      BatchResult result = service.ExecuteBatch(batch);
+
+      if (!reference_set && batch_size == 512) {
+        reference = result;
+        reference_set = true;
+      } else if (reference_set && !SameAnswers(result, reference)) {
+        std::cout << "ERROR: answers diverged at " << workers << " workers\n";
+        std::exit(1);
+      }
+
+      const ServiceStats& stats = result.stats;
+      if (workers == 1 && batch_size == 512) single_thread_qps = stats.qps;
+      table.AddRow(
+          {Table::Int(workers), Table::Int(batch_size), Table::Num(stats.qps),
+           single_thread_qps > 0.0 && workers > 1
+               ? Table::Num(stats.qps / single_thread_qps, 2) + "x"
+               : "-",
+           Table::Num(stats.latency.p50_us), Table::Num(stats.latency.p99_us),
+           Table::Num(stats.pages_per_query())});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "speedup is vs 1 worker / batch 512; answers of every cell "
+               "verified identical to the single-worker run\n";
+}
+
+}  // namespace
+}  // namespace gauss::bench
+
+int main() {
+  gauss::bench::Run();
+  return 0;
+}

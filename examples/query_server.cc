@@ -1,0 +1,151 @@
+// GaussServe demo: a face-identification service under concurrent load.
+//
+// The offline path enrolls a synthetic gallery of persons into a Gauss-tree
+// and finalizes it to pages (the build-offline step). The online path then
+// reattaches the finalized tree through a ShardedBufferPool and serves a
+// probe stream with QueryService: several client threads submit batches of
+// MLIQ (who is this?) and TIQ (watchlist: anyone above 20%?) queries that a
+// worker pool executes concurrently over the shared page cache.
+//
+// Output: identification accuracy plus the service's aggregate stats —
+// throughput, latency percentiles, and page I/O per query.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "gausstree/gauss_tree.h"
+#include "service/query_service.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_device.h"
+#include "storage/sharded_buffer_pool.h"
+
+namespace {
+
+constexpr size_t kPersons = 5000;
+constexpr size_t kFeatures = 12;
+constexpr size_t kClients = 3;       // concurrent submitters
+constexpr size_t kBatchesPerClient = 4;
+constexpr size_t kProbesPerBatch = 100;
+constexpr double kWatchlistThreshold = 0.2;
+
+// Per-feature measurement noise depending on capture conditions (cf.
+// examples/face_identification.cc).
+std::vector<double> FeatureSigmas(gauss::Rng& rng) {
+  std::vector<double> sigma(kFeatures);
+  for (double& s : sigma) {
+    s = (0.01 + 0.01 * rng.NextDouble()) * (1.0 + rng.Uniform(0, 8));
+  }
+  return sigma;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gauss;
+  Rng rng(7);
+
+  // True (unobservable) facial geometry per person.
+  std::vector<std::vector<double>> true_faces(kPersons,
+                                              std::vector<double>(kFeatures));
+  for (auto& face : true_faces) {
+    for (double& f : face) f = rng.NextDouble();
+  }
+
+  // ---- Offline: enroll and finalize the gallery. -------------------------
+  InMemoryPageDevice device(kDefaultPageSize);
+  PageId meta_page;
+  {
+    BufferPool build_pool(&device, 1 << 14);
+    GaussTree gallery(&build_pool, kFeatures);
+    for (size_t person = 0; person < kPersons; ++person) {
+      const std::vector<double> sigma = FeatureSigmas(rng);
+      std::vector<double> observed(kFeatures);
+      for (size_t f = 0; f < kFeatures; ++f) {
+        observed[f] = rng.Gaussian(true_faces[person][f], sigma[f]);
+      }
+      gallery.Insert(Pfv(person, observed, sigma));
+    }
+    gallery.Finalize();
+    meta_page = gallery.meta_page();
+  }
+
+  // ---- Online: serve the finalized tree through a sharded cache. ---------
+  ShardedBufferPool pool(&device, 1 << 12);
+  auto gallery = GaussTree::Open(&pool, meta_page);
+  QueryServiceOptions options;
+  options.num_workers = 4;
+  QueryService service(*gallery, options);
+
+  std::printf("GaussServe: %zu enrolled persons, %zu workers, %zu clients\n",
+              kPersons, service.num_workers(), kClients);
+
+  std::atomic<size_t> identified{0};
+  std::atomic<size_t> probes_total{0};
+  std::atomic<size_t> watchlist_reports{0};
+
+  auto client = [&](size_t client_id) {
+    Rng client_rng(100 + client_id);
+    for (size_t b = 0; b < kBatchesPerClient; ++b) {
+      // Each batch probes random enrolled persons under fresh conditions.
+      std::vector<size_t> truth(kProbesPerBatch);
+      std::vector<QueryRequest> batch;
+      batch.reserve(kProbesPerBatch);
+      for (size_t p = 0; p < kProbesPerBatch; ++p) {
+        const size_t person = client_rng.UniformInt(kPersons);
+        truth[p] = person;
+        const std::vector<double> sigma = FeatureSigmas(client_rng);
+        std::vector<double> observed(kFeatures);
+        for (size_t f = 0; f < kFeatures; ++f) {
+          observed[f] = client_rng.Gaussian(true_faces[person][f], sigma[f]);
+        }
+        Pfv probe(900000 + p, observed, sigma);
+        if (p % 4 == 3) {
+          batch.push_back(QueryRequest::Tiq(std::move(probe),
+                                            kWatchlistThreshold));
+        } else {
+          batch.push_back(QueryRequest::Mliq(std::move(probe), /*k=*/1));
+        }
+      }
+
+      const BatchResult result = service.ExecuteBatch(batch);
+      for (size_t p = 0; p < result.responses.size(); ++p) {
+        const QueryResponse& resp = result.responses[p];
+        probes_total.fetch_add(1, std::memory_order_relaxed);
+        if (resp.kind == QueryKind::kMliq) {
+          if (!resp.items.empty() && resp.items[0].id == truth[p]) {
+            identified.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          watchlist_reports.fetch_add(resp.items.size(),
+                                      std::memory_order_relaxed);
+        }
+      }
+      if (client_id == 0 && b == kBatchesPerClient - 1) {
+        std::printf("\nlast batch of client 0:\n%s\n",
+                    result.stats.ToString().c_str());
+      }
+    }
+  };
+
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) clients.emplace_back(client, c);
+  for (auto& t : clients) t.join();
+
+  const size_t mliq_probes = probes_total.load() * 3 / 4;
+  std::printf("\nserved %zu probes from %zu clients\n", probes_total.load(),
+              kClients);
+  std::printf("MLIQ top-1 identification: %zu/%zu correct\n",
+              identified.load(), mliq_probes);
+  std::printf("TIQ watchlist reports: %zu identities above %.0f%%\n",
+              watchlist_reports.load(), kWatchlistThreshold * 100);
+  const IoStats io = pool.stats();
+  std::printf("cache: %llu logical / %llu physical reads over %zu resident "
+              "pages\n",
+              static_cast<unsigned long long>(io.logical_reads),
+              static_cast<unsigned long long>(io.physical_reads),
+              pool.resident_pages());
+  return 0;
+}

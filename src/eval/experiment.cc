@@ -31,7 +31,7 @@ double MethodCosts::OverallPercentOf(const MethodCosts& base) const {
   return Percent(mean.overall_seconds, base.mean.overall_seconds);
 }
 
-MethodCosts RunMethod(const std::string& name, BufferPool* pool,
+MethodCosts RunMethod(const std::string& name, PageCache* pool,
                       const DiskModel& disk, size_t query_count,
                       CachePolicy cache_policy, AccessPattern pattern,
                       const std::function<size_t(size_t)>& run_query) {

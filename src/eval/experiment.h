@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "data/workload.h"
-#include "storage/buffer_pool.h"
+#include "storage/page_cache.h"
 #include "storage/disk_model.h"
 
 namespace gauss {
@@ -59,7 +59,7 @@ enum class AccessPattern {
 // Runs `run_query(query_index)` for every workload entry, measuring CPU time
 // natively and charging simulated I/O for the physical page accesses
 // observed on `pool`. `run_query` returns the result size.
-MethodCosts RunMethod(const std::string& name, BufferPool* pool,
+MethodCosts RunMethod(const std::string& name, PageCache* pool,
                       const DiskModel& disk, size_t query_count,
                       CachePolicy cache_policy, AccessPattern pattern,
                       const std::function<size_t(size_t)>& run_query);

@@ -52,7 +52,7 @@ double VolumeCost(const std::vector<DimBounds>& bounds) {
 
 }  // namespace
 
-GaussTree::GaussTree(BufferPool* pool, size_t dim, GaussTreeOptions options)
+GaussTree::GaussTree(PageCache* pool, size_t dim, GaussTreeOptions options)
     : pool_(pool),
       dim_(dim),
       options_(options),
@@ -62,7 +62,7 @@ GaussTree::GaussTree(BufferPool* pool, size_t dim, GaussTreeOptions options)
   root_ = store_.Create(GtNodeKind::kLeaf)->id;
 }
 
-GaussTree::GaussTree(BufferPool* pool, size_t dim, GaussTreeOptions options,
+GaussTree::GaussTree(PageCache* pool, size_t dim, GaussTreeOptions options,
                      PageId meta_page, PageId root, size_t size)
     : pool_(pool),
       dim_(dim),
@@ -95,12 +95,12 @@ void GaussTree::Finalize() {
   pool_->FlushAll();
 }
 
-std::unique_ptr<GaussTree> GaussTree::Open(BufferPool* pool,
+std::unique_ptr<GaussTree> GaussTree::Open(PageCache* pool,
                                            PageId meta_page) {
   GAUSS_CHECK(pool != nullptr);
   MetaPageLayout meta;
-  const uint8_t* page = pool->Fetch(meta_page);
-  std::memcpy(&meta, page, sizeof(meta));
+  const PageRef page = pool->Fetch(meta_page);
+  std::memcpy(&meta, page.data(), sizeof(meta));
   GAUSS_CHECK_MSG(meta.magic == kGaussTreeMagic,
                   "page does not hold a Gauss-tree header");
   GAUSS_CHECK_MSG(meta.version == kGaussTreeVersion,
@@ -122,7 +122,7 @@ std::unique_ptr<GaussTree> GaussTree::Open(BufferPool* pool,
     queue.pop_front();
     pages.push_back(id);
     const GtNode node =
-        GtNode::Deserialize(pool->Fetch(id), meta.dim, id);
+        GtNode::Deserialize(pool->Fetch(id).data(), meta.dim, id);
     if (!node.leaf()) {
       for (const GtChildEntry& e : node.children) queue.push_back(e.child);
     }

@@ -9,7 +9,7 @@
 #include "math/hull_integral.h"
 #include "math/sigma_policy.h"
 #include "pfv/pfv.h"
-#include "storage/buffer_pool.h"
+#include "storage/page_cache.h"
 
 namespace gauss {
 
@@ -56,7 +56,7 @@ struct GaussTreeStats {
 //   auto hits = QueryTiq(tree, q, 0.2);    // see tiq.h
 class GaussTree {
  public:
-  GaussTree(BufferPool* pool, size_t dim, GaussTreeOptions options = {});
+  GaussTree(PageCache* pool, size_t dim, GaussTreeOptions options = {});
 
   GaussTree(const GaussTree&) = delete;
   GaussTree& operator=(const GaussTree&) = delete;
@@ -64,7 +64,7 @@ class GaussTree {
   // Reopens a previously finalized tree from its meta page (persisted by
   // Finalize()). The tree opens in query mode; call Definalize() to insert
   // more objects. Aborts if `meta_page` does not hold a Gauss-tree header.
-  static std::unique_ptr<GaussTree> Open(BufferPool* pool, PageId meta_page);
+  static std::unique_ptr<GaussTree> Open(PageCache* pool, PageId meta_page);
 
   // Page holding the persistent header (root id, dimensionality, options);
   // pass it to Open() to reattach.
@@ -94,7 +94,7 @@ class GaussTree {
   const GaussTreeOptions& options() const { return options_; }
   const GtCapacities& capacities() const { return caps_; }
   const GtNodeStore& store() const { return store_; }
-  BufferPool* pool() const { return pool_; }
+  PageCache* pool() const { return pool_; }
 
   // Structural statistics (walks the whole tree; build or query mode).
   GaussTreeStats ComputeStats() const;
@@ -107,7 +107,7 @@ class GaussTree {
   friend class GaussTreeCrawler;  // test/bench access to internals
 
   // Open() constructor: attaches to an existing finalized tree.
-  GaussTree(BufferPool* pool, size_t dim, GaussTreeOptions options,
+  GaussTree(PageCache* pool, size_t dim, GaussTreeOptions options,
             PageId meta_page, PageId root, size_t size);
 
   // Writes the persistent header to the meta page.
@@ -133,7 +133,7 @@ class GaussTree {
   // Recomputes the parent-entry MBR/count for `child_slot` of `parent`.
   void RefreshParentEntry(GtNode* parent, size_t child_slot);
 
-  BufferPool* pool_;
+  PageCache* pool_;
   size_t dim_;
   GaussTreeOptions options_;
   GtCapacities caps_;

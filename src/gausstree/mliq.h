@@ -50,6 +50,12 @@ struct MliqResult {
 // joint upper hull, stopping when the k-th candidate's exact density exceeds
 // the best unexpanded subtree bound, then refining the Bayes denominator
 // until the probabilities are certified to `probability_accuracy`.
+//
+// Re-entrancy: the traversal keeps all state (priority queue, denominator
+// bounds, node scratch) on the caller's stack and only reads the tree, so
+// concurrent calls over one finalized `tree` are safe provided its PageCache
+// is thread-safe (ShardedBufferPool); results are identical regardless of
+// concurrency. This is what GaussServe (service/query_service.h) builds on.
 MliqResult QueryMliq(const GaussTree& tree, const Pfv& q, size_t k,
                      const MliqOptions& options = {});
 

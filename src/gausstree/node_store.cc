@@ -6,7 +6,7 @@
 
 namespace gauss {
 
-GtNodeStore::GtNodeStore(BufferPool* pool, size_t dim)
+GtNodeStore::GtNodeStore(PageCache* pool, size_t dim)
     : pool_(pool), dim_(dim) {
   GAUSS_CHECK(pool != nullptr);
   GAUSS_CHECK(dim > 0);
@@ -38,8 +38,8 @@ void GtNodeStore::Load(PageId id, GtNode* scratch) const {
     *scratch = *it->second;  // copy: callers own their view
     return;
   }
-  const uint8_t* page = pool_->Fetch(id);
-  *scratch = GtNode::Deserialize(page, dim_, id);
+  const PageRef page = pool_->Fetch(id);
+  *scratch = GtNode::Deserialize(page.data(), dim_, id);
 }
 
 void GtNodeStore::Finalize() {
@@ -69,8 +69,9 @@ void GtNodeStore::OpenFinalized(std::vector<PageId> pages) {
 void GtNodeStore::Definalize() {
   if (!finalized_) return;
   for (PageId id : all_pages_) {
-    const uint8_t* page = pool_->Fetch(id);
-    auto node = std::make_unique<GtNode>(GtNode::Deserialize(page, dim_, id));
+    const PageRef page = pool_->Fetch(id);
+    auto node =
+        std::make_unique<GtNode>(GtNode::Deserialize(page.data(), dim_, id));
     nodes_.emplace(id, std::move(node));
   }
   finalized_ = false;

@@ -5,7 +5,7 @@
 #include <unordered_map>
 
 #include "gausstree/node.h"
-#include "storage/buffer_pool.h"
+#include "storage/page_cache.h"
 
 namespace gauss {
 
@@ -25,7 +25,7 @@ namespace gauss {
 // insert after a finalized load).
 class GtNodeStore {
  public:
-  GtNodeStore(BufferPool* pool, size_t dim);
+  GtNodeStore(PageCache* pool, size_t dim);
 
   GtNodeStore(const GtNodeStore&) = delete;
   GtNodeStore& operator=(const GtNodeStore&) = delete;
@@ -56,10 +56,10 @@ class GtNodeStore {
   bool finalized() const { return finalized_; }
   size_t node_count() const;
   size_t dim() const { return dim_; }
-  BufferPool* pool() const { return pool_; }
+  PageCache* pool() const { return pool_; }
 
  private:
-  BufferPool* pool_;
+  PageCache* pool_;
   size_t dim_;
   bool finalized_ = false;
   std::unordered_map<PageId, std::unique_ptr<GtNode>> nodes_;

@@ -50,6 +50,10 @@ struct TiqResult {
 // probability upper bound drops below the threshold, and traversal stops as
 // soon as (a) no unexpanded subtree can contain a qualifying object and (b)
 // every remaining candidate's membership is decided.
+//
+// Re-entrancy: like QueryMliq, all traversal state is per-call; concurrent
+// calls over one finalized tree with a thread-safe PageCache are safe and
+// return identical results.
 TiqResult QueryTiq(const GaussTree& tree, const Pfv& q, double threshold,
                    const TiqOptions& options = {});
 

@@ -10,7 +10,7 @@ namespace {
 constexpr size_t kHeaderBytes = sizeof(uint32_t);
 }  // namespace
 
-PfvFile::PfvFile(BufferPool* pool, size_t dim)
+PfvFile::PfvFile(PageCache* pool, size_t dim)
     : pool_(pool), dim_(dim) {
   GAUSS_CHECK(pool != nullptr);
   GAUSS_CHECK(dim > 0);
@@ -56,10 +56,10 @@ void PfvFile::Append(const Pfv& pfv) {
   if (slot == 0) {
     pages_.push_back(pool_->device()->Allocate());
   }
-  uint8_t* page = pool_->FetchMutable(pages_.back());
-  SerializeRecord(page, static_cast<uint32_t>(slot), pfv);
+  const PageRef page = pool_->FetchMutable(pages_.back());
+  SerializeRecord(page.mutable_data(), static_cast<uint32_t>(slot), pfv);
   const uint32_t count = static_cast<uint32_t>(slot + 1);
-  std::memcpy(page, &count, sizeof(count));
+  std::memcpy(page.mutable_data(), &count, sizeof(count));
   ++size_;
 }
 
@@ -72,9 +72,9 @@ Pfv PfvFile::Read(size_t i) const {
   GAUSS_CHECK(i < size_);
   const size_t page_idx = i / records_per_page_;
   const uint32_t slot = static_cast<uint32_t>(i % records_per_page_);
-  const uint8_t* page = pool_->Fetch(pages_[page_idx]);
-  GAUSS_DCHECK(slot < PageRecordCount(page));
-  return DeserializeRecord(page, slot);
+  const PageRef page = pool_->Fetch(pages_[page_idx]);
+  GAUSS_DCHECK(slot < PageRecordCount(page.data()));
+  return DeserializeRecord(page.data(), slot);
 }
 
 }  // namespace gauss

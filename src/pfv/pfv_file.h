@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "pfv/pfv.h"
-#include "storage/buffer_pool.h"
+#include "storage/page_cache.h"
 #include "storage/page.h"
 
 namespace gauss {
@@ -21,7 +21,7 @@ namespace gauss {
 class PfvFile {
  public:
   // `pool` must outlive the file; pages are allocated from its device.
-  PfvFile(BufferPool* pool, size_t dim);
+  PfvFile(PageCache* pool, size_t dim);
 
   // Appends a record (fills pages densely in insertion order).
   void Append(const Pfv& pfv);
@@ -37,10 +37,10 @@ class PfvFile {
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (size_t p = 0; p < pages_.size(); ++p) {
-      const uint8_t* page = pool_->Fetch(pages_[p]);
-      const uint32_t count = PageRecordCount(page);
+      const PageRef page = pool_->Fetch(pages_[p]);
+      const uint32_t count = PageRecordCount(page.data());
       for (uint32_t r = 0; r < count; ++r) {
-        fn(DeserializeRecord(page, r));
+        fn(DeserializeRecord(page.data(), r));
       }
     }
   }
@@ -50,14 +50,14 @@ class PfvFile {
   size_t page_count() const { return pages_.size(); }
   size_t records_per_page() const { return records_per_page_; }
   const std::vector<PageId>& pages() const { return pages_; }
-  BufferPool* pool() const { return pool_; }
+  PageCache* pool() const { return pool_; }
 
  private:
   uint32_t PageRecordCount(const uint8_t* page) const;
   Pfv DeserializeRecord(const uint8_t* page, uint32_t slot) const;
   void SerializeRecord(uint8_t* page, uint32_t slot, const Pfv& pfv) const;
 
-  BufferPool* pool_;
+  PageCache* pool_;
   size_t dim_;
   size_t record_size_;
   size_t records_per_page_;

@@ -1,0 +1,161 @@
+#include "service/query_service.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+namespace internal {
+
+// Completion state of one ExecuteBatch call. Lives on the caller's stack;
+// workers reach it through the WorkItems they pop. `remaining` is guarded by
+// `mu` (not an atomic) so that the final decrement, the notification, and
+// the waiter's wake-up all order through one lock — after the worker that
+// finishes the last query releases `mu`, no worker touches the batch again,
+// making it safe for ExecuteBatch to return and destroy this object.
+struct BatchState {
+  const std::vector<QueryRequest>* requests = nullptr;
+  std::vector<QueryResponse>* responses = nullptr;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t remaining = 0;
+};
+
+}  // namespace internal
+
+QueryRequest QueryRequest::Mliq(Pfv q, size_t k, MliqOptions options) {
+  QueryRequest req;
+  req.kind = QueryKind::kMliq;
+  req.query = std::move(q);
+  req.k = k;
+  req.mliq = options;
+  return req;
+}
+
+QueryRequest QueryRequest::Tiq(Pfv q, double threshold, TiqOptions options) {
+  QueryRequest req;
+  req.kind = QueryKind::kTiq;
+  req.query = std::move(q);
+  req.threshold = threshold;
+  req.tiq = options;
+  return req;
+}
+
+QueryService::QueryService(const GaussTree& tree, QueryServiceOptions options)
+    : tree_(tree),
+      queue_(options.queue_capacity) {
+  GAUSS_CHECK_MSG(tree.store().finalized(),
+                  "QueryService requires a finalized tree");
+  size_t workers = options.num_workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  GAUSS_CHECK_MSG(workers == 1 || tree.pool()->thread_safe(),
+                  "multi-worker serving needs a thread-safe PageCache "
+                  "(use ShardedBufferPool)");
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void QueryService::WorkerLoop() {
+  WorkItem item;
+  while (queue_.Pop(&item)) {
+    internal::BatchState* batch = item.batch;
+    const QueryRequest& req = (*batch->requests)[item.index];
+    QueryResponse& resp = (*batch->responses)[item.index];
+    resp.kind = req.kind;
+
+    const auto start = std::chrono::steady_clock::now();
+    if (req.kind == QueryKind::kMliq) {
+      MliqResult r = QueryMliq(tree_, req.query, req.k, req.mliq);
+      resp.items = std::move(r.items);
+      resp.nodes_visited = r.stats.nodes_visited;
+      resp.leaf_nodes_visited = r.stats.leaf_nodes_visited;
+      resp.objects_evaluated = r.stats.objects_evaluated;
+    } else {
+      TiqResult r = QueryTiq(tree_, req.query, req.threshold, req.tiq);
+      resp.items = std::move(r.items);
+      resp.nodes_visited = r.stats.nodes_visited;
+      resp.leaf_nodes_visited = r.stats.leaf_nodes_visited;
+      resp.objects_evaluated = r.stats.objects_evaluated;
+    }
+    resp.latency_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+
+    {
+      std::lock_guard<std::mutex> lock(batch->mu);
+      if (--batch->remaining == 0) batch->done_cv.notify_all();
+    }
+  }
+}
+
+BatchResult QueryService::ExecuteBatch(const std::vector<QueryRequest>& batch) {
+  BatchResult result;
+  result.responses.resize(batch.size());
+  if (batch.empty()) return result;
+
+  internal::BatchState state;
+  state.requests = &batch;
+  state.responses = &result.responses;
+  state.remaining = batch.size();
+
+  const IoStats io_before = tree_.pool()->stats();
+  const auto start = std::chrono::steady_clock::now();
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    // Push blocks while the queue is full — backpressure towards the
+    // submitting client. The queue only rejects after Close(), i.e. during
+    // service shutdown; executing a batch then is a caller bug.
+    GAUSS_CHECK_MSG(queue_.Push({&state, i}),
+                    "ExecuteBatch on a shut-down QueryService");
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+  }
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ServiceStats& stats = result.stats;
+  stats.wall_seconds = wall;
+  stats.io = tree_.pool()->stats() - io_before;
+  std::vector<uint64_t> latencies;
+  latencies.reserve(result.responses.size());
+  for (size_t i = 0; i < result.responses.size(); ++i) {
+    const QueryResponse& resp = result.responses[i];
+    if (batch[i].kind == QueryKind::kMliq) {
+      ++stats.mliq_queries;
+    } else {
+      ++stats.tiq_queries;
+    }
+    stats.nodes_visited += resp.nodes_visited;
+    stats.leaf_nodes_visited += resp.leaf_nodes_visited;
+    stats.objects_evaluated += resp.objects_evaluated;
+    latencies.push_back(resp.latency_ns);
+  }
+  stats.latency = LatencySummary::FromNanos(std::move(latencies));
+  if (wall > 0.0) {
+    stats.qps = static_cast<double>(stats.total_queries()) / wall;
+  }
+  return result;
+}
+
+}  // namespace gauss

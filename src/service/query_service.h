@@ -1,0 +1,133 @@
+#ifndef GAUSS_SERVICE_QUERY_SERVICE_H_
+#define GAUSS_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gausstree/gauss_tree.h"
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+#include "pfv/pfv.h"
+#include "service/request_queue.h"
+#include "service/service_stats.h"
+
+namespace gauss {
+
+// ============================== GaussServe ==================================
+//
+// QueryService is the concurrent batch query engine over one finalized
+// Gauss-tree: a fixed pool of worker threads executes MLIQ/TIQ
+// identification queries pulled from a bounded MPMC request queue.
+//
+// Serving model
+//   * The tree is read-only while the service is alive (the classic
+//     build-offline / serve-online shape). Build and Finalize() the tree
+//     single-threaded as usual, then either hand that tree to the service or
+//     — the intended production setup — reattach with GaussTree::Open() over
+//     a ShardedBufferPool on the same device, so concurrent workers share a
+//     latch-striped page cache instead of racing on the single-threaded
+//     BufferPool.
+//   * With more than one worker the tree's PageCache must advertise
+//     thread_safe(); the constructor enforces this, so a racy configuration
+//     fails loudly at startup instead of corrupting the cache under load.
+//
+// Batch execution
+//   * ExecuteBatch() admits every request of the batch through the bounded
+//     queue (blocking when it is full: backpressure), waits for the workers
+//     to complete them, and returns per-query responses in request order
+//     plus aggregate ServiceStats (throughput, latency percentiles, cache
+//     I/O delta, traversal-work totals).
+//   * Results are exactly the single-threaded QueryMliq/QueryTiq results:
+//     queries are independent read-only traversals, so the answer bytes do
+//     not depend on worker count or interleaving (service_test.cc asserts
+//     this).
+//   * ExecuteBatch may be called from several client threads at once; their
+//     batches interleave in the shared queue and complete independently.
+//
+// Typical use:
+//   ShardedBufferPool serve_pool(&device, kCachePages);
+//   auto tree = GaussTree::Open(&serve_pool, meta_page);
+//   QueryService service(*tree, {.num_workers = 8});
+//   std::vector<QueryRequest> batch;
+//   batch.push_back(QueryRequest::Mliq(probe, /*k=*/3));
+//   batch.push_back(QueryRequest::Tiq(probe2, /*threshold=*/0.2));
+//   BatchResult result = service.ExecuteBatch(batch);
+//   // result.responses[i] answers batch[i]; result.stats aggregates.
+// ============================================================================
+
+enum class QueryKind : uint8_t { kMliq = 0, kTiq = 1 };
+
+// One identification query. Use the factory helpers; only the fields of the
+// selected kind are read.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kMliq;
+  Pfv query;
+
+  // MLIQ parameters.
+  size_t k = 1;
+  MliqOptions mliq;
+
+  // TIQ parameters.
+  double threshold = 0.5;
+  TiqOptions tiq;
+
+  static QueryRequest Mliq(Pfv q, size_t k, MliqOptions options = {});
+  static QueryRequest Tiq(Pfv q, double threshold, TiqOptions options = {});
+};
+
+// Answer to one QueryRequest, in the same order the batch was submitted.
+struct QueryResponse {
+  QueryKind kind = QueryKind::kMliq;
+  // MLIQ: the k most likely identities, descending probability.
+  // TIQ: every identity at/above the threshold, descending probability.
+  std::vector<IdentificationResult> items;
+
+  uint64_t latency_ns = 0;  // execution time inside the worker
+  uint64_t nodes_visited = 0;
+  uint64_t leaf_nodes_visited = 0;
+  uint64_t objects_evaluated = 0;
+};
+
+struct BatchResult {
+  std::vector<QueryResponse> responses;  // responses[i] answers batch[i]
+  ServiceStats stats;
+};
+
+struct QueryServiceOptions {
+  // 0 = one worker per hardware thread.
+  size_t num_workers = 0;
+  // Bound of the admission queue (backpressure threshold).
+  size_t queue_capacity = 1024;
+};
+
+class QueryService {
+ public:
+  // `tree` must be finalized and outlive the service; with num_workers > 1
+  // its PageCache must be thread-safe (e.g. ShardedBufferPool).
+  QueryService(const GaussTree& tree, QueryServiceOptions options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Closes the queue and joins the workers (queued work is drained first).
+  ~QueryService();
+
+  // Executes every request and returns responses in request order plus
+  // aggregate statistics. Blocks until the batch completes. Thread-safe.
+  BatchResult ExecuteBatch(const std::vector<QueryRequest>& batch);
+
+  const GaussTree& tree() const { return tree_; }
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  const GaussTree& tree_;
+  RequestQueue queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,45 @@
+#include "service/request_queue.h"
+
+#include "common/macros.h"
+
+namespace gauss {
+
+RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {
+  GAUSS_CHECK(capacity > 0);
+}
+
+bool RequestQueue::Push(const WorkItem& item) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(item);
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::Pop(WorkItem* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // closed and drained
+  *out = items_.front();
+  items_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace gauss

@@ -1,0 +1,67 @@
+#ifndef GAUSS_SERVICE_REQUEST_QUEUE_H_
+#define GAUSS_SERVICE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace gauss {
+
+namespace internal {
+struct BatchState;  // per-batch completion state, owned by ExecuteBatch
+}  // namespace internal
+
+// One unit of work for a service worker: query `index` of a submitted batch.
+struct WorkItem {
+  internal::BatchState* batch = nullptr;
+  size_t index = 0;
+};
+
+// Bounded multi-producer/multi-consumer queue of WorkItems: the admission
+// point of GaussServe. Producers (ExecuteBatch callers) block while the
+// queue is full — the bound is the service's backpressure mechanism, keeping
+// the number of admitted-but-unserved queries finite no matter how fast
+// clients submit. Consumers (workers) block while it is empty.
+//
+// Design choice: a mutex + two condition variables rather than a lock-free
+// ring. A pop is followed by an MLIQ/TIQ traversal costing tens of
+// microseconds to milliseconds, so queue synchronization is noise (<1%) on
+// the serving path; the mutex version is ~60 lines, trivially correct, and
+// supports the blocking/closing semantics a lock-free ring would need extra
+// machinery for.
+class RequestQueue {
+ public:
+  // `capacity` > 0: maximum number of queued (not yet popped) items.
+  explicit RequestQueue(size_t capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  // Enqueues one item, blocking while the queue is full. Returns false (and
+  // drops the item) if the queue has been closed.
+  bool Push(const WorkItem& item);
+
+  // Dequeues into `*out`, blocking while the queue is empty. Returns false
+  // once the queue is closed *and* drained — the worker shutdown signal.
+  bool Pop(WorkItem* out);
+
+  // Closes the queue: subsequent Push calls fail, Pop drains what is left.
+  // Wakes every blocked producer and consumer.
+  void Close();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<WorkItem> items_;
+  bool closed_ = false;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_SERVICE_REQUEST_QUEUE_H_

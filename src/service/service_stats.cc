@@ -1,0 +1,69 @@
+#include "service/service_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gauss {
+
+namespace {
+
+// Nearest-rank percentile over an ascending-sorted sample vector: the
+// smallest sample such that at least pct% of the samples are <= it
+// (index ceil(pct/100 * n) - 1).
+double PercentileUs(const std::vector<uint64_t>& sorted_ns, double pct) {
+  if (sorted_ns.empty()) return 0.0;
+  const double rank =
+      std::ceil(pct / 100.0 * static_cast<double>(sorted_ns.size()));
+  size_t idx = rank <= 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+  if (idx >= sorted_ns.size()) idx = sorted_ns.size() - 1;
+  return static_cast<double>(sorted_ns[idx]) * 1e-3;
+}
+
+}  // namespace
+
+LatencySummary LatencySummary::FromNanos(std::vector<uint64_t> samples_ns) {
+  LatencySummary s;
+  s.count = samples_ns.size();
+  if (samples_ns.empty()) return s;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  uint64_t total = 0;
+  for (uint64_t ns : samples_ns) total += ns;
+  s.mean_us = static_cast<double>(total) * 1e-3 /
+              static_cast<double>(samples_ns.size());
+  s.p50_us = PercentileUs(samples_ns, 50.0);
+  s.p90_us = PercentileUs(samples_ns, 90.0);
+  s.p99_us = PercentileUs(samples_ns, 99.0);
+  s.max_us = static_cast<double>(samples_ns.back()) * 1e-3;
+  return s;
+}
+
+double ServiceStats::pages_per_query() const {
+  const uint64_t n = total_queries();
+  if (n == 0) return 0.0;
+  return static_cast<double>(io.logical_reads) / static_cast<double>(n);
+}
+
+std::string ServiceStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "queries: %llu (mliq %llu, tiq %llu) in %.3f s -> %.0f qps\n"
+      "latency us: mean %.1f  p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n"
+      "io: %llu logical / %llu physical reads (%.1f pages/query), "
+      "%llu evictions\n"
+      "work: %llu nodes (%llu leaves), %llu objects evaluated",
+      static_cast<unsigned long long>(total_queries()),
+      static_cast<unsigned long long>(mliq_queries),
+      static_cast<unsigned long long>(tiq_queries), wall_seconds, qps,
+      latency.mean_us, latency.p50_us, latency.p90_us, latency.p99_us,
+      latency.max_us, static_cast<unsigned long long>(io.logical_reads),
+      static_cast<unsigned long long>(io.physical_reads), pages_per_query(),
+      static_cast<unsigned long long>(io.evictions),
+      static_cast<unsigned long long>(nodes_visited),
+      static_cast<unsigned long long>(leaf_nodes_visited),
+      static_cast<unsigned long long>(objects_evaluated));
+  return std::string(buf);
+}
+
+}  // namespace gauss

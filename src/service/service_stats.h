@@ -1,0 +1,61 @@
+#ifndef GAUSS_SERVICE_SERVICE_STATS_H_
+#define GAUSS_SERVICE_SERVICE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/io_stats.h"
+
+namespace gauss {
+
+// Latency distribution of a set of queries, in microseconds.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+
+  // Summarizes raw per-query nanosecond samples (sorts a copy; percentiles
+  // use the nearest-rank method).
+  static LatencySummary FromNanos(std::vector<uint64_t> samples_ns);
+};
+
+// Aggregate statistics of one served batch: throughput, latency
+// distribution, buffer-cache I/O delta, and traversal-cost totals summed
+// over the batch's queries.
+struct ServiceStats {
+  uint64_t mliq_queries = 0;
+  uint64_t tiq_queries = 0;
+
+  double wall_seconds = 0.0;  // submit of the first query -> last completion
+  double qps = 0.0;           // (mliq + tiq) / wall_seconds
+
+  LatencySummary latency;
+
+  // Cache counters over the batch window. Exact totals when one batch runs
+  // at a time; concurrent batches on one service share the underlying
+  // relaxed-atomic counters, so each batch's delta then includes a slice of
+  // the others' traffic.
+  IoStats io;
+
+  // Traversal work summed over all queries of the batch.
+  uint64_t nodes_visited = 0;
+  uint64_t leaf_nodes_visited = 0;
+  uint64_t objects_evaluated = 0;
+
+  uint64_t total_queries() const { return mliq_queries + tiq_queries; }
+
+  // Buffer-cache fetches per query — the paper's logical page-access metric,
+  // averaged over the batch.
+  double pages_per_query() const;
+
+  // Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_SERVICE_SERVICE_STATS_H_

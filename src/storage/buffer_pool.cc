@@ -19,18 +19,28 @@ void BufferPool::Touch(PageId id, Frame& frame) {
 }
 
 void BufferPool::EvictIfFull() {
-  if (frames_.size() < capacity_) return;
-  GAUSS_CHECK(!lru_.empty());
-  const PageId victim = lru_.back();
-  auto it = frames_.find(victim);
-  GAUSS_CHECK(it != frames_.end());
-  if (it->second.dirty) {
-    device_->Write(victim, it->second.data.get());
-    ++stats_.physical_writes;
+  // Walk from the LRU end towards the front, evicting unpinned frames until
+  // strictly below capacity — this also reclaims overshoot from earlier
+  // all-pinned growth once those pins are released.
+  auto it = lru_.rbegin();
+  while (frames_.size() >= capacity_ && it != lru_.rend()) {
+    auto frame_it = frames_.find(*it);
+    GAUSS_CHECK(frame_it != frames_.end());
+    Frame& frame = frame_it->second;
+    if (frame.pins.load(std::memory_order_acquire) != 0) {
+      ++it;  // pinned frames must stay resident
+      continue;
+    }
+    if (frame.dirty) {
+      device_->Write(frame_it->first, frame.data.get());
+      ++stats_.physical_writes;
+    }
+    it = std::make_reverse_iterator(lru_.erase(frame.lru_pos));
+    frames_.erase(frame_it);
+    ++stats_.evictions;
   }
-  lru_.pop_back();
-  frames_.erase(it);
-  ++stats_.evictions;
+  // Loop exhausted with every frame pinned: grow past capacity instead of
+  // failing.
 }
 
 BufferPool::Frame& BufferPool::GetFrame(PageId id, bool count_read) {
@@ -41,25 +51,28 @@ BufferPool::Frame& BufferPool::GetFrame(PageId id, bool count_read) {
     return it->second;
   }
   EvictIfFull();
-  Frame frame;
+  auto [pos, inserted] = frames_.try_emplace(id);
+  GAUSS_CHECK(inserted);
+  Frame& frame = pos->second;
   frame.data = std::make_unique<uint8_t[]>(device_->page_size());
   device_->Read(id, frame.data.get());
   if (count_read) ++stats_.physical_reads;
   lru_.push_front(id);
   frame.lru_pos = lru_.begin();
-  auto [pos, inserted] = frames_.emplace(id, std::move(frame));
-  GAUSS_CHECK(inserted);
-  return pos->second;
+  return frame;
 }
 
-const uint8_t* BufferPool::Fetch(PageId id) {
-  return GetFrame(id, /*count_read=*/true).data.get();
+PageRef BufferPool::Fetch(PageId id) {
+  Frame& frame = GetFrame(id, /*count_read=*/true);
+  frame.pins.fetch_add(1, std::memory_order_relaxed);
+  return PageRef(frame.data.get(), &frame.pins);
 }
 
-uint8_t* BufferPool::FetchMutable(PageId id) {
+PageRef BufferPool::FetchMutable(PageId id) {
   Frame& frame = GetFrame(id, /*count_read=*/true);
   frame.dirty = true;
-  return frame.data.get();
+  frame.pins.fetch_add(1, std::memory_order_relaxed);
+  return PageRef(frame.data.get(), &frame.pins);
 }
 
 void BufferPool::WritePage(PageId id, const void* data) {
@@ -68,11 +81,11 @@ void BufferPool::WritePage(PageId id, const void* data) {
   auto it = frames_.find(id);
   if (it == frames_.end()) {
     EvictIfFull();
-    Frame frame;
+    it = frames_.try_emplace(id).first;
+    Frame& frame = it->second;
     frame.data = std::make_unique<uint8_t[]>(device_->page_size());
     lru_.push_front(id);
     frame.lru_pos = lru_.begin();
-    it = frames_.emplace(id, std::move(frame)).first;
   } else {
     Touch(id, it->second);
   }
@@ -92,8 +105,15 @@ void BufferPool::FlushAll() {
 
 void BufferPool::Clear() {
   FlushAll();
-  frames_.clear();
-  lru_.clear();
+  // Pinned frames survive a Clear: dropping them would dangle live refs.
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second.pins.load(std::memory_order_acquire) == 0) {
+      lru_.erase(it->second.lru_pos);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace gauss

@@ -49,6 +49,7 @@ FilePageDevice::~FilePageDevice() {
 }
 
 PageId FilePageDevice::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<uint8_t> zeros(page_size(), 0);
   GAUSS_CHECK(std::fseek(file_, 0, SEEK_END) == 0);
   GAUSS_CHECK(std::fwrite(zeros.data(), 1, page_size(), file_) == page_size());
@@ -56,6 +57,7 @@ PageId FilePageDevice::Allocate() {
 }
 
 void FilePageDevice::Read(PageId id, void* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   GAUSS_CHECK(id < page_count_);
   GAUSS_CHECK(std::fseek(file_, static_cast<long>(id) * page_size(),
                          SEEK_SET) == 0);
@@ -63,6 +65,7 @@ void FilePageDevice::Read(PageId id, void* out) const {
 }
 
 void FilePageDevice::Write(PageId id, const void* data) {
+  std::lock_guard<std::mutex> lock(mu_);
   GAUSS_CHECK(id < page_count_);
   GAUSS_CHECK(std::fseek(file_, static_cast<long>(id) * page_size(),
                          SEEK_SET) == 0);
@@ -71,6 +74,9 @@ void FilePageDevice::Write(PageId id, const void* data) {
 
 size_t FilePageDevice::PageCount() const { return page_count_; }
 
-void FilePageDevice::Sync() { GAUSS_CHECK(std::fflush(file_) == 0); }
+void FilePageDevice::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  GAUSS_CHECK(std::fflush(file_) == 0);
+}
 
 }  // namespace gauss

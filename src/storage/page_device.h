@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,8 +14,17 @@
 namespace gauss {
 
 // Abstraction of a block device holding fixed-size pages. Implementations
-// must be deterministic; all I/O accounting happens in the BufferPool layer
+// must be deterministic; all I/O accounting happens in the page-cache layer
 // above, not here.
+//
+// Thread-safety contract: `Read` must be safe to call concurrently with
+// other `Read`s — the ShardedBufferPool issues parallel reads from
+// different shards. `Allocate`/`Write` need external serialization against
+// everything else (they only run during single-threaded build/finalize).
+// InMemoryPageDevice meets the contract naturally (concurrent reads are
+// plain memcpys from stable allocations); FilePageDevice serializes all
+// operations on an internal mutex because stdio FILE positioning is shared
+// state.
 class PageDevice {
  public:
   explicit PageDevice(uint32_t page_size) : page_size_(page_size) {}
@@ -75,6 +85,7 @@ class FilePageDevice : public PageDevice {
   void Sync();
 
  private:
+  mutable std::mutex mu_;  // guards the shared FILE* position
   std::FILE* file_ = nullptr;
   size_t page_count_ = 0;
 };

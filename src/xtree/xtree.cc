@@ -75,7 +75,7 @@ uint32_t XtNode::SubtreeCount() const {
   return total;
 }
 
-XTree::XTree(BufferPool* pool, size_t dim, XTreeOptions options)
+XTree::XTree(PageCache* pool, size_t dim, XTreeOptions options)
     : pool_(pool), dim_(dim), options_(options) {
   GAUSS_CHECK(pool != nullptr);
   GAUSS_CHECK(dim > 0);
@@ -355,7 +355,8 @@ void XTree::Load(PageId id, XtNode* out) const {
     return;
   }
   const size_t page_size = pool_->device()->page_size();
-  const uint8_t* first = pool_->Fetch(id);
+  const PageRef first_ref = pool_->Fetch(id);
+  const uint8_t* first = first_ref.data();
   const uint8_t* p = first;
   XtNode node;
   node.id = id;
@@ -371,8 +372,8 @@ void XTree::Load(PageId id, XtNode* out) const {
     GAUSS_CHECK(extra != extra_pages_.end());
     assembled.assign(first, first + page_size);
     for (PageId extra_id : extra->second) {
-      const uint8_t* page = pool_->Fetch(extra_id);
-      assembled.insert(assembled.end(), page, page + page_size);
+      const PageRef page = pool_->Fetch(extra_id);
+      assembled.insert(assembled.end(), page.data(), page.data() + page_size);
     }
     p = assembled.data() + kHeaderBytes;
   }

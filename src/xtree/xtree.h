@@ -6,7 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "storage/buffer_pool.h"
+#include "storage/page_cache.h"
 #include "storage/page.h"
 #include "xtree/rect.h"
 
@@ -63,7 +63,7 @@ struct XTreeOptions {
 //    costs s accesses).
 class XTree {
  public:
-  XTree(BufferPool* pool, size_t dim, XTreeOptions options = {});
+  XTree(PageCache* pool, size_t dim, XTreeOptions options = {});
 
   XTree(const XTree&) = delete;
   XTree& operator=(const XTree&) = delete;
@@ -112,7 +112,7 @@ class XTree {
 
   size_t NodeCapacity(const XtNode& node) const;
 
-  BufferPool* pool_;
+  PageCache* pool_;
   size_t dim_;
   XTreeOptions options_;
   size_t leaf_capacity_;   // per page

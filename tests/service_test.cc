@@ -1,0 +1,285 @@
+// GaussServe tests: concurrent batch results must be byte-identical to the
+// sequential QueryMliq/QueryTiq loops, a multi-threaded stress run over one
+// shared sharded pool must be clean (run with -DGAUSS_TSAN=ON to check under
+// ThreadSanitizer), and the aggregate ServiceStats must add up.
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "gausstree/gauss_tree.h"
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+#include "service/query_service.h"
+#include "service/request_queue.h"
+#include "storage/page_device.h"
+#include "storage/buffer_pool.h"
+#include "storage/sharded_buffer_pool.h"
+
+namespace gauss {
+namespace {
+
+// One finalized tree on a shared device: built single-threaded through a
+// BufferPool, then reattached through a ShardedBufferPool for serving.
+class ServiceTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kDim = 6;
+  static constexpr size_t kObjects = 4000;
+
+  void SetUp() override {
+    ClusteredDatasetConfig config;
+    config.size = kObjects;
+    config.dim = kDim;
+    config.cluster_count = 25;
+    config.seed = 11;
+    dataset_ = GenerateClusteredDataset(config);
+
+    BufferPool build_pool(&device_, 1 << 14);
+    GaussTree build_tree(&build_pool, kDim);
+    build_tree.BulkLoad(dataset_);
+    build_tree.Finalize();
+    meta_page_ = build_tree.meta_page();
+
+    WorkloadConfig wconfig;
+    wconfig.query_count = 60;
+    wconfig.seed = 5;
+    workload_ = GenerateWorkload(dataset_, wconfig);
+  }
+
+  std::vector<QueryRequest> MakeBatch() const {
+    std::vector<QueryRequest> batch;
+    for (size_t i = 0; i < workload_.size(); ++i) {
+      if (i % 2 == 0) {
+        batch.push_back(QueryRequest::Mliq(workload_[i].query, /*k=*/3));
+      } else {
+        batch.push_back(QueryRequest::Tiq(workload_[i].query,
+                                          /*threshold=*/0.2));
+      }
+    }
+    return batch;
+  }
+
+  InMemoryPageDevice device_;
+  PfvDataset dataset_{kDim};
+  PageId meta_page_ = kInvalidPageId;
+  std::vector<IdentificationQuery> workload_;
+};
+
+void ExpectSameItems(const std::vector<IdentificationResult>& got,
+                     const std::vector<IdentificationResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id);
+    // Byte-identical, not approximately equal: the concurrent execution runs
+    // the very same deterministic traversal.
+    EXPECT_EQ(std::memcmp(&got[i].log_density, &want[i].log_density,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&got[i].probability, &want[i].probability,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&got[i].probability_error,
+                          &want[i].probability_error, sizeof(double)),
+              0);
+  }
+}
+
+TEST_F(ServiceTest, ConcurrentBatchMatchesSequentialQueries) {
+  ShardedBufferPool pool(&device_, 1 << 12);
+  auto tree = GaussTree::Open(&pool, meta_page_);
+
+  // Sequential ground truth through the plain query entry points.
+  const std::vector<QueryRequest> batch = MakeBatch();
+  std::vector<std::vector<IdentificationResult>> expected;
+  for (const QueryRequest& req : batch) {
+    if (req.kind == QueryKind::kMliq) {
+      expected.push_back(QueryMliq(*tree, req.query, req.k, req.mliq).items);
+    } else {
+      expected.push_back(
+          QueryTiq(*tree, req.query, req.threshold, req.tiq).items);
+    }
+  }
+
+  QueryServiceOptions options;
+  options.num_workers = 4;
+  QueryService service(*tree, options);
+  const BatchResult result = service.ExecuteBatch(batch);
+
+  ASSERT_EQ(result.responses.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(result.responses[i].kind, batch[i].kind);
+    ExpectSameItems(result.responses[i].items, expected[i]);
+  }
+}
+
+TEST_F(ServiceTest, RepeatedConcurrentBatchesAreDeterministic) {
+  ShardedBufferPool pool(&device_, 1 << 12);
+  auto tree = GaussTree::Open(&pool, meta_page_);
+  QueryServiceOptions options;
+  options.num_workers = 8;
+  options.queue_capacity = 16;  // force producer backpressure
+  QueryService service(*tree, options);
+
+  const std::vector<QueryRequest> batch = MakeBatch();
+  const BatchResult first = service.ExecuteBatch(batch);
+  for (int round = 0; round < 3; ++round) {
+    const BatchResult again = service.ExecuteBatch(batch);
+    ASSERT_EQ(again.responses.size(), first.responses.size());
+    for (size_t i = 0; i < again.responses.size(); ++i) {
+      ExpectSameItems(again.responses[i].items, first.responses[i].items);
+    }
+  }
+}
+
+// Stress: many workers over a deliberately tiny shared pool, so frames are
+// constantly evicted and re-read while other workers hold pins. Run with
+// -DGAUSS_TSAN=ON for the ThreadSanitizer check of the whole serving stack.
+TEST_F(ServiceTest, StressTinySharedPoolUnderEvictionChurn) {
+  ShardedBufferPool pool(&device_, /*capacity_pages=*/16, /*num_shards=*/4);
+  auto tree = GaussTree::Open(&pool, meta_page_);
+  QueryServiceOptions options;
+  options.num_workers = 8;
+  QueryService service(*tree, options);
+
+  const std::vector<QueryRequest> batch = MakeBatch();
+  std::vector<std::vector<IdentificationResult>> expected;
+  for (const QueryRequest& req : batch) {
+    if (req.kind == QueryKind::kMliq) {
+      expected.push_back(QueryMliq(*tree, req.query, req.k, req.mliq).items);
+    } else {
+      expected.push_back(
+          QueryTiq(*tree, req.query, req.threshold, req.tiq).items);
+    }
+  }
+
+  // Several client threads submitting batches concurrently to one service.
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 2; ++round) {
+        const BatchResult result = service.ExecuteBatch(batch);
+        ASSERT_EQ(result.responses.size(), batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+          ExpectSameItems(result.responses[i].items, expected[i]);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_GT(pool.stats().evictions, 0u);  // the churn actually happened
+}
+
+TEST_F(ServiceTest, StatsTotalsAddUp) {
+  ShardedBufferPool pool(&device_, 1 << 12);
+  auto tree = GaussTree::Open(&pool, meta_page_);
+  QueryServiceOptions options;
+  options.num_workers = 4;
+  QueryService service(*tree, options);
+
+  const std::vector<QueryRequest> batch = MakeBatch();
+  const BatchResult result = service.ExecuteBatch(batch);
+  const ServiceStats& stats = result.stats;
+
+  // Query-kind counts match the batch composition.
+  uint64_t want_mliq = 0, want_tiq = 0;
+  for (const QueryRequest& req : batch) {
+    (req.kind == QueryKind::kMliq ? want_mliq : want_tiq) += 1;
+  }
+  EXPECT_EQ(stats.mliq_queries, want_mliq);
+  EXPECT_EQ(stats.tiq_queries, want_tiq);
+  EXPECT_EQ(stats.total_queries(), batch.size());
+
+  // Work totals are the sums of the per-response counters.
+  uint64_t nodes = 0, leaves = 0, objects = 0;
+  for (const QueryResponse& resp : result.responses) {
+    nodes += resp.nodes_visited;
+    leaves += resp.leaf_nodes_visited;
+    objects += resp.objects_evaluated;
+    EXPECT_GT(resp.latency_ns, 0u);
+  }
+  EXPECT_EQ(stats.nodes_visited, nodes);
+  EXPECT_EQ(stats.leaf_nodes_visited, leaves);
+  EXPECT_EQ(stats.objects_evaluated, objects);
+
+  // Every query visits at least the root, and every node visit is a cache
+  // fetch, so the batch's logical reads cover the visited nodes.
+  EXPECT_GE(stats.nodes_visited, batch.size());
+  EXPECT_GE(stats.io.logical_reads, stats.nodes_visited);
+
+  EXPECT_EQ(stats.latency.count, batch.size());
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.qps, 0.0);
+  EXPECT_GE(stats.latency.p99_us, stats.latency.p50_us);
+  EXPECT_GE(stats.latency.max_us, stats.latency.p99_us);
+  EXPECT_GT(stats.pages_per_query(), 0.0);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST_F(ServiceTest, SingleWorkerRunsOverPlainBufferPool) {
+  // One worker needs no thread-safe cache; the plain pool must work.
+  BufferPool pool(&device_, 1 << 12);
+  auto tree = GaussTree::Open(&pool, meta_page_);
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(*tree, options);
+  const std::vector<QueryRequest> batch = MakeBatch();
+  const BatchResult result = service.ExecuteBatch(batch);
+  EXPECT_EQ(result.responses.size(), batch.size());
+  EXPECT_EQ(result.stats.total_queries(), batch.size());
+}
+
+TEST_F(ServiceTest, EmptyBatchReturnsEmptyResult) {
+  ShardedBufferPool pool(&device_, 1 << 12);
+  auto tree = GaussTree::Open(&pool, meta_page_);
+  QueryService service(*tree, {});
+  const BatchResult result = service.ExecuteBatch({});
+  EXPECT_TRUE(result.responses.empty());
+  EXPECT_EQ(result.stats.total_queries(), 0u);
+}
+
+TEST(RequestQueueTest, PushPopRoundTrip) {
+  RequestQueue queue(4);
+  WorkItem in{nullptr, 42};
+  EXPECT_TRUE(queue.Push(in));
+  EXPECT_EQ(queue.size(), 1u);
+  WorkItem out;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.index, 42u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(RequestQueueTest, CloseDrainsThenRejects) {
+  RequestQueue queue(4);
+  EXPECT_TRUE(queue.Push({nullptr, 1}));
+  EXPECT_TRUE(queue.Push({nullptr, 2}));
+  queue.Close();
+  EXPECT_FALSE(queue.Push({nullptr, 3}));  // rejected after close
+  WorkItem out;
+  EXPECT_TRUE(queue.Pop(&out));  // drained in order
+  EXPECT_EQ(out.index, 1u);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.index, 2u);
+  EXPECT_FALSE(queue.Pop(&out));  // closed and empty
+}
+
+TEST(RequestQueueTest, BoundedPushBlocksUntilPop) {
+  RequestQueue queue(1);
+  EXPECT_TRUE(queue.Push({nullptr, 1}));
+  std::thread producer([&] { EXPECT_TRUE(queue.Push({nullptr, 2})); });
+  // The producer is blocked on the full queue until this pop frees a slot.
+  WorkItem out;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.index, 1u);
+  producer.join();
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.index, 2u);
+}
+
+}  // namespace
+}  // namespace gauss

@@ -1,12 +1,15 @@
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
+#include "storage/sharded_buffer_pool.h"
 #include "storage/page_device.h"
 
 namespace gauss {
@@ -94,9 +97,11 @@ TEST(BufferPoolTest, DirtyPagesFlushOnEviction) {
   const PageId a = device.Allocate();
   const PageId b = device.Allocate();
   BufferPool pool(&device, 1);
-  uint8_t* frame = pool.FetchMutable(a);
-  frame[0] = 0xAB;
-  pool.Fetch(b);  // evicts dirty a
+  {
+    PageRef frame = pool.FetchMutable(a);
+    frame.mutable_data()[0] = 0xAB;
+  }
+  pool.Fetch(b);  // evicts dirty a (its ref was released above)
   std::vector<uint8_t> read(256);
   device.Read(a, read.data());
   EXPECT_EQ(read[0], 0xAB);
@@ -110,8 +115,8 @@ TEST(BufferPoolTest, WritePageDoesNotReadDevice) {
   const auto data = Pattern(256, 9);
   pool.WritePage(id, data.data());
   EXPECT_EQ(pool.stats().physical_reads, 0u);
-  const uint8_t* frame = pool.Fetch(id);
-  EXPECT_EQ(std::memcmp(frame, data.data(), 256), 0);
+  const PageRef frame = pool.Fetch(id);
+  EXPECT_EQ(std::memcmp(frame.data(), data.data(), 256), 0);
   EXPECT_EQ(pool.stats().physical_reads, 0u);  // still cached
 }
 
@@ -129,8 +134,7 @@ TEST(BufferPoolTest, FlushAllPersistsDirtyFrames) {
   InMemoryPageDevice device(128);
   const PageId id = device.Allocate();
   BufferPool pool(&device, 2);
-  uint8_t* frame = pool.FetchMutable(id);
-  frame[5] = 0x5C;
+  pool.FetchMutable(id).mutable_data()[5] = 0x5C;
   pool.FlushAll();
   std::vector<uint8_t> read(128);
   device.Read(id, read.data());
@@ -158,6 +162,93 @@ TEST(BufferPoolTest, CapacityRespected) {
   BufferPool pool(&device, 5);
   for (PageId id : ids) pool.Fetch(id);
   EXPECT_LE(pool.resident_pages(), 5u);
+}
+
+TEST(BufferPoolTest, PinnedFrameSurvivesEvictionPressure) {
+  InMemoryPageDevice device(128);
+  const PageId pinned = device.Allocate();
+  std::vector<PageId> rest;
+  for (int i = 0; i < 10; ++i) rest.push_back(device.Allocate());
+  BufferPool pool(&device, 2);
+  const auto data = Pattern(128, 11);
+  device.Write(pinned, data.data());
+
+  const PageRef ref = pool.Fetch(pinned);
+  // Hammer the tiny pool: the pinned frame must never be recycled.
+  for (PageId id : rest) pool.Fetch(id);
+  EXPECT_EQ(std::memcmp(ref.data(), data.data(), 128), 0);
+  const uint64_t physical = pool.stats().physical_reads;
+  pool.Fetch(pinned);  // still resident: no new device read
+  EXPECT_EQ(pool.stats().physical_reads, physical);
+}
+
+TEST(BufferPoolTest, PinnedFrameSurvivesClear) {
+  InMemoryPageDevice device(128);
+  const PageId id = device.Allocate();
+  BufferPool pool(&device, 4);
+  const PageRef ref = pool.Fetch(id);
+  pool.Clear();
+  EXPECT_EQ(pool.resident_pages(), 1u);  // the pinned frame stayed
+  pool.Fetch(id);
+  EXPECT_EQ(pool.stats().physical_reads, 1u);  // and was a cache hit
+}
+
+TEST(ShardedBufferPoolTest, FetchMatchesDeviceContents) {
+  InMemoryPageDevice device(256);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(device.Allocate());
+    device.Write(ids.back(), Pattern(256, static_cast<uint8_t>(i)).data());
+  }
+  ShardedBufferPool pool(&device, 16, /*num_shards=*/4);
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      const PageRef ref = pool.Fetch(ids[i]);
+      const auto want = Pattern(256, static_cast<uint8_t>(i));
+      EXPECT_EQ(std::memcmp(ref.data(), want.data(), 256), 0);
+    }
+  }
+  EXPECT_EQ(pool.stats().logical_reads, 64u);
+  EXPECT_LE(pool.resident_pages(), 16u);
+}
+
+TEST(ShardedBufferPoolTest, WarmFetchesAreLogicalOnly) {
+  InMemoryPageDevice device(256);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(device.Allocate());
+  ShardedBufferPool pool(&device, 64, /*num_shards=*/8);
+  for (PageId id : ids) pool.Fetch(id);
+  const uint64_t physical = pool.stats().physical_reads;
+  EXPECT_EQ(physical, 8u);
+  for (PageId id : ids) pool.Fetch(id);
+  EXPECT_EQ(pool.stats().physical_reads, physical);
+  EXPECT_EQ(pool.stats().logical_reads, 16u);
+}
+
+TEST(ShardedBufferPoolTest, ConcurrentFetchesAreConsistent) {
+  InMemoryPageDevice device(256);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(device.Allocate());
+    device.Write(ids.back(), Pattern(256, static_cast<uint8_t>(i * 3)).data());
+  }
+  // Tiny capacity: constant eviction churn under concurrency.
+  ShardedBufferPool pool(&device, 8, /*num_shards=*/4);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int iter = 0; iter < 400; ++iter) {
+        const int i = (iter * 13 + t * 29) % 64;
+        const PageRef ref = pool.Fetch(ids[i]);
+        const auto want = Pattern(256, static_cast<uint8_t>(i * 3));
+        if (std::memcmp(ref.data(), want.data(), 256) != 0) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(pool.stats().logical_reads, 8u * 400u);
 }
 
 TEST(DiskModelTest, SequentialFasterThanRandomForManyPages) {
