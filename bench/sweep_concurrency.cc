@@ -1,9 +1,10 @@
-// GaussServe scaling sweep: worker threads x batch size -> QPS, p50/p99
-// latency, logical pages per query. One finalized Gauss-tree is served
-// through a ShardedBufferPool; every (threads, batch) cell runs the same
-// MLIQ workload on a warm cache, and the answers of every cell are checked
-// against the single-worker run, so the speedup numbers can't come from
-// computing something different.
+// GaussDb scaling sweep: worker threads x batch size -> QPS, p50/p99
+// latency, logical pages per query. One database is built once and served
+// through per-cell Sessions (each Serve() call builds an independent
+// sharded-cache + worker-pool stack over the same finalized pages); every
+// (threads, batch) cell runs the same MLIQ workload on a warm cache, and the
+// answers of every cell are checked against the single-worker run, so the
+// speedup numbers can't come from computing something different.
 //
 // Scaling expectation: queries are independent read-only traversals, so QPS
 // grows with worker count until the machine runs out of cores (on a 1-core
@@ -20,14 +21,10 @@
 #include <thread>
 #include <vector>
 
+#include "api/gauss_db.h"
 #include "data/generators.h"
 #include "data/workload.h"
 #include "eval/report.h"
-#include "gausstree/gauss_tree.h"
-#include "service/query_service.h"
-#include "storage/buffer_pool.h"
-#include "storage/page_device.h"
-#include "storage/sharded_buffer_pool.h"
 
 namespace gauss::bench {
 namespace {
@@ -52,7 +49,7 @@ bool SameAnswers(const BatchResult& a, const BatchResult& b) {
 }
 
 void Run() {
-  PrintBanner(std::cout, "GaussServe concurrency sweep (3-MLIQ, warm cache)");
+  PrintBanner(std::cout, "GaussDb concurrency sweep (3-MLIQ, warm cache)");
   double scale = 1.0;
   if (const char* env = std::getenv("GAUSS_BENCH_SCALE")) {
     const double s = std::atof(env);
@@ -64,26 +61,12 @@ void Run() {
   config.dim = 10;
   const PfvDataset dataset = GenerateClusteredDataset(config);
 
-  InMemoryPageDevice device(kDefaultPageSize);
-  PageId meta_page;
-  {
-    BufferPool build_pool(&device, 1 << 15);
-    GaussTree build_tree(&build_pool, dataset.dim());
-    build_tree.BulkLoad(dataset);
-    build_tree.Finalize();
-    meta_page = build_tree.meta_page();
-  }
-
-  // Serving pool sized for the whole tree: the sweep measures concurrency
-  // scaling, not cache misses (sweep_cache covers those).
-  ShardedBufferPool pool(&device, 1 << 15);
-  auto tree = GaussTree::Open(&pool, meta_page);
+  GaussDb db = GaussDb::CreateInMemory(config.dim);
+  db.Build(dataset);
 
   WorkloadConfig wconfig;
   wconfig.query_count = 512;
   const auto workload = GenerateWorkload(dataset, wconfig);
-  MliqOptions mliq_options;
-  mliq_options.probability_accuracy = 1e-2;
 
   std::cout << "objects: " << dataset.size()
             << "  hardware threads: " << std::thread::hardware_concurrency()
@@ -92,31 +75,44 @@ void Run() {
   Table table({"workers", "batch", "qps", "speedup", "p50 us", "p99 us",
                "pages/query"});
   double single_thread_qps = 0.0;
-  BatchResult reference;
-  bool reference_set = false;
+
+  auto make_batch = [&](size_t batch_size) {
+    std::vector<Query> batch;
+    batch.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(
+          Query::Mliq(workload[i % workload.size()].query, /*k=*/3)
+              .Accuracy(1e-2));
+    }
+    return batch;
+  };
+
+  // Reference answers from a dedicated single-worker run over the full
+  // workload, captured before the sweep so *every* cell is checked against
+  // it (smaller batches are prefixes, so answer i must match answer i).
+  ServeOptions ref_serve;
+  ref_serve.num_workers = 1;
+  ref_serve.cache_pages = 1 << 15;
+  const BatchResult reference =
+      db.Serve(ref_serve).ExecuteBatch(make_batch(512));
 
   for (size_t workers : {1, 2, 4, 8, 16}) {
     for (size_t batch_size : {64, 512}) {
-      std::vector<QueryRequest> batch;
-      batch.reserve(batch_size);
-      for (size_t i = 0; i < batch_size; ++i) {
-        batch.push_back(QueryRequest::Mliq(
-            workload[i % workload.size()].query, /*k=*/3, mliq_options));
-      }
+      const std::vector<Query> batch = make_batch(batch_size);
 
-      QueryServiceOptions options;
-      options.num_workers = workers;
-      options.queue_capacity = batch_size;
-      QueryService service(*tree, options);
+      // Serving pool sized for the whole tree: the sweep measures
+      // concurrency scaling, not cache misses (sweep_cache covers those).
+      ServeOptions serve;
+      serve.num_workers = workers;
+      serve.cache_pages = 1 << 15;
+      serve.queue_capacity = batch_size;
+      Session session = db.Serve(serve);
 
-      service.ExecuteBatch(batch);  // warm the cache and the threads
-      pool.ResetStats();
-      BatchResult result = service.ExecuteBatch(batch);
+      session.ExecuteBatch(batch);  // warm the cache and the threads
+      session.cache().ResetStats();
+      BatchResult result = session.ExecuteBatch(batch);
 
-      if (!reference_set && batch_size == 512) {
-        reference = result;
-        reference_set = true;
-      } else if (reference_set && !SameAnswers(result, reference)) {
+      if (!SameAnswers(result, reference)) {
         std::cout << "ERROR: answers diverged at " << workers << " workers\n";
         std::exit(1);
       }

@@ -11,10 +11,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/gauss_db.h"
 #include "common/random.h"
-#include "gausstree/gauss_tree.h"
-#include "gausstree/mliq.h"
-#include "gausstree/tiq.h"
 #include "pfv/pfv_file.h"
 #include "scan/seq_scan.h"
 #include "storage/buffer_pool.h"
@@ -58,10 +56,12 @@ int main() {
     for (double& f : face) f = rng.NextDouble();
   }
 
-  InMemoryPageDevice device(kDefaultPageSize);
-  BufferPool pool(&device, 1 << 14);
-  GaussTree gallery(&pool, kFeatures);
-  PfvFile file(&pool, kFeatures);
+  // The gallery database, plus a flat pfv file (own storage) for the
+  // Euclidean-NN baseline.
+  GaussDb db = GaussDb::CreateInMemory(kFeatures);
+  InMemoryPageDevice scan_device(kDefaultPageSize);
+  BufferPool scan_pool(&scan_device, 1 << 14);
+  PfvFile file(&scan_pool, kFeatures);
 
   // Enrollment: one observation per person under random conditions.
   for (size_t person = 0; person < kPersons; ++person) {
@@ -72,10 +72,10 @@ int main() {
       observed[f] = rng.Gaussian(true_faces[person][f], sigma[f]);
     }
     const Pfv enrolled(person, observed, sigma);
-    gallery.Insert(enrolled);
+    db.Insert(enrolled);
     file.Append(enrolled);
   }
-  gallery.Finalize();
+  Session gallery = db.Serve();
   SeqScan scan(&file);
 
   // Identification probes: re-observations of enrolled persons.
@@ -90,7 +90,7 @@ int main() {
     }
     const Pfv q(900000 + probe, observed, sigma);
 
-    const MliqResult mliq = QueryMliq(gallery, q, 1);
+    const QueryResponse mliq = gallery.Submit(Query::Mliq(q, 1)).get();
     if (!mliq.items.empty() && mliq.items[0].id == person) ++mliq_correct;
 
     const auto nn = scan.QueryKnnMeans(q, 1);
@@ -98,7 +98,7 @@ int main() {
 
     // Watchlist semantics: report everyone who could be this probe with at
     // least 5% probability.
-    const TiqResult watchlist = QueryTiq(gallery, q, 0.05);
+    const QueryResponse watchlist = gallery.Submit(Query::Tiq(q, 0.05)).get();
     for (const auto& item : watchlist.items) {
       if (item.id == person) {
         ++watchlist_hits;

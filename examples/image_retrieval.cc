@@ -5,9 +5,8 @@
 
 #include <cstdio>
 
+#include "api/gauss_db.h"
 #include "data/paper_datasets.h"
-#include "gausstree/gauss_tree.h"
-#include "gausstree/mliq.h"
 #include "gausstree/tree_stats.h"
 #include "pfv/pfv_file.h"
 #include "scan/seq_scan.h"
@@ -26,15 +25,19 @@ int main() {
   const PaperDataset data = GeneratePaperDataset1(4000);
   const size_t dim = data.dataset.dim();
 
+  // The identification database. Build() bulk-loads (top-down hull-integral
+  // partitioning — distinctly more selective than repeated insertion, see
+  // bench/ablation_bulkload) and finalizes in one call.
+  GaussDb db = GaussDb::CreateInMemory(dim);
+  db.Build(data.dataset);
+  Session session = db.Serve();
+
+  // The competing access methods (X-tree on rectangular approximations,
+  // sequential scan) on their own storage stack.
   InMemoryPageDevice device(kDefaultPageSize);
   BufferPool pool(&device, 1 << 14);
-  GaussTree tree(&pool, dim);
   PfvFile file(&pool, dim);
   XTree xtree(&pool, dim);
-  // Bulk loading (top-down hull-integral partitioning) builds a distinctly
-  // more selective tree than repeated insertion — see bench/ablation_bulkload.
-  tree.BulkLoad(data.dataset);
-  tree.Finalize();
   file.AppendAll(data.dataset);
   for (uint32_t i = 0; i < data.dataset.size(); ++i) {
     xtree.Insert(data.dataset[i], i);
@@ -43,19 +46,19 @@ int main() {
   SeqScan scan(&file);
   XTreeQueries xq(&xtree, &file);
 
-  PrintTreeSummary(tree, std::cout);
+  PrintTreeSummary(session.tree(), std::cout);
 
   // "Find the image this (re-photographed, differently lit) picture shows."
   const auto workload = GeneratePaperWorkload(data, 60);
   size_t tree_hits = 0, xtree_hits = 0, nn_hits = 0;
   uint64_t tree_pages = 0, xtree_pages = 0;
-  MliqOptions options;
-  options.probability_accuracy = 1e-2;
   for (const auto& iq : workload) {
-    pool.Clear();
-    pool.ResetStats();
-    const MliqResult g = QueryMliq(tree, iq.query, 1, options);
-    tree_pages += pool.stats().physical_reads;
+    // Cold-start the caches per query, matching the paper's protocol.
+    session.cache().Clear();
+    session.cache().ResetStats();
+    const QueryResponse g =
+        session.Submit(Query::Mliq(iq.query, 1).Accuracy(1e-2)).get();
+    tree_pages += session.cache().stats().physical_reads;
     if (!g.items.empty() && g.items[0].id == iq.true_id) ++tree_hits;
 
     pool.Clear();

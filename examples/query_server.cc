@@ -1,34 +1,34 @@
-// GaussServe demo: a face-identification service under concurrent load.
+// GaussDb demo: a face-identification service under concurrent load.
 //
-// The offline path enrolls a synthetic gallery of persons into a Gauss-tree
-// and finalizes it to pages (the build-offline step). The online path then
-// reattaches the finalized tree through a ShardedBufferPool and serves a
-// probe stream with QueryService: several client threads submit batches of
-// MLIQ (who is this?) and TIQ (watchlist: anyone above 20%?) queries that a
-// worker pool executes concurrently over the shared page cache.
+// The offline path enrolls a synthetic gallery of persons into a GaussDb and
+// the online path serves a probe stream from a Session: several client
+// threads submit batches of MLIQ (who is this?) and TIQ (watchlist: anyone
+// above 20%?) queries that the session's worker pool executes concurrently
+// over a shared sharded page cache. A separate latency-sensitive client
+// streams single probes through Submit() with a per-query deadline — the
+// admission-control path: expired or shed probes come back immediately with
+// a non-kOk status instead of silently queueing forever.
 //
 // Output: identification accuracy plus the service's aggregate stats —
-// throughput, latency percentiles, and page I/O per query.
+// throughput, latency percentiles, page I/O, and admission-control counts.
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "api/gauss_db.h"
 #include "common/random.h"
-#include "gausstree/gauss_tree.h"
-#include "service/query_service.h"
-#include "storage/buffer_pool.h"
-#include "storage/page_device.h"
-#include "storage/sharded_buffer_pool.h"
 
 namespace {
 
 constexpr size_t kPersons = 5000;
 constexpr size_t kFeatures = 12;
-constexpr size_t kClients = 3;       // concurrent submitters
+constexpr size_t kClients = 3;       // concurrent batch submitters
 constexpr size_t kBatchesPerClient = 4;
 constexpr size_t kProbesPerBatch = 100;
+constexpr size_t kStreamedProbes = 200;  // deadline-carrying singles
 constexpr double kWatchlistThreshold = 0.2;
 
 // Per-feature measurement noise depending on capture conditions (cf.
@@ -54,36 +54,30 @@ int main() {
     for (double& f : face) f = rng.NextDouble();
   }
 
-  // ---- Offline: enroll and finalize the gallery. -------------------------
-  InMemoryPageDevice device(kDefaultPageSize);
-  PageId meta_page;
-  {
-    BufferPool build_pool(&device, 1 << 14);
-    GaussTree gallery(&build_pool, kFeatures);
-    for (size_t person = 0; person < kPersons; ++person) {
-      const std::vector<double> sigma = FeatureSigmas(rng);
-      std::vector<double> observed(kFeatures);
-      for (size_t f = 0; f < kFeatures; ++f) {
-        observed[f] = rng.Gaussian(true_faces[person][f], sigma[f]);
-      }
-      gallery.Insert(Pfv(person, observed, sigma));
+  // ---- Offline: enroll the gallery. --------------------------------------
+  GaussDb db = GaussDb::CreateInMemory(kFeatures);
+  for (size_t person = 0; person < kPersons; ++person) {
+    const std::vector<double> sigma = FeatureSigmas(rng);
+    std::vector<double> observed(kFeatures);
+    for (size_t f = 0; f < kFeatures; ++f) {
+      observed[f] = rng.Gaussian(true_faces[person][f], sigma[f]);
     }
-    gallery.Finalize();
-    meta_page = gallery.meta_page();
+    db.Insert(Pfv(person, observed, sigma));
   }
 
-  // ---- Online: serve the finalized tree through a sharded cache. ---------
-  ShardedBufferPool pool(&device, 1 << 12);
-  auto gallery = GaussTree::Open(&pool, meta_page);
-  QueryServiceOptions options;
-  options.num_workers = 4;
-  QueryService service(*gallery, options);
+  // ---- Online: one serving session, shared by every client thread. -------
+  ServeOptions serve;
+  serve.num_workers = 4;
+  serve.cache_pages = 1 << 12;
+  Session session = db.Serve(serve);
 
-  std::printf("GaussServe: %zu enrolled persons, %zu workers, %zu clients\n",
-              kPersons, service.num_workers(), kClients);
+  std::printf("GaussDb: %zu enrolled persons, %zu workers, %zu batch clients "
+              "+ 1 streaming client\n",
+              db.size(), session.num_workers(), kClients);
 
   std::atomic<size_t> identified{0};
   std::atomic<size_t> probes_total{0};
+  std::atomic<size_t> mliq_probes{0};
   std::atomic<size_t> watchlist_reports{0};
 
   auto client = [&](size_t client_id) {
@@ -91,7 +85,7 @@ int main() {
     for (size_t b = 0; b < kBatchesPerClient; ++b) {
       // Each batch probes random enrolled persons under fresh conditions.
       std::vector<size_t> truth(kProbesPerBatch);
-      std::vector<QueryRequest> batch;
+      std::vector<Query> batch;
       batch.reserve(kProbesPerBatch);
       for (size_t p = 0; p < kProbesPerBatch; ++p) {
         const size_t person = client_rng.UniformInt(kPersons);
@@ -103,18 +97,18 @@ int main() {
         }
         Pfv probe(900000 + p, observed, sigma);
         if (p % 4 == 3) {
-          batch.push_back(QueryRequest::Tiq(std::move(probe),
-                                            kWatchlistThreshold));
+          batch.push_back(Query::Tiq(std::move(probe), kWatchlistThreshold));
         } else {
-          batch.push_back(QueryRequest::Mliq(std::move(probe), /*k=*/1));
+          batch.push_back(Query::Mliq(std::move(probe), /*k=*/1));
         }
       }
 
-      const BatchResult result = service.ExecuteBatch(batch);
+      const BatchResult result = session.ExecuteBatch(batch);
       for (size_t p = 0; p < result.responses.size(); ++p) {
         const QueryResponse& resp = result.responses[p];
         probes_total.fetch_add(1, std::memory_order_relaxed);
         if (resp.kind == QueryKind::kMliq) {
+          mliq_probes.fetch_add(1, std::memory_order_relaxed);
           if (!resp.items.empty() && resp.items[0].id == truth[p]) {
             identified.fetch_add(1, std::memory_order_relaxed);
           }
@@ -130,22 +124,51 @@ int main() {
     }
   };
 
+  // A latency-sensitive access-control gate: a probe that cannot *start*
+  // executing within 50 ms is rejected (queue full -> shed, budget gone ->
+  // expired) and the gate falls back to a secondary check. Submit() + an
+  // execution-start deadline gives exactly that contract.
+  std::atomic<size_t> streamed_ok{0}, streamed_rejected{0};
+  auto streaming_client = [&] {
+    Rng stream_rng(999);
+    for (size_t p = 0; p < kStreamedProbes; ++p) {
+      const size_t person = stream_rng.UniformInt(kPersons);
+      const std::vector<double> sigma = FeatureSigmas(stream_rng);
+      std::vector<double> observed(kFeatures);
+      for (size_t f = 0; f < kFeatures; ++f) {
+        observed[f] = stream_rng.Gaussian(true_faces[person][f], sigma[f]);
+      }
+      auto future = session.Submit(
+          Query::Mliq(Pfv(950000 + p, observed, sigma), /*k=*/1)
+              .DeadlineAfter(std::chrono::milliseconds(50)));
+      const QueryResponse resp = future.get();
+      if (resp.status == QueryResponse::Status::kOk) {
+        streamed_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        streamed_rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
   std::vector<std::thread> clients;
   for (size_t c = 0; c < kClients; ++c) clients.emplace_back(client, c);
+  clients.emplace_back(streaming_client);
   for (auto& t : clients) t.join();
 
-  const size_t mliq_probes = probes_total.load() * 3 / 4;
-  std::printf("\nserved %zu probes from %zu clients\n", probes_total.load(),
-              kClients);
+  std::printf("\nserved %zu batched probes from %zu clients\n",
+              probes_total.load(), kClients);
   std::printf("MLIQ top-1 identification: %zu/%zu correct\n",
-              identified.load(), mliq_probes);
+              identified.load(), mliq_probes.load());
   std::printf("TIQ watchlist reports: %zu identities above %.0f%%\n",
               watchlist_reports.load(), kWatchlistThreshold * 100);
-  const IoStats io = pool.stats();
+  std::printf("streaming gate: %zu answered in budget, %zu shed/expired "
+              "(deadline 50 ms)\n",
+              streamed_ok.load(), streamed_rejected.load());
+  const IoStats io = session.cache().stats();
   std::printf("cache: %llu logical / %llu physical reads over %zu resident "
               "pages\n",
               static_cast<unsigned long long>(io.logical_reads),
               static_cast<unsigned long long>(io.physical_reads),
-              pool.resident_pages());
+              session.cache().resident_pages());
   return 0;
 }

@@ -8,9 +8,7 @@
 
 #include <cstdio>
 
-#include "gausstree/gauss_tree.h"
-#include "gausstree/mliq.h"
-#include "gausstree/tiq.h"
+#include "api/gauss_db.h"
 #include "pfv/pfv_file.h"
 #include "scan/seq_scan.h"
 #include "storage/buffer_pool.h"
@@ -19,23 +17,22 @@
 int main() {
   using namespace gauss;
 
-  // Storage: an in-memory page device behind a small buffer pool.
-  InMemoryPageDevice device(kDefaultPageSize);
-  BufferPool pool(&device, 64);
-
   // The probabilistic feature vectors: (id, means, standard deviations).
   const Pfv o1(1, {2.6, 1.6}, {0.15, 0.15});  // good rotation & illumination
   const Pfv o2(2, {1.2, 2.6}, {0.90, 0.90});  // bad rotation & illumination
   const Pfv o3(3, {1.8, 4.2}, {0.80, 0.15});  // bad rotation, good illum.
 
-  // Index them in a Gauss-tree (and a flat file for the scan baseline).
-  GaussTree tree(&pool, /*dim=*/2);
-  PfvFile file(&pool, 2);
-  for (const Pfv& v : {o1, o2, o3}) {
-    tree.Insert(v);
-    file.Append(v);
-  }
-  tree.Finalize();
+  // The identification database: GaussDb owns the storage stack (device,
+  // caches, Gauss-tree) behind three calls.
+  GaussDb db = GaussDb::CreateInMemory(/*dim=*/2);
+  for (const Pfv& v : {o1, o2, o3}) db.Insert(v);
+  Session session = db.Serve();
+
+  // A flat pfv file for the conventional sequential-scan baseline.
+  InMemoryPageDevice scan_device(kDefaultPageSize);
+  BufferPool scan_pool(&scan_device, 64);
+  PfvFile file(&scan_pool, 2);
+  for (const Pfv& v : {o1, o2, o3}) file.Append(v);
 
   // The query observation: rotation was good (F1 exact, sigma 0.12) but the
   // illumination was bad (F2 uncertain, sigma 0.85).
@@ -49,7 +46,7 @@ int main() {
               (unsigned long long)nn[2]);
 
   // The probabilistic identification query (k-MLIQ).
-  const MliqResult mliq = QueryMliq(tree, query, 3);
+  const QueryResponse mliq = session.Submit(Query::Mliq(query, 3)).get();
   std::printf("k-MLIQ identification :");
   for (const auto& item : mliq.items) {
     std::printf(" O%llu=%.0f%%", (unsigned long long)item.id,
@@ -58,7 +55,7 @@ int main() {
   std::printf("\n");
 
   // A threshold identification query: everyone above 12%.
-  const TiqResult tiq = QueryTiq(tree, query, 0.12);
+  const QueryResponse tiq = session.Submit(Query::Tiq(query, 0.12)).get();
   std::printf("TIQ (P >= 12%%)        :");
   for (const auto& item : tiq.items) {
     std::printf(" O%llu=%.0f%%", (unsigned long long)item.id,

@@ -12,12 +12,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/gauss_db.h"
 #include "common/random.h"
-#include "gausstree/gauss_tree.h"
-#include "gausstree/mliq.h"
-#include "gausstree/tiq.h"
-#include "storage/buffer_pool.h"
-#include "storage/page_device.h"
 
 namespace {
 
@@ -41,9 +37,7 @@ int main() {
     for (double& v : s) v = rng.NextDouble();
   }
 
-  InMemoryPageDevice device(kDefaultPageSize);
-  BufferPool pool(&device, 1 << 14);
-  GaussTree track_db(&pool, kSignature);
+  GaussDb db = GaussDb::CreateInMemory(kSignature);
 
   // One enrollment sighting per emitter, from a random-grade sensor at a
   // random range (noise grows with range; some channels fade more).
@@ -60,9 +54,9 @@ int main() {
   };
 
   for (size_t e = 0; e < kEmitters; ++e) {
-    track_db.Insert(observe(signatures[e], e));
+    db.Insert(observe(signatures[e], e));
   }
-  track_db.Finalize();
+  Session track_db = db.Serve();
 
   // Re-sightings from different sensors; match them back.
   size_t rank1 = 0, confident = 0, ambiguous = 0;
@@ -71,7 +65,7 @@ int main() {
     const size_t emitter = rng.UniformInt(kEmitters);
     const Pfv probe = observe(signatures[emitter], 700000 + s);
 
-    const MliqResult top = QueryMliq(track_db, probe, 3);
+    const QueryResponse top = track_db.Submit(Query::Mliq(probe, 3)).get();
     objects_evaluated += top.stats.objects_evaluated;
     if (!top.items.empty() && top.items[0].id == emitter) ++rank1;
 
@@ -81,7 +75,8 @@ int main() {
       ++confident;
     } else {
       // Otherwise inspect all plausible tracks (P >= 10%).
-      const TiqResult plausible = QueryTiq(track_db, probe, 0.10);
+      const QueryResponse plausible =
+          track_db.Submit(Query::Tiq(probe, 0.10)).get();
       ambiguous += plausible.items.size() > 1 ? 1 : 0;
     }
   }

@@ -1,0 +1,107 @@
+#include "api/gauss_db.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+GaussDb GaussDb::CreateInMemory(size_t dim, GaussDbOptions options) {
+  GaussDb db;
+  db.options_ = options;
+  db.dim_ = dim;
+  db.device_ = std::make_unique<InMemoryPageDevice>(options.page_size);
+  db.build_pool_ =
+      std::make_unique<BufferPool>(db.device_.get(), options.build_cache_pages);
+  db.tree_ = std::make_unique<GaussTree>(db.build_pool_.get(), dim,
+                                         options.tree);
+  db.meta_page_ = db.tree_->meta_page();
+  GAUSS_CHECK(db.meta_page_ == kMetaPage);  // OpenFile() depends on this
+  return db;
+}
+
+GaussDb GaussDb::CreateOnFile(const std::string& path, size_t dim,
+                              GaussDbOptions options) {
+  GaussDb db;
+  db.options_ = options;
+  db.dim_ = dim;
+  auto device = std::make_unique<FilePageDevice>(path, options.page_size,
+                                                 /*truncate=*/true);
+  db.file_device_ = device.get();
+  db.device_ = std::move(device);
+  db.build_pool_ =
+      std::make_unique<BufferPool>(db.device_.get(), options.build_cache_pages);
+  db.tree_ = std::make_unique<GaussTree>(db.build_pool_.get(), dim,
+                                         options.tree);
+  db.meta_page_ = db.tree_->meta_page();
+  GAUSS_CHECK(db.meta_page_ == kMetaPage);
+  return db;
+}
+
+GaussDb GaussDb::OpenFile(const std::string& path, GaussDbOptions options) {
+  GaussDb db;
+  db.options_ = options;
+  auto device = std::make_unique<FilePageDevice>(path, options.page_size,
+                                                 /*truncate=*/false);
+  db.file_device_ = device.get();
+  db.device_ = std::move(device);
+  db.build_pool_ =
+      std::make_unique<BufferPool>(db.device_.get(), options.build_cache_pages);
+  // The header (magic-checked) lives at page 0 by construction; its options
+  // override whatever the caller passed.
+  db.tree_ = GaussTree::Open(db.build_pool_.get(), kMetaPage);
+  db.options_.tree = db.tree_->options();
+  db.dim_ = db.tree_->dim();
+  db.meta_page_ = kMetaPage;
+  return db;
+}
+
+void GaussDb::Build(const PfvDataset& dataset) {
+  GAUSS_CHECK_MSG(tree_ != nullptr, "Build after Serve(): build phase is over");
+  GAUSS_CHECK_MSG(tree_->size() == 0 && !tree_->store().finalized(),
+                  "Build requires an empty database (use Insert to grow one)");
+  GAUSS_CHECK_MSG(dataset.dim() == dim_, "dataset dimensionality mismatch");
+  tree_->BulkLoad(dataset);
+  Finalize();
+}
+
+void GaussDb::Insert(const Pfv& pfv) {
+  GAUSS_CHECK_MSG(tree_ != nullptr,
+                  "Insert after Serve(): build phase is over");
+  if (tree_->store().finalized()) tree_->Definalize();
+  tree_->Insert(pfv);
+}
+
+void GaussDb::Finalize() {
+  GAUSS_CHECK_MSG(tree_ != nullptr,
+                  "Finalize after Serve(): build phase is over");
+  if (!tree_->store().finalized()) tree_->Finalize();
+  if (file_device_ != nullptr) file_device_->Sync();
+}
+
+Session GaussDb::Serve(ServeOptions options) {
+  if (tree_ != nullptr) {
+    Finalize();
+    // Atomic phase switch: cache the build-side facts, then tear down the
+    // build stack (tree first, then its pool — Finalize already flushed)
+    // before the serving stack attaches to the same pages.
+    size_ = tree_->size();
+    meta_page_ = tree_->meta_page();
+    tree_.reset();
+    build_pool_.reset();
+  }
+  GAUSS_CHECK_MSG(meta_page_ != kInvalidPageId,
+                  "Serve on an unbuilt GaussDb");
+
+  auto pool = std::make_unique<ShardedBufferPool>(
+      device_.get(), options.cache_pages, options.num_shards);
+  std::unique_ptr<GaussTree> tree = GaussTree::Open(pool.get(), meta_page_);
+  size_ = tree->size();
+  QueryServiceOptions service_options;
+  service_options.num_workers = options.num_workers;
+  service_options.queue_capacity = options.queue_capacity;
+  auto service = std::make_unique<QueryService>(*tree, service_options);
+  return Session(std::move(pool), std::move(tree), std::move(service));
+}
+
+}  // namespace gauss

@@ -1,0 +1,220 @@
+#ifndef GAUSS_API_GAUSS_DB_H_
+#define GAUSS_API_GAUSS_DB_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gausstree/gauss_tree.h"
+#include "pfv/pfv.h"
+#include "service/query.h"
+#include "service/query_service.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/page_device.h"
+#include "storage/sharded_buffer_pool.h"
+
+namespace gauss {
+
+// =============================== GaussDb ====================================
+//
+// The public face of the system: "identification queries as a database
+// service" (paper abstract) in three calls, without hand-wiring devices,
+// buffer pools, trees, and worker pools:
+//
+//   GaussDb db = GaussDb::CreateInMemory(/*dim=*/12);
+//   db.Build(dataset);                        // bulk-load + finalize
+//   Session session = db.Serve();             // concurrent serving stack
+//
+//   // Streaming: per-query futures, optional deadlines.
+//   auto future = session.Submit(Query::Mliq(probe, /*k=*/3));
+//   QueryResponse who = future.get();
+//
+//   // Batch: submit-and-gather over the same execution path.
+//   BatchResult result = session.ExecuteBatch(batch);
+//
+// GaussDb owns the storage stack and drives its lifecycle through the
+// paper's build-offline / serve-online shape:
+//
+//   * Build phase — CreateInMemory()/CreateOnFile() pick the page device and
+//     attach a single-threaded BufferPool plus an empty GaussTree. Build(')s
+//     bulk-load (or Insert() incrementally), then Finalize() serializes the
+//     nodes to pages — explicit, or implied by Serve().
+//   * Serve phase — Serve() atomically switches the stack: it flushes and
+//     tears down the build pool, reattaches the finalized tree via
+//     GaussTree::Open() over a latch-striped ShardedBufferPool, and starts a
+//     QueryService worker pool. The returned Session owns that serving
+//     stack; queries go through Session::Submit()/ExecuteBatch().
+//   * Reopen — OpenFile() attaches to a database file persisted by an
+//     earlier CreateOnFile() + Finalize() run (the tree header lives at page
+//     0 of the file; opening anything else fails the header magic check).
+//
+// Lifetime rules: GaussDb owns the device; every Session borrows it, so a
+// Session must be destroyed before its GaussDb. Serve() may be called
+// multiple times — each call builds an independent serving stack (own cache
+// budget, own workers) over the same read-only pages, which is how several
+// differently-sized frontends can share one database.
+//
+// The low-level layers stay public and documented for callers that need
+// them: QueryMliq()/QueryTiq() over a GaussTree are the re-entrant query
+// kernels (gausstree/mliq.h, tiq.h), and QueryService is the raw serving
+// engine (service/query_service.h). Everything GaussDb does is expressible
+// through them; the façade only removes the plumbing.
+// ============================================================================
+
+// Build-phase configuration.
+struct GaussDbOptions {
+  // Index construction parameters (sigma policy, split strategy, ...).
+  GaussTreeOptions tree;
+  // Page size of the backing device (bytes).
+  uint32_t page_size = kDefaultPageSize;
+  // Cache budget of the single-threaded build pool, in pages.
+  size_t build_cache_pages = 1 << 14;
+};
+
+// Serving-stack configuration for one GaussDb::Serve() call.
+struct ServeOptions {
+  // Worker threads; 0 = one per hardware thread.
+  size_t num_workers = 0;
+  // Cache budget of the shared serving pool, in pages.
+  size_t cache_pages = 1 << 12;
+  // Latch shards of the serving pool (power of two); 0 = default.
+  size_t num_shards = 0;
+  // Bound of the admission queue (backpressure/shedding threshold).
+  size_t queue_capacity = 1024;
+};
+
+// A live serving stack over one finalized GaussDb: sharded page cache +
+// reopened tree + worker pool. Move-only; destroying it drains outstanding
+// queries and joins the workers. Must not outlive the GaussDb it came from.
+class Session {
+ public:
+  Session(Session&&) = default;
+
+  // Replacing a live session must tear the old one down in dependency order
+  // (service joins its workers before their tree and cache disappear) — a
+  // defaulted member-wise move would destroy the old pool and tree first,
+  // letting drained queries execute against freed objects.
+  Session& operator=(Session&& other) noexcept {
+    if (this != &other) {
+      service_.reset();
+      tree_.reset();
+      pool_.reset();
+      pool_ = std::move(other.pool_);
+      tree_ = std::move(other.tree_);
+      service_ = std::move(other.service_);
+    }
+    return *this;
+  }
+
+  // Streaming submission — see QueryService::Submit().
+  std::future<QueryResponse> Submit(Query query) {
+    return service_->Submit(std::move(query));
+  }
+
+  // Batch submission — see QueryService::ExecuteBatch().
+  BatchResult ExecuteBatch(const std::vector<Query>& batch) {
+    return service_->ExecuteBatch(batch);
+  }
+
+  // The reopened read-only tree (for the low-level QueryMliq/QueryTiq API
+  // and for structural inspection).
+  const GaussTree& tree() const { return *tree_; }
+
+  // The serving page cache (I/O statistics, Clear() for cold-start
+  // experiments while no queries are in flight).
+  ShardedBufferPool& cache() { return *pool_; }
+
+  size_t num_workers() const { return service_->num_workers(); }
+
+ private:
+  friend class GaussDb;
+  Session(std::unique_ptr<ShardedBufferPool> pool,
+          std::unique_ptr<GaussTree> tree,
+          std::unique_ptr<QueryService> service)
+      : pool_(std::move(pool)),
+        tree_(std::move(tree)),
+        service_(std::move(service)) {}
+
+  // Destruction order (reverse of declaration): service joins its workers
+  // first, then the tree detaches, then the cache flushes away.
+  std::unique_ptr<ShardedBufferPool> pool_;
+  std::unique_ptr<GaussTree> tree_;
+  std::unique_ptr<QueryService> service_;
+};
+
+class GaussDb {
+ public:
+  // A fresh database over a heap-backed device — experiments, tests, and
+  // datasets that fit in RAM.
+  static GaussDb CreateInMemory(size_t dim, GaussDbOptions options = {});
+
+  // A fresh database persisted to `path` (truncates existing content).
+  // Finalize()/Serve() sync the file; OpenFile() reattaches later.
+  static GaussDb CreateOnFile(const std::string& path, size_t dim,
+                              GaussDbOptions options = {});
+
+  // Reattaches to a database file written by CreateOnFile() + Finalize().
+  // Tree options and dimensionality are read back from the persistent
+  // header; `options.tree` is ignored. Aborts if the file does not hold a
+  // finalized GaussDb (header magic check) or if `options.page_size` differs
+  // from the page size the file was created with (header page-size check).
+  static GaussDb OpenFile(const std::string& path, GaussDbOptions options = {});
+
+  GaussDb(GaussDb&&) = default;
+  GaussDb& operator=(GaussDb&&) = default;
+
+  // Bulk-loads an empty database (top-down hull-integral partitioning — the
+  // fast, more selective build) and finalizes it.
+  void Build(const PfvDataset& dataset);
+
+  // Incremental build: inserts one object (paper Section 5.3 insertion).
+  // Reopens a finalized tree for writing if necessary. Must not be called
+  // once Serve() has been used.
+  void Insert(const Pfv& pfv);
+
+  // Serializes the tree to pages and syncs file-backed devices. Idempotent;
+  // Serve() calls it implicitly when needed.
+  void Finalize();
+
+  // Switches to the serve phase: tears down the build pool and returns a
+  // Session serving the finalized pages through a ShardedBufferPool and a
+  // QueryService worker pool. May be called repeatedly for independent
+  // serving stacks; after the first call the build phase is over and
+  // Insert() aborts.
+  Session Serve(ServeOptions options = {});
+
+  size_t size() const { return tree_ ? tree_->size() : size_; }
+  size_t dim() const { return dim_; }
+  bool finalized() const { return !tree_ || tree_->store().finalized(); }
+
+  // The backing device (shared by the build pool and every Session).
+  PageDevice& device() { return *device_; }
+
+  // Build-phase tree access (nullptr once Serve() has switched phases).
+  const GaussTree* build_tree() const { return tree_.get(); }
+
+ private:
+  GaussDb() = default;
+
+  // Page the persistent tree header lives at: GaussDb always creates the
+  // tree first on a fresh device, so the GaussTree constructor's meta-page
+  // allocation lands on page 0 — which is what OpenFile() relies on.
+  static constexpr PageId kMetaPage = 0;
+
+  GaussDbOptions options_;
+  std::unique_ptr<PageDevice> device_;
+  FilePageDevice* file_device_ = nullptr;  // device_.get() when file-backed
+  std::unique_ptr<BufferPool> build_pool_;
+  std::unique_ptr<GaussTree> tree_;  // build-phase tree; null while serving
+
+  size_t dim_ = 0;
+  size_t size_ = 0;                  // cached once tree_ is torn down
+  PageId meta_page_ = kInvalidPageId;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_API_GAUSS_DB_H_

@@ -17,7 +17,7 @@ namespace {
 
 // Persistent header written to the meta page on Finalize().
 constexpr uint64_t kGaussTreeMagic = 0x47415553'54524545ull;  // "GAUSSTREE"
-constexpr uint32_t kGaussTreeVersion = 1;
+constexpr uint32_t kGaussTreeVersion = 2;  // v2: added page_size
 
 struct MetaPageLayout {
   uint64_t magic;
@@ -28,6 +28,10 @@ struct MetaPageLayout {
   uint8_t sigma_policy;
   uint8_t integral_method;
   uint8_t split_strategy;
+  // Page size the tree was serialized with. Checked on Open(): a device
+  // opened with a different page size would map every PageId to the wrong
+  // byte offset and misread nodes as garbage, so fail loudly instead.
+  uint32_t page_size;
 };
 
 // Parameter-space MBR entry describing a whole node.
@@ -84,6 +88,7 @@ void GaussTree::WriteMetaPage() {
   meta.sigma_policy = static_cast<uint8_t>(options_.sigma_policy);
   meta.integral_method = static_cast<uint8_t>(options_.integral_method);
   meta.split_strategy = static_cast<uint8_t>(options_.split_strategy);
+  meta.page_size = pool_->device()->page_size();
   std::vector<uint8_t> page(pool_->device()->page_size(), 0);
   std::memcpy(page.data(), &meta, sizeof(meta));
   pool_->WritePage(meta_page_, page.data());
@@ -105,6 +110,9 @@ std::unique_ptr<GaussTree> GaussTree::Open(PageCache* pool,
                   "page does not hold a Gauss-tree header");
   GAUSS_CHECK_MSG(meta.version == kGaussTreeVersion,
                   "unsupported Gauss-tree version");
+  GAUSS_CHECK_MSG(meta.page_size == pool->device()->page_size(),
+                  "page size mismatch: the device is opened with a different "
+                  "page size than the tree was serialized with");
   GaussTreeOptions options;
   options.sigma_policy = static_cast<SigmaPolicy>(meta.sigma_policy);
   options.integral_method = static_cast<IntegralMethod>(meta.integral_method);

@@ -47,7 +47,16 @@ struct GaussTreeStats {
 // parameter space (mu_i, sigma_i) of probabilistic feature vectors, with
 // conservative Gaussian hull approximations driving query processing.
 //
-// Usage:
+// Most applications should not wire a GaussTree by hand — the GaussDb façade
+// (api/gauss_db.h) owns the device/pool/tree lifecycle and serves queries
+// concurrently:
+//   GaussDb db = GaussDb::CreateInMemory(dim);
+//   db.Build(dataset);                     // or db.Insert(pfv) per object
+//   Session session = db.Serve();
+//   auto resp = session.Submit(Query::Mliq(q, k)).get();
+//
+// This class remains the documented low-level API for callers managing their
+// own storage stack (experiments, ablations, custom caches):
 //   BufferPool pool(&device, capacity);
 //   GaussTree tree(&pool, dim);
 //   for (...) tree.Insert(pfv);

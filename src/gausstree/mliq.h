@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "gausstree/gauss_tree.h"
+#include "gausstree/query_common.h"
 #include "pfv/pfv.h"
 
 namespace gauss {
@@ -32,13 +33,7 @@ struct MliqOptions {
   bool refine_probabilities = true;
 };
 
-struct MliqStats {
-  uint64_t nodes_visited = 0;
-  uint64_t leaf_nodes_visited = 0;
-  uint64_t objects_evaluated = 0;
-  double denominator_lo = 0.0;  // scaled
-  double denominator_hi = 0.0;  // scaled
-};
+using MliqStats = TraversalStats;
 
 struct MliqResult {
   std::vector<IdentificationResult> items;  // descending probability

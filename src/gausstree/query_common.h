@@ -10,6 +10,21 @@
 #include "math/hull.h"
 #include "pfv/pfv.h"
 
+namespace gauss {
+
+// Traversal cost and denominator-bound report of one identification query,
+// shared by MLIQ and TIQ (mliq.h/tiq.h typedef their historical names to
+// this struct).
+struct TraversalStats {
+  uint64_t nodes_visited = 0;
+  uint64_t leaf_nodes_visited = 0;
+  uint64_t objects_evaluated = 0;
+  double denominator_lo = 0.0;  // scaled
+  double denominator_hi = 0.0;  // scaled
+};
+
+}  // namespace gauss
+
 namespace gauss::internal {
 
 // Cost/coverage counters shared by both query types.

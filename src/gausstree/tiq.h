@@ -6,6 +6,7 @@
 
 #include "gausstree/gauss_tree.h"
 #include "gausstree/mliq.h"
+#include "gausstree/query_common.h"
 #include "pfv/pfv.h"
 
 namespace gauss {
@@ -31,13 +32,7 @@ struct TiqOptions {
   double probability_accuracy = 1e-6;
 };
 
-struct TiqStats {
-  uint64_t nodes_visited = 0;
-  uint64_t leaf_nodes_visited = 0;
-  uint64_t objects_evaluated = 0;
-  double denominator_lo = 0.0;  // scaled
-  double denominator_hi = 0.0;  // scaled
-};
+using TiqStats = TraversalStats;
 
 struct TiqResult {
   std::vector<IdentificationResult> items;  // descending probability

@@ -1,50 +1,42 @@
 #include "service/query_service.h"
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
+#include <memory>
 #include <utility>
 
 #include "common/macros.h"
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
 
 namespace gauss {
 
-namespace internal {
+namespace {
 
-// Completion state of one ExecuteBatch call. Lives on the caller's stack;
-// workers reach it through the WorkItems they pop. `remaining` is guarded by
-// `mu` (not an atomic) so that the final decrement, the notification, and
-// the waiter's wake-up all order through one lock — after the worker that
-// finishes the last query releases `mu`, no worker touches the batch again,
-// making it safe for ExecuteBatch to return and destroy this object.
-struct BatchState {
-  const std::vector<QueryRequest>* requests = nullptr;
-  std::vector<QueryResponse>* responses = nullptr;
-
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t remaining = 0;
-};
-
-}  // namespace internal
-
-QueryRequest QueryRequest::Mliq(Pfv q, size_t k, MliqOptions options) {
-  QueryRequest req;
-  req.kind = QueryKind::kMliq;
-  req.query = std::move(q);
-  req.k = k;
-  req.mliq = options;
-  return req;
+// The single execution path: every query — streamed or batched — goes
+// through here inside a worker thread.
+QueryResponse ExecuteQuery(const GaussTree& tree, const Query& query) {
+  QueryResponse resp;
+  resp.kind = query.kind();
+  const auto start = std::chrono::steady_clock::now();
+  if (query.kind() == QueryKind::kMliq) {
+    MliqResult r = QueryMliq(tree, query.pfv(), query.k(),
+                             query.mliq_options());
+    resp.items = std::move(r.items);
+    resp.stats = r.stats;
+  } else {
+    TiqResult r = QueryTiq(tree, query.pfv(), query.threshold(),
+                           query.tiq_options());
+    resp.items = std::move(r.items);
+    resp.stats = r.stats;
+  }
+  resp.latency_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return resp;
 }
 
-QueryRequest QueryRequest::Tiq(Pfv q, double threshold, TiqOptions options) {
-  QueryRequest req;
-  req.kind = QueryKind::kTiq;
-  req.query = std::move(q);
-  req.threshold = threshold;
-  req.tiq = options;
-  return req;
-}
+}  // namespace
 
 QueryService::QueryService(const GaussTree& tree, QueryServiceOptions options)
     : tree_(tree),
@@ -70,64 +62,74 @@ QueryService::~QueryService() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void QueryService::CompleteUnexecuted(internal::QueryTask* task,
+                                      QueryResponse::Status status) {
+  QueryResponse resp;
+  resp.kind = task->query.kind();
+  resp.status = status;
+  task->promise.set_value(std::move(resp));
+}
+
+std::future<QueryResponse> QueryService::Submit(Query query) {
+  auto task = std::make_unique<internal::QueryTask>(std::move(query));
+  std::future<QueryResponse> future = task->promise.get_future();
+
+  if (task->query.has_deadline()) {
+    if (task->query.deadline() <= std::chrono::steady_clock::now()) {
+      // Dead on arrival: don't occupy a queue slot.
+      CompleteUnexecuted(task.get(), QueryResponse::Status::kDeadlineExceeded);
+      return future;
+    }
+    // A deadline query never waits on a full queue — by the time a slot
+    // frees up its budget may be gone, and blocking the client would stall
+    // its other submissions. Shed it instead: admission control.
+    if (!queue_.TryPush(task.get())) {
+      GAUSS_CHECK_MSG(!queue_.closed(),
+                      "Submit on a shut-down QueryService");
+      CompleteUnexecuted(task.get(), QueryResponse::Status::kShed);
+      return future;
+    }
+  } else {
+    // Push blocks while the queue is full — backpressure towards the
+    // submitting client. The queue only rejects after Close(), i.e. during
+    // service shutdown; submitting then is a caller bug.
+    GAUSS_CHECK_MSG(queue_.Push(task.get()),
+                    "Submit on a shut-down QueryService");
+  }
+  // The queue accepted the task: the popping worker owns and deletes it.
+  task.release();
+  return future;
+}
+
 void QueryService::WorkerLoop() {
-  WorkItem item;
-  while (queue_.Pop(&item)) {
-    internal::BatchState* batch = item.batch;
-    const QueryRequest& req = (*batch->requests)[item.index];
-    QueryResponse& resp = (*batch->responses)[item.index];
-    resp.kind = req.kind;
-
-    const auto start = std::chrono::steady_clock::now();
-    if (req.kind == QueryKind::kMliq) {
-      MliqResult r = QueryMliq(tree_, req.query, req.k, req.mliq);
-      resp.items = std::move(r.items);
-      resp.nodes_visited = r.stats.nodes_visited;
-      resp.leaf_nodes_visited = r.stats.leaf_nodes_visited;
-      resp.objects_evaluated = r.stats.objects_evaluated;
-    } else {
-      TiqResult r = QueryTiq(tree_, req.query, req.threshold, req.tiq);
-      resp.items = std::move(r.items);
-      resp.nodes_visited = r.stats.nodes_visited;
-      resp.leaf_nodes_visited = r.stats.leaf_nodes_visited;
-      resp.objects_evaluated = r.stats.objects_evaluated;
+  internal::QueryTask* raw = nullptr;
+  while (queue_.Pop(&raw)) {
+    std::unique_ptr<internal::QueryTask> task(raw);
+    if (task->query.has_deadline() &&
+        task->query.deadline() <= std::chrono::steady_clock::now()) {
+      // Expired while queued: report instead of burning tree traversal on
+      // an answer nobody is waiting for.
+      CompleteUnexecuted(task.get(), QueryResponse::Status::kDeadlineExceeded);
+      continue;
     }
-    resp.latency_ns = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count());
-
-    {
-      std::lock_guard<std::mutex> lock(batch->mu);
-      if (--batch->remaining == 0) batch->done_cv.notify_all();
-    }
+    task->promise.set_value(ExecuteQuery(tree_, task->query));
   }
 }
 
-BatchResult QueryService::ExecuteBatch(const std::vector<QueryRequest>& batch) {
+BatchResult QueryService::ExecuteBatch(const std::vector<Query>& batch) {
   BatchResult result;
-  result.responses.resize(batch.size());
   if (batch.empty()) return result;
-
-  internal::BatchState state;
-  state.requests = &batch;
-  state.responses = &result.responses;
-  state.remaining = batch.size();
 
   const IoStats io_before = tree_.pool()->stats();
   const auto start = std::chrono::steady_clock::now();
 
-  for (size_t i = 0; i < batch.size(); ++i) {
-    // Push blocks while the queue is full — backpressure towards the
-    // submitting client. The queue only rejects after Close(), i.e. during
-    // service shutdown; executing a batch then is a caller bug.
-    GAUSS_CHECK_MSG(queue_.Push({&state, i}),
-                    "ExecuteBatch on a shut-down QueryService");
-  }
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(batch.size());
+  for (const Query& query : batch) futures.push_back(Submit(query));
 
-  {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+  result.responses.reserve(batch.size());
+  for (std::future<QueryResponse>& future : futures) {
+    result.responses.push_back(future.get());
   }
 
   const double wall =
@@ -139,16 +141,25 @@ BatchResult QueryService::ExecuteBatch(const std::vector<QueryRequest>& batch) {
   stats.io = tree_.pool()->stats() - io_before;
   std::vector<uint64_t> latencies;
   latencies.reserve(result.responses.size());
-  for (size_t i = 0; i < result.responses.size(); ++i) {
-    const QueryResponse& resp = result.responses[i];
-    if (batch[i].kind == QueryKind::kMliq) {
+  for (const QueryResponse& resp : result.responses) {
+    if (resp.kind == QueryKind::kMliq) {
       ++stats.mliq_queries;
     } else {
       ++stats.tiq_queries;
     }
-    stats.nodes_visited += resp.nodes_visited;
-    stats.leaf_nodes_visited += resp.leaf_nodes_visited;
-    stats.objects_evaluated += resp.objects_evaluated;
+    switch (resp.status) {
+      case QueryResponse::Status::kShed:
+        ++stats.shed_queries;
+        continue;  // no latency sample, no work done
+      case QueryResponse::Status::kDeadlineExceeded:
+        ++stats.deadline_exceeded_queries;
+        continue;
+      case QueryResponse::Status::kOk:
+        break;
+    }
+    stats.nodes_visited += resp.stats.nodes_visited;
+    stats.leaf_nodes_visited += resp.stats.leaf_nodes_visited;
+    stats.objects_evaluated += resp.stats.objects_evaluated;
     latencies.push_back(resp.latency_ns);
   }
   stats.latency = LatencySummary::FromNanos(std::move(latencies));

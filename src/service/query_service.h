@@ -2,13 +2,14 @@
 #define GAUSS_SERVICE_QUERY_SERVICE_H_
 
 #include <cstdint>
+#include <future>
 #include <thread>
 #include <vector>
 
 #include "gausstree/gauss_tree.h"
-#include "gausstree/mliq.h"
-#include "gausstree/tiq.h"
+#include "gausstree/query_common.h"
 #include "pfv/pfv.h"
+#include "service/query.h"
 #include "service/request_queue.h"
 #include "service/service_stats.h"
 
@@ -16,77 +17,85 @@ namespace gauss {
 
 // ============================== GaussServe ==================================
 //
-// QueryService is the concurrent batch query engine over one finalized
-// Gauss-tree: a fixed pool of worker threads executes MLIQ/TIQ
-// identification queries pulled from a bounded MPMC request queue.
+// QueryService is the concurrent query engine over one finalized Gauss-tree:
+// a fixed pool of worker threads executes MLIQ/TIQ identification queries
+// pulled from a bounded MPMC request queue.
+//
+// This is the engine underneath the GaussDb façade (api/gauss_db.h) — most
+// code should build a GaussDb and call Serve() instead of wiring a
+// QueryService by hand; the service remains public for callers that manage
+// their own storage stack.
 //
 // Serving model
 //   * The tree is read-only while the service is alive (the classic
 //     build-offline / serve-online shape). Build and Finalize() the tree
 //     single-threaded as usual, then either hand that tree to the service or
-//     — the intended production setup — reattach with GaussTree::Open() over
-//     a ShardedBufferPool on the same device, so concurrent workers share a
-//     latch-striped page cache instead of racing on the single-threaded
-//     BufferPool.
+//     — the intended production setup, and what GaussDb::Serve() does —
+//     reattach with GaussTree::Open() over a ShardedBufferPool on the same
+//     device, so concurrent workers share a latch-striped page cache instead
+//     of racing on the single-threaded BufferPool.
 //   * With more than one worker the tree's PageCache must advertise
 //     thread_safe(); the constructor enforces this, so a racy configuration
 //     fails loudly at startup instead of corrupting the cache under load.
 //
-// Batch execution
-//   * ExecuteBatch() admits every request of the batch through the bounded
-//     queue (blocking when it is full: backpressure), waits for the workers
-//     to complete them, and returns per-query responses in request order
-//     plus aggregate ServiceStats (throughput, latency percentiles, cache
-//     I/O delta, traversal-work totals).
-//   * Results are exactly the single-threaded QueryMliq/QueryTiq results:
-//     queries are independent read-only traversals, so the answer bytes do
-//     not depend on worker count or interleaving (service_test.cc asserts
-//     this).
-//   * ExecuteBatch may be called from several client threads at once; their
-//     batches interleave in the shared queue and complete independently.
+// Execution paths — one pipeline, two calling conventions
+//   * Submit() is the streaming path: it admits one query through the
+//     bounded queue and immediately returns a std::future that becomes
+//     ready when a worker finishes the query. Callers can interleave
+//     submission with other work, gather futures in any order, and pipeline
+//     queries without batch barriers.
+//   * ExecuteBatch() is a thin wrapper: it Submit()s every query of the
+//     batch, waits for all futures, and returns per-query responses in
+//     request order plus aggregate ServiceStats (throughput, latency
+//     percentiles, cache I/O delta, traversal-work totals). Both paths run
+//     the identical worker code, so their answers are byte-identical — and
+//     identical to the low-level QueryMliq/QueryTiq entry points
+//     (streaming_test.cc asserts this).
 //
-// Typical use:
+// Admission control
+//   * Queries without a deadline block in Submit() while the queue is full —
+//     backpressure towards the submitting client.
+//   * Queries with a deadline (Query::Deadline/DeadlineAfter) never wait:
+//     a full queue sheds them (Status::kShed), an already-expired deadline
+//     reports Status::kDeadlineExceeded at admission, and a deadline that
+//     expires while queued reports kDeadlineExceeded instead of executing.
+//     Either way the future completes with empty items and zero work — load
+//     is rejected, never silently dropped.
+//
+// Shutdown
+//   * The destructor closes the queue, drains every admitted query, and
+//     joins the workers: every future obtained from Submit() is ready once
+//     the destructor returns. Submitting to a destroyed/shutting-down
+//     service is a caller bug (fails a GAUSS_CHECK).
+//
+// Typical use (hand-wired; see api/gauss_db.h for the façade equivalent):
 //   ShardedBufferPool serve_pool(&device, kCachePages);
 //   auto tree = GaussTree::Open(&serve_pool, meta_page);
 //   QueryService service(*tree, {.num_workers = 8});
-//   std::vector<QueryRequest> batch;
-//   batch.push_back(QueryRequest::Mliq(probe, /*k=*/3));
-//   batch.push_back(QueryRequest::Tiq(probe2, /*threshold=*/0.2));
-//   BatchResult result = service.ExecuteBatch(batch);
-//   // result.responses[i] answers batch[i]; result.stats aggregates.
+//   auto f1 = service.Submit(Query::Mliq(probe, /*k=*/3));
+//   auto f2 = service.Submit(Query::Tiq(probe2, /*threshold=*/0.2)
+//                                .DeadlineAfter(std::chrono::milliseconds(5)));
+//   QueryResponse r1 = f1.get(), r2 = f2.get();
 // ============================================================================
 
-enum class QueryKind : uint8_t { kMliq = 0, kTiq = 1 };
-
-// One identification query. Use the factory helpers; only the fields of the
-// selected kind are read.
-struct QueryRequest {
-  QueryKind kind = QueryKind::kMliq;
-  Pfv query;
-
-  // MLIQ parameters.
-  size_t k = 1;
-  MliqOptions mliq;
-
-  // TIQ parameters.
-  double threshold = 0.5;
-  TiqOptions tiq;
-
-  static QueryRequest Mliq(Pfv q, size_t k, MliqOptions options = {});
-  static QueryRequest Tiq(Pfv q, double threshold, TiqOptions options = {});
-};
-
-// Answer to one QueryRequest, in the same order the batch was submitted.
+// Answer to one submitted Query.
 struct QueryResponse {
+  // kOk: the query executed; items/stats/latency are filled.
+  // kShed: admission control rejected the query at a full queue (only
+  //        deadline-carrying queries are shed; others wait).
+  // kDeadlineExceeded: the deadline passed before execution began.
+  enum class Status : uint8_t { kOk = 0, kShed = 1, kDeadlineExceeded = 2 };
+
   QueryKind kind = QueryKind::kMliq;
+  Status status = Status::kOk;
+
   // MLIQ: the k most likely identities, descending probability.
   // TIQ: every identity at/above the threshold, descending probability.
+  // Empty unless status == kOk (a TIQ can also be legitimately empty).
   std::vector<IdentificationResult> items;
 
   uint64_t latency_ns = 0;  // execution time inside the worker
-  uint64_t nodes_visited = 0;
-  uint64_t leaf_nodes_visited = 0;
-  uint64_t objects_evaluated = 0;
+  TraversalStats stats;     // traversal work + denominator bounds
 };
 
 struct BatchResult {
@@ -94,10 +103,24 @@ struct BatchResult {
   ServiceStats stats;
 };
 
+namespace internal {
+
+// One in-flight query: the descriptor plus the promise its future observes.
+// Heap-allocated by Submit(); ownership passes through the RequestQueue to
+// the worker that pops it (or stays with Submit on shed/expiry).
+struct QueryTask {
+  Query query;
+  std::promise<QueryResponse> promise;
+
+  explicit QueryTask(Query q) : query(std::move(q)) {}
+};
+
+}  // namespace internal
+
 struct QueryServiceOptions {
   // 0 = one worker per hardware thread.
   size_t num_workers = 0;
-  // Bound of the admission queue (backpressure threshold).
+  // Bound of the admission queue (backpressure/shedding threshold).
   size_t queue_capacity = 1024;
 };
 
@@ -110,18 +133,30 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  // Closes the queue and joins the workers (queued work is drained first).
+  // Closes the queue, drains every admitted query, and joins the workers.
+  // Every future returned by Submit() is ready afterwards.
   ~QueryService();
 
-  // Executes every request and returns responses in request order plus
-  // aggregate statistics. Blocks until the batch completes. Thread-safe.
-  BatchResult ExecuteBatch(const std::vector<QueryRequest>& batch);
+  // Streaming submission: admits the query and returns the future of its
+  // response. Blocks only when the queue is full *and* the query carries no
+  // deadline (deadline queries are shed instead). Thread-safe.
+  std::future<QueryResponse> Submit(Query query);
+
+  // Batch convenience over Submit(): executes every query and returns
+  // responses in request order plus aggregate statistics. Blocks until the
+  // batch completes. Thread-safe; concurrent batches interleave in the
+  // shared queue and complete independently.
+  BatchResult ExecuteBatch(const std::vector<Query>& batch);
 
   const GaussTree& tree() const { return tree_; }
   size_t num_workers() const { return workers_.size(); }
 
  private:
   void WorkerLoop();
+
+  // Completes a task without executing it (shed/deadline-exceeded).
+  static void CompleteUnexecuted(internal::QueryTask* task,
+                                 QueryResponse::Status status);
 
   const GaussTree& tree_;
   RequestQueue queue_;

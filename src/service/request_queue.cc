@@ -8,17 +8,25 @@ RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {
   GAUSS_CHECK(capacity > 0);
 }
 
-bool RequestQueue::Push(const WorkItem& item) {
+bool RequestQueue::Push(internal::QueryTask* task) {
   std::unique_lock<std::mutex> lock(mu_);
   not_full_.wait(lock,
                  [this] { return closed_ || items_.size() < capacity_; });
   if (closed_) return false;
-  items_.push_back(item);
+  items_.push_back(task);
   not_empty_.notify_one();
   return true;
 }
 
-bool RequestQueue::Pop(WorkItem* out) {
+bool RequestQueue::TryPush(internal::QueryTask* task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || items_.size() >= capacity_) return false;
+  items_.push_back(task);
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::Pop(internal::QueryTask** out) {
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
   if (items_.empty()) return false;  // closed and drained
@@ -31,10 +39,16 @@ bool RequestQueue::Pop(WorkItem* out) {
 void RequestQueue::Close() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;  // idempotent: second close is a no-op
     closed_ = true;
   }
   not_full_.notify_all();
   not_empty_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
 }
 
 size_t RequestQueue::size() const {

@@ -48,14 +48,18 @@ std::string ServiceStats::ToString() const {
   char buf[512];
   std::snprintf(
       buf, sizeof(buf),
-      "queries: %llu (mliq %llu, tiq %llu) in %.3f s -> %.0f qps\n"
+      "queries: %llu (mliq %llu, tiq %llu; shed %llu, expired %llu) "
+      "in %.3f s -> %.0f qps\n"
       "latency us: mean %.1f  p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n"
       "io: %llu logical / %llu physical reads (%.1f pages/query), "
       "%llu evictions\n"
       "work: %llu nodes (%llu leaves), %llu objects evaluated",
       static_cast<unsigned long long>(total_queries()),
       static_cast<unsigned long long>(mliq_queries),
-      static_cast<unsigned long long>(tiq_queries), wall_seconds, qps,
+      static_cast<unsigned long long>(tiq_queries),
+      static_cast<unsigned long long>(shed_queries),
+      static_cast<unsigned long long>(deadline_exceeded_queries), wall_seconds,
+      qps,
       latency.mean_us, latency.p50_us, latency.p90_us, latency.p99_us,
       latency.max_us, static_cast<unsigned long long>(io.logical_reads),
       static_cast<unsigned long long>(io.physical_reads), pages_per_query(),

@@ -30,6 +30,13 @@ struct ServiceStats {
   uint64_t mliq_queries = 0;
   uint64_t tiq_queries = 0;
 
+  // Admission-control outcomes among those queries: rejected at a full queue
+  // (shed) or expired before execution (deadline exceeded). Such queries are
+  // counted in mliq/tiq_queries but contribute no latency sample or
+  // traversal work.
+  uint64_t shed_queries = 0;
+  uint64_t deadline_exceeded_queries = 0;
+
   double wall_seconds = 0.0;  // submit of the first query -> last completion
   double qps = 0.0;           // (mliq + tiq) / wall_seconds
 

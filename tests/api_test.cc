@@ -1,0 +1,229 @@
+// GaussDb façade tests: the three-call public API (Create/Build/Serve) must
+// produce exactly the answers of the hand-wired low-level stack, survive the
+// file round trip (CreateOnFile -> OpenFile), support several independent
+// serving sessions, and enforce its lifecycle rules.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/gauss_db.h"
+#include "common/random.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+#include "service_test_util.h"
+
+namespace gauss {
+namespace {
+
+constexpr size_t kDim = 4;
+
+PfvDataset MakeDataset(size_t size, uint64_t seed = 31) {
+  ClusteredDatasetConfig config;
+  config.size = size;
+  config.dim = kDim;
+  config.cluster_count = 12;
+  config.seed = seed;
+  return GenerateClusteredDataset(config);
+}
+
+std::vector<Query> MakeBatch(const PfvDataset& dataset, size_t count) {
+  WorkloadConfig wconfig;
+  wconfig.query_count = count;
+  wconfig.seed = 17;
+  return test::MakeMixedBatch(GenerateWorkload(dataset, wconfig));
+}
+
+using test::ExpectItemsBytesEqual;
+
+TEST(GaussDbTest, BuildServeAnswersMatchLowLevelApi) {
+  const PfvDataset dataset = MakeDataset(3000);
+  GaussDb db = GaussDb::CreateInMemory(kDim);
+  db.Build(dataset);
+  EXPECT_EQ(db.size(), dataset.size());
+  EXPECT_TRUE(db.finalized());
+
+  Session session = db.Serve({.num_workers = 4});
+  session.tree().Validate();
+
+  const std::vector<Query> batch = MakeBatch(dataset, 30);
+  const BatchResult result = session.ExecuteBatch(batch);
+
+  ASSERT_EQ(result.responses.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    // Ground truth through the documented low-level API on the same tree.
+    const Query& query = batch[i];
+    std::vector<IdentificationResult> expected;
+    if (query.kind() == QueryKind::kMliq) {
+      expected = QueryMliq(session.tree(), query.pfv(), query.k(),
+                           query.mliq_options())
+                     .items;
+    } else {
+      expected = QueryTiq(session.tree(), query.pfv(), query.threshold(),
+                          query.tiq_options())
+                     .items;
+    }
+    EXPECT_EQ(result.responses[i].status, QueryResponse::Status::kOk);
+    ExpectItemsBytesEqual(result.responses[i].items, expected);
+  }
+}
+
+TEST(GaussDbTest, InsertPathServeFinalizesImplicitly) {
+  const PfvDataset dataset = MakeDataset(500);
+  GaussDb db = GaussDb::CreateInMemory(kDim);
+  for (size_t i = 0; i < dataset.size(); ++i) db.Insert(dataset[i]);
+  EXPECT_EQ(db.size(), dataset.size());
+  EXPECT_FALSE(db.finalized());
+
+  Session session = db.Serve({.num_workers = 2});  // finalizes on the way
+  EXPECT_TRUE(db.finalized());
+  EXPECT_EQ(session.tree().size(), dataset.size());
+
+  const auto future =
+      session.Submit(Query::Mliq(dataset[0], 1)).wait_for(std::chrono::seconds(30));
+  EXPECT_EQ(future, std::future_status::ready);
+}
+
+TEST(GaussDbTest, FileRoundTripReturnsByteIdenticalAnswers) {
+  const std::string path = ::testing::TempDir() + "/gauss_db_api_test.db";
+  const PfvDataset dataset = MakeDataset(1200);
+  const std::vector<Query> batch = MakeBatch(dataset, 20);
+
+  BatchResult before;
+  {
+    GaussDb db = GaussDb::CreateOnFile(path, kDim);
+    db.Build(dataset);
+    Session session = db.Serve({.num_workers = 2});
+    before = session.ExecuteBatch(batch);
+  }  // db + session gone: only the file survives
+
+  {
+    GaussDb reopened = GaussDb::OpenFile(path);
+    EXPECT_EQ(reopened.dim(), kDim);
+    EXPECT_EQ(reopened.size(), dataset.size());
+    Session session = reopened.Serve({.num_workers = 2});
+    const BatchResult after = session.ExecuteBatch(batch);
+    ASSERT_EQ(after.responses.size(), before.responses.size());
+    for (size_t i = 0; i < after.responses.size(); ++i) {
+      ExpectItemsBytesEqual(after.responses[i].items, before.responses[i].items);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GaussDbDeathTest, OpenFileWithMismatchedPageSizeFailsLoudly) {
+  const std::string path = ::testing::TempDir() + "/gauss_db_pagesize_test.db";
+  {
+    GaussDbOptions options;
+    options.page_size = 4096;
+    GaussDb db = GaussDb::CreateOnFile(path, kDim, options);
+    db.Build(MakeDataset(200));
+  }
+  // Reopening with the (different) default page size would map every PageId
+  // to the wrong byte offset; the persistent header catches it.
+  EXPECT_DEATH(GaussDb::OpenFile(path), "page size mismatch");
+  std::remove(path.c_str());
+}
+
+TEST(GaussDbTest, OpenFileReadsBackTreeOptions) {
+  const std::string path = ::testing::TempDir() + "/gauss_db_options_test.db";
+  const PfvDataset dataset = MakeDataset(300);
+  {
+    GaussDbOptions options;
+    options.tree.sigma_policy = SigmaPolicy::kAdditive;
+    options.tree.split_strategy = SplitStrategy::kVolume;
+    GaussDb db = GaussDb::CreateOnFile(path, kDim, options);
+    db.Build(dataset);
+  }
+  {
+    GaussDb reopened = GaussDb::OpenFile(path);
+    ASSERT_NE(reopened.build_tree(), nullptr);
+    EXPECT_EQ(reopened.build_tree()->options().sigma_policy,
+              SigmaPolicy::kAdditive);
+    EXPECT_EQ(reopened.build_tree()->options().split_strategy,
+              SplitStrategy::kVolume);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GaussDbTest, ReopenedFileAcceptsMoreInserts) {
+  const std::string path = ::testing::TempDir() + "/gauss_db_grow_test.db";
+  const PfvDataset first = MakeDataset(400, /*seed=*/41);
+  const PfvDataset second = MakeDataset(200, /*seed=*/43);
+  {
+    GaussDb db = GaussDb::CreateOnFile(path, kDim);
+    db.Build(first);
+  }
+  {
+    GaussDb db = GaussDb::OpenFile(path);
+    for (size_t i = 0; i < second.size(); ++i) db.Insert(second[i]);
+    Session session = db.Serve({.num_workers = 1});
+    EXPECT_EQ(session.tree().size(), first.size() + second.size());
+    session.tree().Validate();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GaussDbTest, MultipleSessionsServeIndependentlyAndIdentically) {
+  const PfvDataset dataset = MakeDataset(2000);
+  GaussDb db = GaussDb::CreateInMemory(kDim);
+  db.Build(dataset);
+
+  Session big = db.Serve({.num_workers = 3, .cache_pages = 1u << 12});
+  Session tiny = db.Serve({.num_workers = 2, .cache_pages = 64});
+
+  const std::vector<Query> batch = MakeBatch(dataset, 24);
+  const BatchResult a = big.ExecuteBatch(batch);
+  const BatchResult b = tiny.ExecuteBatch(batch);
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (size_t i = 0; i < a.responses.size(); ++i) {
+    // Different cache budgets, same pages: answers cannot differ.
+    ExpectItemsBytesEqual(a.responses[i].items, b.responses[i].items);
+  }
+  // The caches really are independent stacks.
+  EXPECT_GT(big.cache().stats().logical_reads, 0u);
+  EXPECT_GT(tiny.cache().stats().logical_reads, 0u);
+}
+
+TEST(GaussDbTest, SessionMoveAssignmentReplacesServingStack) {
+  const PfvDataset dataset = MakeDataset(800);
+  GaussDb db = GaussDb::CreateInMemory(kDim);
+  db.Build(dataset);
+
+  Session session = db.Serve({.num_workers = 2});
+  const std::vector<Query> batch = MakeBatch(dataset, 10);
+  const BatchResult first = session.ExecuteBatch(batch);
+
+  // Replacing a live session tears the old stack down (service before tree
+  // and cache) and swaps in the new one; answers must be unchanged.
+  session = db.Serve({.num_workers = 1, .cache_pages = 128});
+  const BatchResult second = session.ExecuteBatch(batch);
+  ASSERT_EQ(second.responses.size(), first.responses.size());
+  for (size_t i = 0; i < second.responses.size(); ++i) {
+    ExpectItemsBytesEqual(second.responses[i].items, first.responses[i].items);
+  }
+}
+
+TEST(GaussDbTest, StreamingAndBatchSharePipelineThroughFacade) {
+  const PfvDataset dataset = MakeDataset(1000);
+  GaussDb db = GaussDb::CreateInMemory(kDim);
+  db.Build(dataset);
+  Session session = db.Serve({.num_workers = 2});
+
+  const std::vector<Query> batch = MakeBatch(dataset, 16);
+  std::vector<std::future<QueryResponse>> futures;
+  for (const Query& query : batch) futures.push_back(session.Submit(query));
+  const BatchResult batched = session.ExecuteBatch(batch);
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectItemsBytesEqual(futures[i].get().items, batched.responses[i].items);
+  }
+}
+
+}  // namespace
+}  // namespace gauss

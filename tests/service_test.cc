@@ -16,8 +16,10 @@
 #include "gausstree/gauss_tree.h"
 #include "gausstree/mliq.h"
 #include "gausstree/tiq.h"
+#include "service/query.h"
 #include "service/query_service.h"
 #include "service/request_queue.h"
+#include "service_test_util.h"
 #include "storage/page_device.h"
 #include "storage/buffer_pool.h"
 #include "storage/sharded_buffer_pool.h"
@@ -52,18 +54,7 @@ class ServiceTest : public ::testing::Test {
     workload_ = GenerateWorkload(dataset_, wconfig);
   }
 
-  std::vector<QueryRequest> MakeBatch() const {
-    std::vector<QueryRequest> batch;
-    for (size_t i = 0; i < workload_.size(); ++i) {
-      if (i % 2 == 0) {
-        batch.push_back(QueryRequest::Mliq(workload_[i].query, /*k=*/3));
-      } else {
-        batch.push_back(QueryRequest::Tiq(workload_[i].query,
-                                          /*threshold=*/0.2));
-      }
-    }
-    return batch;
-  }
+  std::vector<Query> MakeBatch() const { return test::MakeMixedBatch(workload_); }
 
   InMemoryPageDevice device_;
   PfvDataset dataset_{kDim};
@@ -71,40 +62,16 @@ class ServiceTest : public ::testing::Test {
   std::vector<IdentificationQuery> workload_;
 };
 
-void ExpectSameItems(const std::vector<IdentificationResult>& got,
-                     const std::vector<IdentificationResult>& want) {
-  ASSERT_EQ(got.size(), want.size());
-  for (size_t i = 0; i < got.size(); ++i) {
-    EXPECT_EQ(got[i].id, want[i].id);
-    // Byte-identical, not approximately equal: the concurrent execution runs
-    // the very same deterministic traversal.
-    EXPECT_EQ(std::memcmp(&got[i].log_density, &want[i].log_density,
-                          sizeof(double)),
-              0);
-    EXPECT_EQ(std::memcmp(&got[i].probability, &want[i].probability,
-                          sizeof(double)),
-              0);
-    EXPECT_EQ(std::memcmp(&got[i].probability_error,
-                          &want[i].probability_error, sizeof(double)),
-              0);
-  }
-}
+using test::DirectAnswers;
+using test::ExpectItemsBytesEqual;
 
 TEST_F(ServiceTest, ConcurrentBatchMatchesSequentialQueries) {
   ShardedBufferPool pool(&device_, 1 << 12);
   auto tree = GaussTree::Open(&pool, meta_page_);
 
   // Sequential ground truth through the plain query entry points.
-  const std::vector<QueryRequest> batch = MakeBatch();
-  std::vector<std::vector<IdentificationResult>> expected;
-  for (const QueryRequest& req : batch) {
-    if (req.kind == QueryKind::kMliq) {
-      expected.push_back(QueryMliq(*tree, req.query, req.k, req.mliq).items);
-    } else {
-      expected.push_back(
-          QueryTiq(*tree, req.query, req.threshold, req.tiq).items);
-    }
-  }
+  const std::vector<Query> batch = MakeBatch();
+  const auto expected = DirectAnswers(*tree, batch);
 
   QueryServiceOptions options;
   options.num_workers = 4;
@@ -113,8 +80,9 @@ TEST_F(ServiceTest, ConcurrentBatchMatchesSequentialQueries) {
 
   ASSERT_EQ(result.responses.size(), batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
-    EXPECT_EQ(result.responses[i].kind, batch[i].kind);
-    ExpectSameItems(result.responses[i].items, expected[i]);
+    EXPECT_EQ(result.responses[i].kind, batch[i].kind());
+    EXPECT_EQ(result.responses[i].status, QueryResponse::Status::kOk);
+    ExpectItemsBytesEqual(result.responses[i].items, expected[i]);
   }
 }
 
@@ -126,13 +94,13 @@ TEST_F(ServiceTest, RepeatedConcurrentBatchesAreDeterministic) {
   options.queue_capacity = 16;  // force producer backpressure
   QueryService service(*tree, options);
 
-  const std::vector<QueryRequest> batch = MakeBatch();
+  const std::vector<Query> batch = MakeBatch();
   const BatchResult first = service.ExecuteBatch(batch);
   for (int round = 0; round < 3; ++round) {
     const BatchResult again = service.ExecuteBatch(batch);
     ASSERT_EQ(again.responses.size(), first.responses.size());
     for (size_t i = 0; i < again.responses.size(); ++i) {
-      ExpectSameItems(again.responses[i].items, first.responses[i].items);
+      ExpectItemsBytesEqual(again.responses[i].items, first.responses[i].items);
     }
   }
 }
@@ -147,16 +115,8 @@ TEST_F(ServiceTest, StressTinySharedPoolUnderEvictionChurn) {
   options.num_workers = 8;
   QueryService service(*tree, options);
 
-  const std::vector<QueryRequest> batch = MakeBatch();
-  std::vector<std::vector<IdentificationResult>> expected;
-  for (const QueryRequest& req : batch) {
-    if (req.kind == QueryKind::kMliq) {
-      expected.push_back(QueryMliq(*tree, req.query, req.k, req.mliq).items);
-    } else {
-      expected.push_back(
-          QueryTiq(*tree, req.query, req.threshold, req.tiq).items);
-    }
-  }
+  const std::vector<Query> batch = MakeBatch();
+  const auto expected = DirectAnswers(*tree, batch);
 
   // Several client threads submitting batches concurrently to one service.
   std::vector<std::thread> clients;
@@ -166,7 +126,7 @@ TEST_F(ServiceTest, StressTinySharedPoolUnderEvictionChurn) {
         const BatchResult result = service.ExecuteBatch(batch);
         ASSERT_EQ(result.responses.size(), batch.size());
         for (size_t i = 0; i < batch.size(); ++i) {
-          ExpectSameItems(result.responses[i].items, expected[i]);
+          ExpectItemsBytesEqual(result.responses[i].items, expected[i]);
         }
       }
     });
@@ -182,25 +142,27 @@ TEST_F(ServiceTest, StatsTotalsAddUp) {
   options.num_workers = 4;
   QueryService service(*tree, options);
 
-  const std::vector<QueryRequest> batch = MakeBatch();
+  const std::vector<Query> batch = MakeBatch();
   const BatchResult result = service.ExecuteBatch(batch);
   const ServiceStats& stats = result.stats;
 
   // Query-kind counts match the batch composition.
   uint64_t want_mliq = 0, want_tiq = 0;
-  for (const QueryRequest& req : batch) {
-    (req.kind == QueryKind::kMliq ? want_mliq : want_tiq) += 1;
+  for (const Query& query : batch) {
+    (query.kind() == QueryKind::kMliq ? want_mliq : want_tiq) += 1;
   }
   EXPECT_EQ(stats.mliq_queries, want_mliq);
   EXPECT_EQ(stats.tiq_queries, want_tiq);
   EXPECT_EQ(stats.total_queries(), batch.size());
+  EXPECT_EQ(stats.shed_queries, 0u);
+  EXPECT_EQ(stats.deadline_exceeded_queries, 0u);
 
   // Work totals are the sums of the per-response counters.
   uint64_t nodes = 0, leaves = 0, objects = 0;
   for (const QueryResponse& resp : result.responses) {
-    nodes += resp.nodes_visited;
-    leaves += resp.leaf_nodes_visited;
-    objects += resp.objects_evaluated;
+    nodes += resp.stats.nodes_visited;
+    leaves += resp.stats.leaf_nodes_visited;
+    objects += resp.stats.objects_evaluated;
     EXPECT_GT(resp.latency_ns, 0u);
   }
   EXPECT_EQ(stats.nodes_visited, nodes);
@@ -228,7 +190,7 @@ TEST_F(ServiceTest, SingleWorkerRunsOverPlainBufferPool) {
   QueryServiceOptions options;
   options.num_workers = 1;
   QueryService service(*tree, options);
-  const std::vector<QueryRequest> batch = MakeBatch();
+  const std::vector<Query> batch = MakeBatch();
   const BatchResult result = service.ExecuteBatch(batch);
   EXPECT_EQ(result.responses.size(), batch.size());
   EXPECT_EQ(result.stats.total_queries(), batch.size());
@@ -243,42 +205,77 @@ TEST_F(ServiceTest, EmptyBatchReturnsEmptyResult) {
   EXPECT_EQ(result.stats.total_queries(), 0u);
 }
 
+// A real (if never-executed) task to push through queue-level tests.
+internal::QueryTask MakeTask() {
+  return internal::QueryTask(Query::Mliq(Pfv(0, {0.0}, {1.0}), 1));
+}
+
 TEST(RequestQueueTest, PushPopRoundTrip) {
   RequestQueue queue(4);
-  WorkItem in{nullptr, 42};
-  EXPECT_TRUE(queue.Push(in));
+  internal::QueryTask task = MakeTask();
+  EXPECT_TRUE(queue.Push(&task));
   EXPECT_EQ(queue.size(), 1u);
-  WorkItem out;
+  internal::QueryTask* out = nullptr;
   EXPECT_TRUE(queue.Pop(&out));
-  EXPECT_EQ(out.index, 42u);
+  EXPECT_EQ(out, &task);
   EXPECT_EQ(queue.size(), 0u);
 }
 
 TEST(RequestQueueTest, CloseDrainsThenRejects) {
   RequestQueue queue(4);
-  EXPECT_TRUE(queue.Push({nullptr, 1}));
-  EXPECT_TRUE(queue.Push({nullptr, 2}));
+  internal::QueryTask a = MakeTask(), b = MakeTask(), c = MakeTask();
+  EXPECT_TRUE(queue.Push(&a));
+  EXPECT_TRUE(queue.Push(&b));
   queue.Close();
-  EXPECT_FALSE(queue.Push({nullptr, 3}));  // rejected after close
-  WorkItem out;
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.Push(&c));  // rejected after close
+  internal::QueryTask* out = nullptr;
   EXPECT_TRUE(queue.Pop(&out));  // drained in order
-  EXPECT_EQ(out.index, 1u);
+  EXPECT_EQ(out, &a);
   EXPECT_TRUE(queue.Pop(&out));
-  EXPECT_EQ(out.index, 2u);
+  EXPECT_EQ(out, &b);
   EXPECT_FALSE(queue.Pop(&out));  // closed and empty
+}
+
+TEST(RequestQueueTest, CloseIsIdempotent) {
+  RequestQueue queue(2);
+  internal::QueryTask a = MakeTask();
+  EXPECT_TRUE(queue.Push(&a));
+  queue.Close();
+  queue.Close();  // second close: no-op, no deadlock, still drains
+  queue.Close();
+  internal::QueryTask* out = nullptr;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, &a);
+  EXPECT_FALSE(queue.Pop(&out));
 }
 
 TEST(RequestQueueTest, BoundedPushBlocksUntilPop) {
   RequestQueue queue(1);
-  EXPECT_TRUE(queue.Push({nullptr, 1}));
-  std::thread producer([&] { EXPECT_TRUE(queue.Push({nullptr, 2})); });
+  internal::QueryTask a = MakeTask(), b = MakeTask();
+  EXPECT_TRUE(queue.Push(&a));
+  std::thread producer([&] { EXPECT_TRUE(queue.Push(&b)); });
   // The producer is blocked on the full queue until this pop frees a slot.
-  WorkItem out;
+  internal::QueryTask* out = nullptr;
   EXPECT_TRUE(queue.Pop(&out));
-  EXPECT_EQ(out.index, 1u);
+  EXPECT_EQ(out, &a);
   producer.join();
   EXPECT_TRUE(queue.Pop(&out));
-  EXPECT_EQ(out.index, 2u);
+  EXPECT_EQ(out, &b);
+}
+
+TEST(RequestQueueTest, TryPushRejectsWhenFullWithoutBlocking) {
+  RequestQueue queue(2);
+  internal::QueryTask a = MakeTask(), b = MakeTask(), c = MakeTask();
+  EXPECT_TRUE(queue.TryPush(&a));
+  EXPECT_TRUE(queue.TryPush(&b));
+  EXPECT_FALSE(queue.TryPush(&c));  // full: immediate rejection, no wait
+  internal::QueryTask* out = nullptr;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_TRUE(queue.TryPush(&c));  // slot freed: accepted again
+  queue.Close();
+  internal::QueryTask d = MakeTask();
+  EXPECT_FALSE(queue.TryPush(&d));  // closed: rejected
 }
 
 }  // namespace

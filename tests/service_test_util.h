@@ -1,0 +1,76 @@
+#ifndef GAUSS_TESTS_SERVICE_TEST_UTIL_H_
+#define GAUSS_TESTS_SERVICE_TEST_UTIL_H_
+
+// Helpers shared by the serving-layer tests (service_test, streaming_test,
+// api_test): mixed MLIQ/TIQ batch construction, ground truth through the
+// documented low-level API, and the byte-identical result comparison the
+// acceptance criteria are phrased in.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/workload.h"
+#include "gausstree/gauss_tree.h"
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+#include "service/query.h"
+
+namespace gauss::test {
+
+// Alternating MLIQ (k=3) / TIQ (threshold 0.2) queries over a workload.
+inline std::vector<Query> MakeMixedBatch(
+    const std::vector<IdentificationQuery>& workload) {
+  std::vector<Query> batch;
+  batch.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (i % 2 == 0) {
+      batch.push_back(Query::Mliq(workload[i].query, /*k=*/3));
+    } else {
+      batch.push_back(Query::Tiq(workload[i].query, /*threshold=*/0.2));
+    }
+  }
+  return batch;
+}
+
+// Ground truth for a batch through the low-level QueryMliq/QueryTiq API.
+inline std::vector<std::vector<IdentificationResult>> DirectAnswers(
+    const GaussTree& tree, const std::vector<Query>& batch) {
+  std::vector<std::vector<IdentificationResult>> expected;
+  expected.reserve(batch.size());
+  for (const Query& query : batch) {
+    if (query.kind() == QueryKind::kMliq) {
+      expected.push_back(
+          QueryMliq(tree, query.pfv(), query.k(), query.mliq_options()).items);
+    } else {
+      expected.push_back(
+          QueryTiq(tree, query.pfv(), query.threshold(), query.tiq_options())
+              .items);
+    }
+  }
+  return expected;
+}
+
+// Byte-identical, not approximately equal: every execution path runs the
+// very same deterministic traversal, so all double fields must match bitwise.
+inline void ExpectItemsBytesEqual(const std::vector<IdentificationResult>& got,
+                                  const std::vector<IdentificationResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id);
+    EXPECT_EQ(std::memcmp(&got[i].log_density, &want[i].log_density,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&got[i].probability, &want[i].probability,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&got[i].probability_error,
+                          &want[i].probability_error, sizeof(double)),
+              0);
+  }
+}
+
+}  // namespace gauss::test
+
+#endif  // GAUSS_TESTS_SERVICE_TEST_UTIL_H_
