@@ -1,0 +1,156 @@
+// Sharded-GaussDb scaling sweep: shard count x worker threads -> QPS,
+// p50/p99 latency, logical pages per query. One gallery is built once per
+// shard count (partitioning is part of the database, not the session) and
+// served through a scatter-gather Session; every cell runs the same mixed
+// MLIQ/TIQ workload on a warm cache, and every cell's answers are checked
+// against the unsharded single-tree reference — ids and ordering exactly,
+// probabilities within the certified error bounds — so the throughput
+// numbers can't come from computing something different.
+//
+// Expectations: pages/query rises with the shard count (every shard's tree
+// must be consulted — the Bayes denominator spans the whole gallery — and
+// K trees of n/K objects have more upper levels between them than one tree
+// of n), while QPS scales with workers once the machine has cores to give;
+// on a 1-core container all worker columns collapse to single-thread
+// throughput. The interesting sharded win is capacity (a gallery larger
+// than one device) — the sweep quantifies what that costs per query.
+//
+// GAUSS_BENCH_SCALE in (0,1] shrinks the dataset for quick runs; the ci
+// smoke test (sweep_shards_smoke in CMakeLists.txt) runs at 0.02 so the
+// cross-check can't rot.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "api/gauss_db.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "eval/report.h"
+
+namespace gauss::bench {
+namespace {
+
+constexpr double kAccuracy = 1e-4;
+constexpr double kThreshold = 0.2;
+
+// ids + ordering exact; probabilities within the summed certified
+// half-widths (the sharded and single-tree runs refine to the same
+// requested accuracy but along different traversals).
+bool SameAnswers(const BatchResult& a, const BatchResult& b) {
+  if (a.responses.size() != b.responses.size()) return false;
+  for (size_t i = 0; i < a.responses.size(); ++i) {
+    const auto& x = a.responses[i].items;
+    const auto& y = b.responses[i].items;
+    if (x.size() != y.size()) return false;
+    for (size_t j = 0; j < x.size(); ++j) {
+      if (x[j].id != y[j].id) return false;
+      const double tolerance =
+          x[j].probability_error + y[j].probability_error + 1e-12;
+      if (std::fabs(x[j].probability - y[j].probability) > tolerance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Run() {
+  PrintBanner(std::cout,
+              "Sharded GaussDb sweep (scatter-gather MLIQ+TIQ, warm cache)");
+  double scale = 1.0;
+  if (const char* env = std::getenv("GAUSS_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) scale = s;
+  }
+
+  ClusteredDatasetConfig config;
+  config.size = static_cast<size_t>(60000 * scale);
+  config.dim = 8;
+  const PfvDataset dataset = GenerateClusteredDataset(config);
+
+  WorkloadConfig wconfig;
+  wconfig.query_count = 256;
+  const auto workload = GenerateWorkload(dataset, wconfig);
+
+  std::vector<Query> batch;
+  batch.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (i % 4 == 3) {
+      batch.push_back(Query::Tiq(workload[i].query, kThreshold)
+                          .Accuracy(kAccuracy));
+    } else {
+      batch.push_back(Query::Mliq(workload[i].query, 3).Accuracy(kAccuracy));
+    }
+  }
+
+  std::cout << "objects: " << dataset.size()
+            << "  queries: " << batch.size()
+            << "  hardware threads: " << std::thread::hardware_concurrency()
+            << "\n\n";
+
+  // Unsharded single-tree reference: the correctness anchor and the
+  // 1-shard/1-worker throughput baseline.
+  GaussDb reference_db = GaussDb::CreateInMemory(config.dim);
+  reference_db.Build(dataset);
+  ServeOptions ref_serve;
+  ref_serve.num_workers = 1;
+  ref_serve.cache_pages = 1 << 15;
+  Session ref_session = reference_db.Serve(ref_serve);
+  ref_session.ExecuteBatch(batch);  // warm
+  const BatchResult reference = ref_session.ExecuteBatch(batch);
+
+  Table table({"shards", "workers", "qps", "p50 us", "p99 us", "pages/query"});
+  table.AddRow({"-", Table::Int(1), Table::Num(reference.stats.qps),
+                Table::Num(reference.stats.latency.p50_us),
+                Table::Num(reference.stats.latency.p99_us),
+                Table::Num(reference.stats.pages_per_query())});
+
+  for (size_t shards : {1, 2, 4, 8}) {
+    GaussDbOptions options;
+    options.shards.num_shards = shards;
+    GaussDb db = GaussDb::CreateInMemory(config.dim, options);
+    db.Build(dataset);
+
+    for (size_t workers : {1, 4}) {
+      ServeOptions serve;
+      serve.num_workers = shards * workers;
+      serve.cache_pages = 1 << 15;  // sized for the tree: measure
+                                    // scatter-gather, not cache misses
+      serve.queue_capacity = batch.size();
+      serve.coordinator_threads = 2;
+      Session session = db.Serve(serve);
+
+      session.ExecuteBatch(batch);  // warm the caches and the threads
+      BatchResult result = session.ExecuteBatch(batch);
+
+      if (!SameAnswers(result, reference)) {
+        std::cout << "ERROR: answers diverged at " << shards << " shards, "
+                  << workers << " workers/shard\n";
+        std::exit(1);
+      }
+
+      const ServiceStats& stats = result.stats;
+      table.AddRow({Table::Int(shards), Table::Int(shards * workers),
+                    Table::Num(stats.qps), Table::Num(stats.latency.p50_us),
+                    Table::Num(stats.latency.p99_us),
+                    Table::Num(stats.pages_per_query())});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "answers of every cell verified against the unsharded "
+               "single-tree reference (ids exact, probabilities within "
+               "certified bounds)\n";
+}
+
+}  // namespace
+}  // namespace gauss::bench
+
+int main() {
+  gauss::bench::Run();
+  return 0;
+}

@@ -11,10 +11,16 @@
 //
 // Output: identification accuracy plus the service's aggregate stats —
 // throughput, latency percentiles, page I/O, and admission-control counts.
+//
+// Pass --shards=N to partition the gallery over N Gauss-trees served
+// scatter-gather through a ShardCoordinator front door (same clients, same
+// contracts — answers and admission behavior are independent of sharding).
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -43,9 +49,19 @@ std::vector<double> FeatureSigmas(gauss::Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gauss;
   Rng rng(7);
+
+  size_t num_shards = 0;  // 0 = unsharded single tree
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      num_shards = static_cast<size_t>(std::atoll(argv[i] + 9));
+    } else {
+      std::fprintf(stderr, "usage: %s [--shards=N]\n", argv[0]);
+      return 1;
+    }
+  }
 
   // True (unobservable) facial geometry per person.
   std::vector<std::vector<double>> true_faces(kPersons,
@@ -55,7 +71,9 @@ int main() {
   }
 
   // ---- Offline: enroll the gallery. --------------------------------------
-  GaussDb db = GaussDb::CreateInMemory(kFeatures);
+  GaussDbOptions db_options;
+  db_options.shards.num_shards = num_shards;  // 0 keeps the single tree
+  GaussDb db = GaussDb::CreateInMemory(kFeatures, db_options);
   for (size_t person = 0; person < kPersons; ++person) {
     const std::vector<double> sigma = FeatureSigmas(rng);
     std::vector<double> observed(kFeatures);
@@ -71,9 +89,17 @@ int main() {
   serve.cache_pages = 1 << 12;
   Session session = db.Serve(serve);
 
-  std::printf("GaussDb: %zu enrolled persons, %zu workers, %zu batch clients "
-              "+ 1 streaming client\n",
-              db.size(), session.num_workers(), kClients);
+  if (db.sharded()) {
+    std::printf("GaussDb: %zu enrolled persons over %zu shards, %zu workers "
+                "behind a scatter-gather front door, %zu batch clients + 1 "
+                "streaming client\n",
+                db.size(), session.num_shards(), session.num_workers(),
+                kClients);
+  } else {
+    std::printf("GaussDb: %zu enrolled persons, %zu workers, %zu batch "
+                "clients + 1 streaming client\n",
+                db.size(), session.num_workers(), kClients);
+  }
 
   std::atomic<size_t> identified{0};
   std::atomic<size_t> probes_total{0};
@@ -164,11 +190,11 @@ int main() {
   std::printf("streaming gate: %zu answered in budget, %zu shed/expired "
               "(deadline 50 ms)\n",
               streamed_ok.load(), streamed_rejected.load());
-  const IoStats io = session.cache().stats();
-  std::printf("cache: %llu logical / %llu physical reads over %zu resident "
-              "pages\n",
+  const IoStats io = session.io_stats();  // summed over per-shard caches
+  std::printf("cache(s): %llu logical / %llu physical reads across %zu "
+              "serving pool(s)\n",
               static_cast<unsigned long long>(io.logical_reads),
               static_cast<unsigned long long>(io.physical_reads),
-              session.cache().resident_pages());
+              session.num_shards());
   return 0;
 }

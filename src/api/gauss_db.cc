@@ -1,22 +1,96 @@
 #include "api/gauss_db.h"
 
+#include <algorithm>
+#include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/macros.h"
 
 namespace gauss {
 
+namespace {
+
+// Persistent shard manifest at page 0 of a sharded database, written by
+// Finalize(). Distinguished from the legacy layout (GaussTree header at
+// page 0) by its magic; followed in-page by num_shards PageId entries
+// naming each shard tree's header page.
+constexpr uint64_t kGaussDbManifestMagic = 0x47415553'53444231ull;  // "GAUSSDB1"
+constexpr uint32_t kGaussDbManifestVersion = 1;
+
+struct ManifestLayout {
+  uint64_t magic;
+  uint32_t version;
+  // Page size the database was created with; checked on OpenFile() like the
+  // tree header's (a mismatched device maps PageIds to wrong byte offsets).
+  uint32_t page_size;
+  uint32_t dim;
+  uint32_t num_shards;
+};
+
+// Shard count bound: nobody needs more partitions than this on one node.
+// The manifest (header + PageId per shard) must additionally fit the
+// configured page size — checked against it where the shard count is fixed.
+constexpr size_t kMaxShards = 64;
+
+size_t ManifestBytes(size_t num_shards) {
+  return sizeof(ManifestLayout) + num_shards * sizeof(PageId);
+}
+
+}  // namespace
+
+void GaussDb::InitFreshTrees() {
+  if (sharded_) {
+    GAUSS_CHECK_MSG(ManifestBytes(num_shards()) <= options_.page_size,
+                    "shard manifest does not fit the configured page size");
+    // The manifest page must be allocated before any tree so it lands on
+    // page 0; its contents are written by Finalize().
+    const PageId manifest = device_->Allocate();
+    GAUSS_CHECK(manifest == kMetaPage);
+  }
+  const size_t shards = num_shards();
+  trees_.reserve(shards);
+  shard_metas_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    trees_.push_back(std::make_unique<GaussTree>(build_pool_.get(), dim_,
+                                                 options_.tree));
+    shard_metas_.push_back(trees_.back()->meta_page());
+  }
+  // Unsharded: OpenFile() depends on the legacy header landing on page 0.
+  if (!sharded_) GAUSS_CHECK(shard_metas_[0] == kMetaPage);
+}
+
+void GaussDb::WriteManifest() {
+  GAUSS_CHECK(sharded_);
+  ManifestLayout manifest;
+  std::memset(&manifest, 0, sizeof(manifest));
+  manifest.magic = kGaussDbManifestMagic;
+  manifest.version = kGaussDbManifestVersion;
+  manifest.page_size = options_.page_size;
+  manifest.dim = static_cast<uint32_t>(dim_);
+  manifest.num_shards = static_cast<uint32_t>(shard_metas_.size());
+  std::vector<uint8_t> page(options_.page_size, 0);
+  std::memcpy(page.data(), &manifest, sizeof(manifest));
+  std::memcpy(page.data() + sizeof(manifest), shard_metas_.data(),
+              shard_metas_.size() * sizeof(PageId));
+  build_pool_->WritePage(kMetaPage, page.data());
+  build_pool_->FlushAll();
+}
+
 GaussDb GaussDb::CreateInMemory(size_t dim, GaussDbOptions options) {
   GaussDb db;
   db.options_ = options;
   db.dim_ = dim;
+  db.sharded_ = options.shards.num_shards >= 1;
+  if (db.sharded_) {
+    GAUSS_CHECK_MSG(options.shards.num_shards <= kMaxShards,
+                    "too many shards");
+    db.partitioner_ = Partitioner(options.shards.num_shards);
+  }
   db.device_ = std::make_unique<InMemoryPageDevice>(options.page_size);
   db.build_pool_ =
       std::make_unique<BufferPool>(db.device_.get(), options.build_cache_pages);
-  db.tree_ = std::make_unique<GaussTree>(db.build_pool_.get(), dim,
-                                         options.tree);
-  db.meta_page_ = db.tree_->meta_page();
-  GAUSS_CHECK(db.meta_page_ == kMetaPage);  // OpenFile() depends on this
+  db.InitFreshTrees();
   return db;
 }
 
@@ -25,16 +99,19 @@ GaussDb GaussDb::CreateOnFile(const std::string& path, size_t dim,
   GaussDb db;
   db.options_ = options;
   db.dim_ = dim;
+  db.sharded_ = options.shards.num_shards >= 1;
+  if (db.sharded_) {
+    GAUSS_CHECK_MSG(options.shards.num_shards <= kMaxShards,
+                    "too many shards");
+    db.partitioner_ = Partitioner(options.shards.num_shards);
+  }
   auto device = std::make_unique<FilePageDevice>(path, options.page_size,
                                                  /*truncate=*/true);
   db.file_device_ = device.get();
   db.device_ = std::move(device);
   db.build_pool_ =
       std::make_unique<BufferPool>(db.device_.get(), options.build_cache_pages);
-  db.tree_ = std::make_unique<GaussTree>(db.build_pool_.get(), dim,
-                                         options.tree);
-  db.meta_page_ = db.tree_->meta_page();
-  GAUSS_CHECK(db.meta_page_ == kMetaPage);
+  db.InitFreshTrees();
   return db;
 }
 
@@ -47,61 +124,161 @@ GaussDb GaussDb::OpenFile(const std::string& path, GaussDbOptions options) {
   db.device_ = std::move(device);
   db.build_pool_ =
       std::make_unique<BufferPool>(db.device_.get(), options.build_cache_pages);
-  // The header (magic-checked) lives at page 0 by construction; its options
-  // override whatever the caller passed.
-  db.tree_ = GaussTree::Open(db.build_pool_.get(), kMetaPage);
-  db.options_.tree = db.tree_->options();
-  db.dim_ = db.tree_->dim();
-  db.meta_page_ = kMetaPage;
+
+  // Page 0 is either the shard manifest (sharded layout) or the tree header
+  // (legacy layout); the magic decides. Persistent facts override whatever
+  // the caller passed.
+  ManifestLayout manifest;
+  {
+    const PageRef page = db.build_pool_->Fetch(kMetaPage);
+    std::memcpy(&manifest, page.data(), sizeof(manifest));
+    if (manifest.magic == kGaussDbManifestMagic) {
+      GAUSS_CHECK_MSG(manifest.version == kGaussDbManifestVersion,
+                      "unsupported GaussDb manifest version");
+      GAUSS_CHECK_MSG(manifest.page_size == options.page_size,
+                      "page size mismatch: the device is opened with a "
+                      "different page size than the database was created "
+                      "with");
+      GAUSS_CHECK_MSG(manifest.num_shards >= 1 &&
+                          manifest.num_shards <= kMaxShards &&
+                          ManifestBytes(manifest.num_shards) <=
+                              options.page_size,
+                      "corrupt shard manifest");
+      db.sharded_ = true;
+      db.partitioner_ = Partitioner(manifest.num_shards);
+      db.options_.shards.num_shards = manifest.num_shards;
+      db.shard_metas_.resize(manifest.num_shards);
+      std::memcpy(db.shard_metas_.data(), page.data() + sizeof(manifest),
+                  manifest.num_shards * sizeof(PageId));
+    }
+  }
+
+  if (db.sharded_) {
+    for (const PageId meta : db.shard_metas_) {
+      db.trees_.push_back(GaussTree::Open(db.build_pool_.get(), meta));
+    }
+    db.dim_ = db.trees_[0]->dim();
+    GAUSS_CHECK_MSG(db.dim_ == manifest.dim, "corrupt shard manifest");
+  } else {
+    // Legacy layout: the header (magic-checked by GaussTree::Open) lives at
+    // page 0 by construction.
+    db.trees_.push_back(GaussTree::Open(db.build_pool_.get(), kMetaPage));
+    db.dim_ = db.trees_[0]->dim();
+    db.shard_metas_.push_back(kMetaPage);
+  }
+  db.options_.tree = db.trees_[0]->options();
+  for (const auto& tree : db.trees_) {
+    GAUSS_CHECK_MSG(tree->dim() == db.dim_,
+                    "shard trees disagree on dimensionality");
+  }
   return db;
 }
 
+size_t GaussDb::size() const {
+  if (trees_.empty()) return size_;
+  size_t total = 0;
+  for (const auto& tree : trees_) total += tree->size();
+  return total;
+}
+
+bool GaussDb::finalized() const {
+  for (const auto& tree : trees_) {
+    if (!tree->store().finalized()) return false;
+  }
+  return true;
+}
+
 void GaussDb::Build(const PfvDataset& dataset) {
-  GAUSS_CHECK_MSG(tree_ != nullptr, "Build after Serve(): build phase is over");
-  GAUSS_CHECK_MSG(tree_->size() == 0 && !tree_->store().finalized(),
+  GAUSS_CHECK_MSG(!trees_.empty(),
+                  "Build after Serve(): build phase is over");
+  GAUSS_CHECK_MSG(size() == 0 && !finalized(),
                   "Build requires an empty database (use Insert to grow one)");
   GAUSS_CHECK_MSG(dataset.dim() == dim_, "dataset dimensionality mismatch");
-  tree_->BulkLoad(dataset);
+  if (sharded_) {
+    const std::vector<PfvDataset> parts = partitioner_.Split(dataset);
+    for (size_t s = 0; s < trees_.size(); ++s) {
+      trees_[s]->BulkLoad(parts[s]);
+    }
+  } else {
+    trees_[0]->BulkLoad(dataset);
+  }
   Finalize();
 }
 
 void GaussDb::Insert(const Pfv& pfv) {
-  GAUSS_CHECK_MSG(tree_ != nullptr,
+  GAUSS_CHECK_MSG(!trees_.empty(),
                   "Insert after Serve(): build phase is over");
-  if (tree_->store().finalized()) tree_->Definalize();
-  tree_->Insert(pfv);
+  GaussTree* tree =
+      trees_[sharded_ ? partitioner_.ShardOf(pfv.id) : 0].get();
+  if (tree->store().finalized()) tree->Definalize();
+  tree->Insert(pfv);
 }
 
 void GaussDb::Finalize() {
-  GAUSS_CHECK_MSG(tree_ != nullptr,
+  GAUSS_CHECK_MSG(!trees_.empty(),
                   "Finalize after Serve(): build phase is over");
-  if (!tree_->store().finalized()) tree_->Finalize();
+  for (const auto& tree : trees_) {
+    if (!tree->store().finalized()) tree->Finalize();
+  }
+  if (sharded_) WriteManifest();
   if (file_device_ != nullptr) file_device_->Sync();
 }
 
 Session GaussDb::Serve(ServeOptions options) {
-  if (tree_ != nullptr) {
+  if (!trees_.empty()) {
     Finalize();
-    // Atomic phase switch: cache the build-side facts, then tear down the
-    // build stack (tree first, then its pool — Finalize already flushed)
-    // before the serving stack attaches to the same pages.
-    size_ = tree_->size();
-    meta_page_ = tree_->meta_page();
-    tree_.reset();
+    // Atomic phase switch: tear down the build stack (trees first, then
+    // their pool — Finalize already flushed) before the serving stack
+    // attaches to the same pages. size_ is re-derived from the reopened
+    // serving trees below.
+    trees_.clear();
     build_pool_.reset();
   }
-  GAUSS_CHECK_MSG(meta_page_ != kInvalidPageId,
-                  "Serve on an unbuilt GaussDb");
+  GAUSS_CHECK_MSG(!shard_metas_.empty(), "Serve on an unbuilt GaussDb");
 
-  auto pool = std::make_unique<ShardedBufferPool>(
-      device_.get(), options.cache_pages, options.num_shards);
-  std::unique_ptr<GaussTree> tree = GaussTree::Open(pool.get(), meta_page_);
-  size_ = tree->size();
-  QueryServiceOptions service_options;
-  service_options.num_workers = options.num_workers;
-  service_options.queue_capacity = options.queue_capacity;
-  auto service = std::make_unique<QueryService>(*tree, service_options);
-  return Session(std::move(pool), std::move(tree), std::move(service));
+  const size_t shards = shard_metas_.size();
+  size_t total_workers = options.num_workers;
+  if (total_workers == 0) {
+    total_workers = std::thread::hardware_concurrency();
+    if (total_workers == 0) total_workers = 1;
+  }
+  const size_t workers_per_shard = std::max<size_t>(1, total_workers / shards);
+  // Every per-shard pool must be able to hold at least a root-to-leaf path
+  // plus headers, whatever the split says.
+  const size_t pages_per_shard = std::max<size_t>(16, options.cache_pages / shards);
+
+  std::vector<ShardServingStack> stacks;
+  stacks.reserve(shards);
+  size_t total_size = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    ShardServingStack stack;
+    stack.pool = std::make_unique<ShardedBufferPool>(
+        device_.get(), pages_per_shard, options.num_shards);
+    stack.tree = GaussTree::Open(stack.pool.get(), shard_metas_[s]);
+    total_size += stack.tree->size();
+    QueryServiceOptions service_options;
+    service_options.num_workers = workers_per_shard;
+    service_options.queue_capacity = options.queue_capacity;
+    stack.service =
+        std::make_unique<QueryService>(*stack.tree, service_options);
+    stacks.push_back(std::move(stack));
+  }
+  size_ = total_size;
+
+  std::unique_ptr<ShardCoordinator> coordinator;
+  if (sharded_) {
+    std::vector<QueryService*> services;
+    services.reserve(shards);
+    for (const ShardServingStack& stack : stacks) {
+      services.push_back(stack.service.get());
+    }
+    ShardCoordinatorOptions coordinator_options;
+    coordinator_options.num_threads = options.coordinator_threads;
+    coordinator_options.queue_capacity = options.queue_capacity;
+    coordinator = std::make_unique<ShardCoordinator>(std::move(services),
+                                                     coordinator_options);
+  }
+  return Session(std::move(stacks), std::move(coordinator));
 }
 
 }  // namespace gauss

@@ -7,10 +7,12 @@
 #include <string>
 #include <vector>
 
+#include "api/partitioner.h"
 #include "gausstree/gauss_tree.h"
 #include "pfv/pfv.h"
 #include "service/query.h"
 #include "service/query_service.h"
+#include "service/shard_coordinator.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 #include "storage/page_device.h"
@@ -51,6 +53,25 @@ namespace gauss {
 //     earlier CreateOnFile() + Finalize() run (the tree header lives at page
 //     0 of the file; opening anything else fails the header magic check).
 //
+// Sharding (GaussDbOptions::shards, ShardOptions::num_shards >= 1): the
+// gallery is hash-partitioned by object id (api/partitioner.h) over N
+// Gauss-trees living as N page regions of the one device. Build()/Insert()
+// route each object to its shard's tree; Serve() returns a Session whose
+// front door is a ShardCoordinator scatter-gathering every query across
+// per-shard QueryServices and combining the per-shard Bayes-denominator
+// bounds — with refinement rounds when the combined interval is too loose —
+// so MLIQ/TIQ answers equal the single-tree algorithm's (see
+// service/shard_coordinator.h for the algorithm and its correctness
+// argument, tests/shard_equivalence_test.cc for the differential proof).
+//
+// Sharded file layout: page 0 holds a GaussDb shard manifest (own magic;
+// num_shards, dimensionality, page size, per-shard header page ids) written
+// by Finalize(); each shard tree keeps its ordinary GaussTree header on its
+// own page. An unsharded database keeps the legacy layout (tree header
+// directly at page 0), and OpenFile() distinguishes the two by the page-0
+// magic — both layouts reopen transparently, sharding options are restored
+// from the manifest and the caller's ShardOptions are ignored.
+//
 // Lifetime rules: GaussDb owns the device; every Session borrows it, so a
 // Session must be destroyed before its GaussDb. Serve() may be called
 // multiple times — each call builds an independent serving stack (own cache
@@ -59,10 +80,22 @@ namespace gauss {
 //
 // The low-level layers stay public and documented for callers that need
 // them: QueryMliq()/QueryTiq() over a GaussTree are the re-entrant query
-// kernels (gausstree/mliq.h, tiq.h), and QueryService is the raw serving
-// engine (service/query_service.h). Everything GaussDb does is expressible
-// through them; the façade only removes the plumbing.
+// kernels (gausstree/mliq.h, tiq.h), QueryService is the raw serving
+// engine (service/query_service.h), and ShardCoordinator the raw
+// scatter-gather front door (service/shard_coordinator.h). Everything
+// GaussDb does is expressible through them; the façade only removes the
+// plumbing.
 // ============================================================================
+
+// Sharding configuration (build-time: partitioning is part of the
+// database's persistent identity, not of one serving session).
+struct ShardOptions {
+  // 0 = unsharded single tree (the default; legacy file layout).
+  // >= 1 partitions the gallery over this many Gauss-trees behind one
+  // scatter-gather front door. 1 is a valid degenerate case (one shard
+  // behind a coordinator) and useful for testing the combination logic.
+  size_t num_shards = 0;
+};
 
 // Build-phase configuration.
 struct GaussDbOptions {
@@ -72,77 +105,134 @@ struct GaussDbOptions {
   uint32_t page_size = kDefaultPageSize;
   // Cache budget of the single-threaded build pool, in pages.
   size_t build_cache_pages = 1 << 14;
+  // Gallery partitioning over multiple Gauss-trees.
+  ShardOptions shards;
 };
 
 // Serving-stack configuration for one GaussDb::Serve() call.
 struct ServeOptions {
-  // Worker threads; 0 = one per hardware thread.
+  // Worker threads; 0 = one per hardware thread. For a sharded database
+  // this is the *total* budget, split evenly over the shards (at least one
+  // worker per shard).
   size_t num_workers = 0;
-  // Cache budget of the shared serving pool, in pages.
+  // Cache budget of the serving pool(s), in pages. For a sharded database
+  // the budget is split evenly over the per-shard pools.
   size_t cache_pages = 1 << 12;
   // Latch shards of the serving pool (power of two); 0 = default.
   size_t num_shards = 0;
-  // Bound of the admission queue (backpressure/shedding threshold).
+  // Bound of the admission queue (backpressure/shedding threshold). For a
+  // sharded database this bounds the coordinator's front-door queue and
+  // each per-shard queue.
   size_t queue_capacity = 1024;
+  // Sharded databases only: threads driving the scatter-gather merge and
+  // refinement logic (service/shard_coordinator.h).
+  size_t coordinator_threads = 2;
 };
 
-// A live serving stack over one finalized GaussDb: sharded page cache +
-// reopened tree + worker pool. Move-only; destroying it drains outstanding
-// queries and joins the workers. Must not outlive the GaussDb it came from.
+// One per-shard serving stack: sharded page cache + reopened tree + worker
+// pool. Destruction order (reverse of declaration): service joins its
+// workers first, then the tree detaches, then the cache flushes away.
+struct ShardServingStack {
+  std::unique_ptr<ShardedBufferPool> pool;
+  std::unique_ptr<GaussTree> tree;
+  std::unique_ptr<QueryService> service;
+};
+
+// A live serving stack over one finalized GaussDb. Unsharded: one
+// ShardServingStack, queries go straight to its QueryService. Sharded: one
+// stack per shard plus a ShardCoordinator front door that scatter-gathers
+// every query. Move-only; destroying it drains outstanding queries and
+// joins all workers. Must not outlive the GaussDb it came from.
 class Session {
  public:
   Session(Session&&) = default;
 
   // Replacing a live session must tear the old one down in dependency order
-  // (service joins its workers before their tree and cache disappear) — a
-  // defaulted member-wise move would destroy the old pool and tree first,
-  // letting drained queries execute against freed objects.
+  // (the coordinator drains before the shard services it scatters to; each
+  // service joins its workers before their tree and cache disappear) — a
+  // defaulted member-wise move would destroy pools and trees first, letting
+  // drained queries execute against freed objects.
   Session& operator=(Session&& other) noexcept {
     if (this != &other) {
-      service_.reset();
-      tree_.reset();
-      pool_.reset();
-      pool_ = std::move(other.pool_);
-      tree_ = std::move(other.tree_);
-      service_ = std::move(other.service_);
+      coordinator_.reset();
+      stacks_.clear();
+      stacks_ = std::move(other.stacks_);
+      coordinator_ = std::move(other.coordinator_);
     }
     return *this;
   }
 
-  // Streaming submission — see QueryService::Submit().
+  // Streaming submission — see QueryService::Submit() /
+  // ShardCoordinator::Submit().
   std::future<QueryResponse> Submit(Query query) {
-    return service_->Submit(std::move(query));
+    return coordinator_ ? coordinator_->Submit(std::move(query))
+                        : stacks_[0].service->Submit(std::move(query));
   }
 
-  // Batch submission — see QueryService::ExecuteBatch().
+  // Batch submission — see QueryService::ExecuteBatch() /
+  // ShardCoordinator::ExecuteBatch().
   BatchResult ExecuteBatch(const std::vector<Query>& batch) {
-    return service_->ExecuteBatch(batch);
+    return coordinator_ ? coordinator_->ExecuteBatch(batch)
+                        : stacks_[0].service->ExecuteBatch(batch);
   }
 
   // The reopened read-only tree (for the low-level QueryMliq/QueryTiq API
-  // and for structural inspection).
-  const GaussTree& tree() const { return *tree_; }
+  // and for structural inspection). Unsharded sessions only — a sharded
+  // session has one tree per shard; use shard_tree().
+  const GaussTree& tree() const {
+    GAUSS_CHECK_MSG(coordinator_ == nullptr,
+                    "sharded session: use shard_tree(shard)");
+    return *stacks_[0].tree;
+  }
+
+  // Per-shard tree of a (possibly unsharded, shard 0) session.
+  const GaussTree& shard_tree(size_t shard) const {
+    return *stacks_.at(shard).tree;
+  }
 
   // The serving page cache (I/O statistics, Clear() for cold-start
-  // experiments while no queries are in flight).
-  ShardedBufferPool& cache() { return *pool_; }
+  // experiments while no queries are in flight). Unsharded sessions only —
+  // sharded sessions have one cache per shard; see io_stats().
+  ShardedBufferPool& cache() {
+    GAUSS_CHECK_MSG(coordinator_ == nullptr,
+                    "sharded session: per-shard caches; use io_stats()");
+    return *stacks_[0].pool;
+  }
 
-  size_t num_workers() const { return service_->num_workers(); }
+  // I/O counters summed over all serving caches (1 for unsharded sessions).
+  IoStats io_stats() const {
+    IoStats total;
+    for (const ShardServingStack& stack : stacks_) total += stack.pool->stats();
+    return total;
+  }
+
+  size_t num_shards() const { return stacks_.size(); }
+  bool sharded() const { return coordinator_ != nullptr; }
+
+  // Shard-coordinator front door of a sharded session (nullptr otherwise).
+  ShardCoordinator* coordinator() { return coordinator_.get(); }
+
+  // Total query-execution workers across all shards (coordinator threads
+  // not included).
+  size_t num_workers() const {
+    size_t total = 0;
+    for (const ShardServingStack& stack : stacks_) {
+      total += stack.service->num_workers();
+    }
+    return total;
+  }
 
  private:
   friend class GaussDb;
-  Session(std::unique_ptr<ShardedBufferPool> pool,
-          std::unique_ptr<GaussTree> tree,
-          std::unique_ptr<QueryService> service)
-      : pool_(std::move(pool)),
-        tree_(std::move(tree)),
-        service_(std::move(service)) {}
+  Session(std::vector<ShardServingStack> stacks,
+          std::unique_ptr<ShardCoordinator> coordinator)
+      : stacks_(std::move(stacks)), coordinator_(std::move(coordinator)) {}
 
-  // Destruction order (reverse of declaration): service joins its workers
-  // first, then the tree detaches, then the cache flushes away.
-  std::unique_ptr<ShardedBufferPool> pool_;
-  std::unique_ptr<GaussTree> tree_;
-  std::unique_ptr<QueryService> service_;
+  // Destruction order (reverse of declaration): the coordinator drains its
+  // in-flight scatter-gathers first, then each shard stack tears down
+  // service -> tree -> cache.
+  std::vector<ShardServingStack> stacks_;
+  std::unique_ptr<ShardCoordinator> coordinator_;
 };
 
 class GaussDb {
@@ -157,62 +247,84 @@ class GaussDb {
                               GaussDbOptions options = {});
 
   // Reattaches to a database file written by CreateOnFile() + Finalize().
-  // Tree options and dimensionality are read back from the persistent
-  // header; `options.tree` is ignored. Aborts if the file does not hold a
-  // finalized GaussDb (header magic check) or if `options.page_size` differs
-  // from the page size the file was created with (header page-size check).
+  // Tree options, dimensionality, and sharding are read back from the
+  // persistent headers (legacy tree header or shard manifest at page 0);
+  // `options.tree`/`options.shards` are ignored. Aborts if the file does
+  // not hold a finalized GaussDb (magic check) or if `options.page_size`
+  // differs from the page size the file was created with.
   static GaussDb OpenFile(const std::string& path, GaussDbOptions options = {});
 
   GaussDb(GaussDb&&) = default;
   GaussDb& operator=(GaussDb&&) = default;
 
   // Bulk-loads an empty database (top-down hull-integral partitioning — the
-  // fast, more selective build) and finalizes it.
+  // fast, more selective build) and finalizes it. Sharded databases
+  // partition the dataset first and bulk-load every shard tree.
   void Build(const PfvDataset& dataset);
 
-  // Incremental build: inserts one object (paper Section 5.3 insertion).
-  // Reopens a finalized tree for writing if necessary. Must not be called
-  // once Serve() has been used.
+  // Incremental build: inserts one object (paper Section 5.3 insertion)
+  // into its (hash-routed) shard tree. Reopens a finalized tree for writing
+  // if necessary. Must not be called once Serve() has been used.
   void Insert(const Pfv& pfv);
 
-  // Serializes the tree to pages and syncs file-backed devices. Idempotent;
-  // Serve() calls it implicitly when needed.
+  // Serializes the tree(s) to pages, writes the shard manifest when
+  // sharded, and syncs file-backed devices. Idempotent; Serve() calls it
+  // implicitly when needed.
   void Finalize();
 
   // Switches to the serve phase: tears down the build pool and returns a
-  // Session serving the finalized pages through a ShardedBufferPool and a
-  // QueryService worker pool. May be called repeatedly for independent
-  // serving stacks; after the first call the build phase is over and
-  // Insert() aborts.
+  // Session serving the finalized pages. Unsharded: one ShardedBufferPool +
+  // QueryService stack. Sharded: one stack per shard behind a
+  // ShardCoordinator. May be called repeatedly for independent serving
+  // stacks; after the first call the build phase is over and Insert()
+  // aborts.
   Session Serve(ServeOptions options = {});
 
-  size_t size() const { return tree_ ? tree_->size() : size_; }
+  size_t size() const;
   size_t dim() const { return dim_; }
-  bool finalized() const { return !tree_ || tree_->store().finalized(); }
+  bool finalized() const;
+
+  // Number of shard trees (1 for an unsharded database).
+  size_t num_shards() const { return sharded_ ? partitioner_.num_shards() : 1; }
+  bool sharded() const { return sharded_; }
 
   // The backing device (shared by the build pool and every Session).
   PageDevice& device() { return *device_; }
 
   // Build-phase tree access (nullptr once Serve() has switched phases).
-  const GaussTree* build_tree() const { return tree_.get(); }
+  // `shard` indexes the partition for sharded databases.
+  const GaussTree* build_tree(size_t shard = 0) const {
+    return shard < trees_.size() ? trees_[shard].get() : nullptr;
+  }
 
  private:
   GaussDb() = default;
 
-  // Page the persistent tree header lives at: GaussDb always creates the
-  // tree first on a fresh device, so the GaussTree constructor's meta-page
-  // allocation lands on page 0 — which is what OpenFile() relies on.
+  // Page the first persistent header lives at: GaussDb always allocates it
+  // first on a fresh device — the legacy tree header (unsharded) or the
+  // shard manifest — which is what OpenFile() relies on.
   static constexpr PageId kMetaPage = 0;
+
+  // Creates the (empty) shard trees on a fresh device: the manifest page
+  // first when sharded, then one tree per shard in shard order.
+  void InitFreshTrees();
+
+  // Writes the shard manifest to page 0 (sharded databases only).
+  void WriteManifest();
 
   GaussDbOptions options_;
   std::unique_ptr<PageDevice> device_;
   FilePageDevice* file_device_ = nullptr;  // device_.get() when file-backed
   std::unique_ptr<BufferPool> build_pool_;
-  std::unique_ptr<GaussTree> tree_;  // build-phase tree; null while serving
+  // Build-phase trees, one per shard; empty while serving.
+  std::vector<std::unique_ptr<GaussTree>> trees_;
+
+  bool sharded_ = false;
+  Partitioner partitioner_{1};
+  std::vector<PageId> shard_metas_;  // per-shard header page ids
 
   size_t dim_ = 0;
-  size_t size_ = 0;                  // cached once tree_ is torn down
-  PageId meta_page_ = kInvalidPageId;
+  size_t size_ = 0;  // cached once trees_ are torn down
 };
 
 }  // namespace gauss

@@ -1,0 +1,59 @@
+#ifndef GAUSS_API_PARTITIONER_H_
+#define GAUSS_API_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "pfv/pfv.h"
+
+namespace gauss {
+
+// Build-time shard router of a sharded GaussDb: object id -> shard index.
+//
+// The hash is SplitMix64 (full-avalanche mixer), so the sequential /
+// clustered ids real galleries use spread evenly across shards instead of
+// striping, and it is a pure function of the id — the same object lands on
+// the same shard across Insert(), Build(), and a later OpenFile() of the
+// persisted database. Routing by id (not by feature-space region) keeps
+// shard loads balanced under any data distribution; identification queries
+// must consult every shard anyway, because the Bayes denominator spans the
+// whole gallery (see service/shard_coordinator.h).
+class Partitioner {
+ public:
+  explicit Partitioner(size_t num_shards) : num_shards_(num_shards) {
+    GAUSS_CHECK_MSG(num_shards_ > 0, "Partitioner needs >= 1 shard");
+  }
+
+  size_t num_shards() const { return num_shards_; }
+
+  size_t ShardOf(uint64_t id) const {
+    return static_cast<size_t>(Mix(id) % num_shards_);
+  }
+
+  // Splits a dataset into one per-shard dataset (stable order within each
+  // shard: dataset order restricted to the shard's objects).
+  std::vector<PfvDataset> Split(const PfvDataset& dataset) const {
+    std::vector<PfvDataset> parts(num_shards_, PfvDataset(dataset.dim()));
+    for (const Pfv& pfv : dataset.objects()) {
+      parts[ShardOf(pfv.id)].Add(pfv);
+    }
+    return parts;
+  }
+
+ private:
+  // SplitMix64 finalizer (public-domain constants, Steele et al.).
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  size_t num_shards_;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_API_PARTITIONER_H_

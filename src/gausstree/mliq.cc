@@ -9,123 +9,115 @@
 
 namespace gauss {
 
-namespace {
-
 using internal::ActiveNode;
-using internal::DenominatorTracker;
 
-struct Candidate {
-  uint64_t id = 0;
-  double scaled_density = 0.0;
-  double log_density = 0.0;
-};
+MliqTraversal::MliqTraversal(const GaussTree& tree, const Pfv& q, size_t k,
+                             MliqOptions options)
+    : tree_(tree),
+      q_(q),
+      k_(k),
+      options_(options),
+      policy_(tree.options().sigma_policy) {
+  GAUSS_CHECK(q_.dim() == tree_.dim());
+  GAUSS_CHECK(q_.Valid());
+  GAUSS_CHECK(k_ > 0);
+  if (tree_.size() == 0) return;  // empty frontier: exhausted from the start
 
-// Keeps the k highest-density objects seen so far, sorted descending.
-class TopK {
- public:
-  explicit TopK(size_t k) : k_(k) {}
-
-  void Offer(const Candidate& c) {
-    if (items_.size() == k_ && c.scaled_density <= Kth()) return;
-    auto pos = std::lower_bound(items_.begin(), items_.end(), c,
-                                [](const Candidate& a, const Candidate& b) {
-                                  return a.scaled_density > b.scaled_density;
-                                });
-    items_.insert(pos, c);
-    if (items_.size() > k_) items_.pop_back();
-  }
-
-  // Density of the current k-th best (0 if fewer than k seen).
-  double Kth() const {
-    return items_.size() < k_ ? 0.0 : items_.back().scaled_density;
-  }
-
-  bool Full() const { return items_.size() == k_; }
-  const std::vector<Candidate>& items() const { return items_; }
-
- private:
-  size_t k_;
-  std::vector<Candidate> items_;
-};
-
-}  // namespace
-
-MliqResult QueryMliq(const GaussTree& tree, const Pfv& q, size_t k,
-                     const MliqOptions& options) {
-  GAUSS_CHECK(q.dim() == tree.dim());
-  GAUSS_CHECK(q.Valid());
-  GAUSS_CHECK(k > 0);
-
-  MliqResult result;
-  if (tree.size() == 0) return result;
-
-  const SigmaPolicy policy = tree.options().sigma_policy;
-  const double log_ref = internal::ComputeLogRef(tree, q);
-
-  DenominatorTracker tracker;
-  TopK top_k(k);
-  internal::QueryCounters counters;
-
+  log_ref_ = internal::ComputeLogRef(tree_, q_);
   // Seed with the root as a pseudo active node (bounds trivially [0, 1]
   // scaled; exact values are irrelevant because it is expanded first).
-  tracker.Push(ActiveNode{tree.root(), static_cast<uint32_t>(tree.size()),
-                          1.0, 0.0});
+  tracker_.Push(ActiveNode{tree_.root(), static_cast<uint32_t>(tree_.size()),
+                           1.0, 0.0});
+}
 
-  GtNode node;
-  auto expand = [&](const ActiveNode& active) {
-    tree.store().Load(active.page, &node);
-    ++counters.nodes_visited;
-    if (node.leaf()) {
-      ++counters.leaf_nodes_visited;
-      for (const Pfv& v : node.pfvs) {
-        const double log_density = PfvJointLogDensity(v, q, policy);
-        const double scaled = std::exp(log_density - log_ref);
-        tracker.AddExact(scaled);
-        ++counters.objects_evaluated;
-        top_k.Offer({v.id, scaled, log_density});
-      }
-    } else {
-      for (const GtChildEntry& e : node.children) {
-        tracker.Push(internal::MakeActiveNode(e, q, policy, log_ref));
-      }
+void MliqTraversal::OfferCandidate(const ScoredObject& candidate) {
+  if (items_.size() == k_ && candidate.scaled_density <= KthDensity()) return;
+  auto pos = std::lower_bound(items_.begin(), items_.end(), candidate,
+                              [](const ScoredObject& a, const ScoredObject& b) {
+                                return a.scaled_density > b.scaled_density;
+                              });
+  items_.insert(pos, candidate);
+  if (items_.size() > k_) items_.pop_back();
+}
+
+double MliqTraversal::KthDensity() const {
+  return items_.size() < k_ ? 0.0 : items_.back().scaled_density;
+}
+
+void MliqTraversal::Expand(const ActiveNode& active) {
+  tree_.store().Load(active.page, &node_);
+  ++counters_.nodes_visited;
+  if (node_.leaf()) {
+    ++counters_.leaf_nodes_visited;
+    for (const Pfv& v : node_.pfvs) {
+      const double log_density = PfvJointLogDensity(v, q_, policy_);
+      const double scaled = std::exp(log_density - log_ref_);
+      tracker_.AddExact(scaled);
+      ++counters_.objects_evaluated;
+      OfferCandidate({v.id, scaled, log_density});
     }
-  };
+  } else {
+    for (const GtChildEntry& e : node_.children) {
+      tracker_.Push(internal::MakeActiveNode(e, q_, policy_, log_ref_));
+    }
+  }
+}
+
+void MliqTraversal::Run() {
+  GAUSS_CHECK_MSG(!ran_, "MliqTraversal::Run is one-shot");
+  ran_ = true;
 
   // Phase 1 (Section 5.2.1): find the k most likely objects. Safe to stop
   // once every unexpanded subtree's upper bound is at or below the k-th
   // candidate's exact density. If every density underflows to zero (query
   // infinitely far from all data), any k objects are a valid answer once the
   // remaining upper bounds are zero as well.
-  while (!tracker.Empty()) {
-    const double top_upper = tracker.Top().upper;
-    if (top_k.Full() &&
-        (top_upper <= top_k.Kth() && (top_k.Kth() > 0.0 || top_upper == 0.0))) {
+  while (!tracker_.Empty()) {
+    const double top_upper = tracker_.Top().upper;
+    if (items_.size() == k_ &&
+        (top_upper <= KthDensity() &&
+         (KthDensity() > 0.0 || top_upper == 0.0))) {
       break;
     }
-    expand(tracker.Pop());
+    Expand(tracker_.Pop());
   }
 
   // Phase 2 (Section 5.2.2): tighten the denominator until every reported
   // probability is certified to the requested accuracy.
-  if (options.refine_probabilities) {
-    const double eps = options.probability_accuracy;
-    while (!tracker.Empty()) {
-      const double lo = tracker.DenominatorLo();
-      const double hi = tracker.DenominatorHi();
+  if (options_.refine_probabilities) {
+    const double eps = options_.probability_accuracy;
+    while (!tracker_.Empty()) {
+      const double lo = tracker_.DenominatorLo();
+      const double hi = tracker_.DenominatorHi();
       if (lo > 0.0 && (hi - lo) <= eps * lo) break;
-      expand(tracker.Pop());
+      Expand(tracker_.Pop());
     }
   }
+}
 
-  const double den_lo = tracker.DenominatorLo();
-  const double den_hi = tracker.DenominatorHi();
-  result.stats.nodes_visited = counters.nodes_visited;
-  result.stats.leaf_nodes_visited = counters.leaf_nodes_visited;
-  result.stats.objects_evaluated = counters.objects_evaluated;
-  result.stats.denominator_lo = den_lo;
-  result.stats.denominator_hi = den_hi;
+void MliqTraversal::RefineDenominator(double max_gap) {
+  GAUSS_CHECK_MSG(ran_, "RefineDenominator before Run");
+  while (!tracker_.Empty() && denominator_gap() > max_gap) {
+    Expand(tracker_.Pop());
+  }
+}
 
-  for (const Candidate& c : top_k.items()) {
+TraversalStats MliqTraversal::stats() const {
+  TraversalStats stats;
+  stats.nodes_visited = counters_.nodes_visited;
+  stats.leaf_nodes_visited = counters_.leaf_nodes_visited;
+  stats.objects_evaluated = counters_.objects_evaluated;
+  stats.denominator_lo = tracker_.DenominatorLo();
+  stats.denominator_hi = tracker_.DenominatorHi();
+  return stats;
+}
+
+MliqResult MliqTraversal::Result() const {
+  MliqResult result;
+  result.stats = stats();
+  const double den_lo = result.stats.denominator_lo;
+  const double den_hi = result.stats.denominator_hi;
+  for (const ScoredObject& c : items_) {
     IdentificationResult item;
     item.id = c.id;
     item.log_density = c.log_density;
@@ -138,6 +130,13 @@ MliqResult QueryMliq(const GaussTree& tree, const Pfv& q, size_t k,
     result.items.push_back(item);
   }
   return result;
+}
+
+MliqResult QueryMliq(const GaussTree& tree, const Pfv& q, size_t k,
+                     const MliqOptions& options) {
+  MliqTraversal traversal(tree, q, k, options);
+  traversal.Run();
+  return traversal.Result();
 }
 
 }  // namespace gauss

@@ -54,6 +54,90 @@ struct MliqResult {
 MliqResult QueryMliq(const GaussTree& tree, const Pfv& q, size_t k,
                      const MliqOptions& options = {});
 
+// Resumable form of QueryMliq, the unit a shard coordinator drives: Run()
+// executes the standard query, after which the top-k set is final — further
+// expansion can only *tighten* the denominator bounds, never change which
+// objects are reported (every unexpanded subtree's per-object upper bound is
+// at or below the k-th candidate's exact density). RefineDenominator() is
+// that resumable hook: a sharded TIQ/MLIQ answer is only correct once the
+// combined per-shard denominator intervals certify it, and when the combined
+// interval is still too wide the coordinator re-enters refinement on
+// individual shards instead of re-running their traversals from scratch.
+//
+//   MliqTraversal t(tree, q, k);
+//   t.Run();                       // == QueryMliq up to here
+//   while (coordinator says bounds too loose && !t.exhausted())
+//     t.RefineDenominator(t.denominator_gap() / 2);
+//   MliqResult local = t.Result();
+//
+// Not thread-safe: one traversal is driven by one thread at a time (the
+// coordinator serializes rounds per query). Distinct traversals over one
+// tree remain concurrent-safe as for QueryMliq.
+class MliqTraversal {
+ public:
+  MliqTraversal(const GaussTree& tree, const Pfv& q, size_t k,
+                MliqOptions options = {});
+
+  MliqTraversal(const MliqTraversal&) = delete;
+  MliqTraversal& operator=(const MliqTraversal&) = delete;
+
+  // Executes phase 1 (find the k most likely objects) and, when
+  // options.refine_probabilities is set, phase 2 (tighten the denominator to
+  // options.probability_accuracy against the *local* bounds). Call once.
+  void Run();
+
+  // Resumes best-first expansion until the scaled denominator gap
+  // (denominator_hi - denominator_lo) is at most `max_gap` or the frontier
+  // is exhausted. The reported object set is unaffected (see class comment).
+  void RefineDenominator(double max_gap);
+
+  // True once no unexpanded subtree remains: the denominator bounds have
+  // collapsed to the exact scaled density sum and cannot tighten further.
+  bool exhausted() const { return tracker_.Empty(); }
+
+  // Reference log scale of this traversal (the root's joint log upper hull);
+  // all scaled values are exp(log - log_ref()). Meaningless for an empty
+  // tree — callers combining shards must skip shards with tree().size() == 0.
+  double log_ref() const { return log_ref_; }
+
+  double denominator_lo() const { return tracker_.DenominatorLo(); }
+  double denominator_hi() const { return tracker_.DenominatorHi(); }
+  double denominator_gap() const {
+    return denominator_hi() - denominator_lo();
+  }
+
+  // The current top-k (descending scaled density). Final after Run().
+  const std::vector<ScoredObject>& top_items() const { return items_; }
+
+  // Work counters plus the current denominator bounds.
+  TraversalStats stats() const;
+
+  // Result snapshot under the current bounds; equals QueryMliq's return
+  // value when taken right after Run().
+  MliqResult Result() const;
+
+  const GaussTree& tree() const { return tree_; }
+
+ private:
+  void Expand(const internal::ActiveNode& active);
+  void OfferCandidate(const ScoredObject& candidate);
+  // Scaled density of the current k-th best (0 while fewer than k seen).
+  double KthDensity() const;
+
+  const GaussTree& tree_;
+  const Pfv q_;  // copied: the traversal may outlive the caller's probe
+  const size_t k_;
+  const MliqOptions options_;
+  const SigmaPolicy policy_;
+  double log_ref_ = 0.0;
+
+  internal::DenominatorTracker tracker_;
+  internal::QueryCounters counters_;
+  std::vector<ScoredObject> items_;  // current top-k, descending density
+  GtNode node_;                      // deserialization scratch
+  bool ran_ = false;
+};
+
 }  // namespace gauss
 
 #endif  // GAUSS_GAUSSTREE_MLIQ_H_

@@ -14,13 +14,26 @@ namespace gauss {
 
 // Traversal cost and denominator-bound report of one identification query,
 // shared by MLIQ and TIQ (mliq.h/tiq.h typedef their historical names to
-// this struct).
+// this struct). For a sharded query (service/shard_coordinator.h) the work
+// counters are sums over all shards and the denominator bounds are the
+// combined bounds in the coordinator's global scale.
 struct TraversalStats {
   uint64_t nodes_visited = 0;
   uint64_t leaf_nodes_visited = 0;
   uint64_t objects_evaluated = 0;
   double denominator_lo = 0.0;  // scaled
   double denominator_hi = 0.0;  // scaled
+};
+
+// One scored database object produced by an identification traversal.
+// `scaled_density` is exp(log_density - log_ref) for the traversal's own
+// reference scale; `log_density` is the absolute log p(q|v), comparable
+// across traversals over *different* trees — which is what lets a shard
+// coordinator merge per-shard answers and re-normalize under a common scale.
+struct ScoredObject {
+  uint64_t id = 0;
+  double scaled_density = 0.0;
+  double log_density = 0.0;
 };
 
 }  // namespace gauss

@@ -8,127 +8,127 @@
 
 namespace gauss {
 
-namespace {
-
 using internal::ActiveNode;
-using internal::DenominatorTracker;
 
-struct Candidate {
-  uint64_t id = 0;
-  double scaled_density = 0.0;
-  double log_density = 0.0;
-};
+TiqTraversal::TiqTraversal(const GaussTree& tree, const Pfv& q,
+                           double threshold, TiqOptions options)
+    : tree_(tree),
+      q_(q),
+      threshold_(threshold),
+      options_(options),
+      policy_(tree.options().sigma_policy) {
+  GAUSS_CHECK(q_.dim() == tree_.dim());
+  GAUSS_CHECK(q_.Valid());
+  GAUSS_CHECK(threshold_ > 0.0 && threshold_ <= 1.0);
+  if (tree_.size() == 0) return;  // empty frontier: exhausted from the start
 
-}  // namespace
+  log_ref_ = internal::ComputeLogRef(tree_, q_);
+  tracker_.Push(ActiveNode{tree_.root(), static_cast<uint32_t>(tree_.size()),
+                           1.0, 0.0});
+}
 
-TiqResult QueryTiq(const GaussTree& tree, const Pfv& q, double threshold,
-                   const TiqOptions& options) {
-  GAUSS_CHECK(q.dim() == tree.dim());
-  GAUSS_CHECK(q.Valid());
-  GAUSS_CHECK(threshold > 0.0 && threshold <= 1.0);
+double TiqTraversal::ProbHi(double scaled) const {
+  const double den = tracker_.DenominatorLo();
+  return den > 0.0 ? std::min(1.0, scaled / den) : 1.0;
+}
 
-  TiqResult result;
-  if (tree.size() == 0) return result;
+double TiqTraversal::ProbLo(double scaled) const {
+  const double den = tracker_.DenominatorHi();
+  return den > 0.0 ? scaled / den : 0.0;
+}
 
-  const SigmaPolicy policy = tree.options().sigma_policy;
-  const double log_ref = internal::ComputeLogRef(tree, q);
-
-  DenominatorTracker tracker;
-  internal::QueryCounters counters;
-  std::vector<Candidate> candidates;
-
-  tracker.Push(ActiveNode{tree.root(), static_cast<uint32_t>(tree.size()),
-                          1.0, 0.0});
-
-  GtNode node;
-  auto expand = [&](const ActiveNode& active) {
-    tree.store().Load(active.page, &node);
-    ++counters.nodes_visited;
-    if (node.leaf()) {
-      ++counters.leaf_nodes_visited;
-      for (const Pfv& v : node.pfvs) {
-        const double log_density = PfvJointLogDensity(v, q, policy);
-        const double scaled = std::exp(log_density - log_ref);
-        tracker.AddExact(scaled);
-        ++counters.objects_evaluated;
-        candidates.push_back({v.id, scaled, log_density});
-      }
-    } else {
-      for (const GtChildEntry& e : node.children) {
-        tracker.Push(internal::MakeActiveNode(e, q, policy, log_ref));
-      }
+void TiqTraversal::Expand(const ActiveNode& active) {
+  tree_.store().Load(active.page, &node_);
+  ++counters_.nodes_visited;
+  if (node_.leaf()) {
+    ++counters_.leaf_nodes_visited;
+    for (const Pfv& v : node_.pfvs) {
+      const double log_density = PfvJointLogDensity(v, q_, policy_);
+      const double scaled = std::exp(log_density - log_ref_);
+      tracker_.AddExact(scaled);
+      ++counters_.objects_evaluated;
+      candidates_.push_back({v.id, scaled, log_density});
     }
-  };
-
-  // Upper/lower bound on a candidate's probability given current denominator
-  // bounds. den_lo can be 0 early on: treat the upper bound as 1.
-  auto prob_hi = [&](double p) {
-    const double den = tracker.DenominatorLo();
-    return den > 0.0 ? std::min(1.0, p / den) : 1.0;
-  };
-  auto prob_lo = [&](double p) {
-    const double den = tracker.DenominatorHi();
-    return den > 0.0 ? p / den : 0.0;
-  };
-
-  // Discards candidates that can no longer qualify (paper Figure 5's
-  // "delete unnecessary candidates" step). Their densities remain part of
-  // the exact denominator sum.
-  auto sweep = [&]() {
-    std::erase_if(candidates,
-                  [&](const Candidate& c) {
-                    return prob_hi(c.scaled_density) < threshold;
-                  });
-  };
-
-  // Is every remaining candidate decidably above (or below) the threshold?
-  auto all_decided = [&]() {
-    for (const Candidate& c : candidates) {
-      const double hi = prob_hi(c.scaled_density);
-      const double lo = prob_lo(c.scaled_density);
-      if (lo < threshold && hi >= threshold) return false;
+  } else {
+    for (const GtChildEntry& e : node_.children) {
+      tracker_.Push(internal::MakeActiveNode(e, q_, policy_, log_ref_));
     }
-    return true;
-  };
+  }
+}
 
-  while (!tracker.Empty()) {
+void TiqTraversal::Sweep() {
+  std::erase_if(candidates_, [&](const ScoredObject& c) {
+    return ProbHi(c.scaled_density) < threshold_;
+  });
+}
+
+bool TiqTraversal::AllDecided() const {
+  for (const ScoredObject& c : candidates_) {
+    const double hi = ProbHi(c.scaled_density);
+    const double lo = ProbLo(c.scaled_density);
+    if (lo < threshold_ && hi >= threshold_) return false;
+  }
+  return true;
+}
+
+void TiqTraversal::Run() {
+  GAUSS_CHECK_MSG(!ran_, "TiqTraversal::Run is one-shot");
+  ran_ = true;
+
+  while (!tracker_.Empty()) {
     // A subtree can still contribute a qualifying object only if its
     // per-object upper bound against the *smallest possible* denominator
     // clears the threshold.
     const bool frontier_can_qualify =
-        prob_hi(tracker.Top().upper) >= threshold;
+        ProbHi(tracker_.Top().upper) >= threshold_;
     if (!frontier_can_qualify) {
-      sweep();
+      Sweep();
       // Paper Figure 5 stopping: once the frontier cannot qualify, stop.
       // Exact mode keeps expanding until every surviving candidate is
       // decided (no interval straddles the threshold).
-      if (!options.exact_membership || all_decided()) break;
+      if (!options_.exact_membership || AllDecided()) break;
     }
-    expand(tracker.Pop());
-    sweep();
+    Expand(tracker_.Pop());
+    Sweep();
   }
-  sweep();
+  Sweep();
 
   // Optional extra refinement so the *values* of the reported probabilities
   // (not just set membership) meet the requested accuracy.
-  if (options.refine_probabilities) {
-    const double eps = options.probability_accuracy;
-    while (!tracker.Empty()) {
-      const double lo = tracker.DenominatorLo();
-      const double hi = tracker.DenominatorHi();
+  if (options_.refine_probabilities) {
+    const double eps = options_.probability_accuracy;
+    while (!tracker_.Empty()) {
+      const double lo = tracker_.DenominatorLo();
+      const double hi = tracker_.DenominatorHi();
       if (lo > 0.0 && (hi - lo) <= eps * lo) break;
-      expand(tracker.Pop());
-      sweep();
+      Expand(tracker_.Pop());
+      Sweep();
     }
   }
+}
 
-  const double den_lo = tracker.DenominatorLo();
-  const double den_hi = tracker.DenominatorHi();
-  result.stats.nodes_visited = counters.nodes_visited;
-  result.stats.leaf_nodes_visited = counters.leaf_nodes_visited;
-  result.stats.objects_evaluated = counters.objects_evaluated;
-  result.stats.denominator_lo = den_lo;
-  result.stats.denominator_hi = den_hi;
+void TiqTraversal::RefineDenominator(double max_gap) {
+  GAUSS_CHECK_MSG(ran_, "RefineDenominator before Run");
+  while (!tracker_.Empty() && denominator_gap() > max_gap) {
+    Expand(tracker_.Pop());
+    Sweep();
+  }
+}
+
+TraversalStats TiqTraversal::stats() const {
+  TraversalStats stats;
+  stats.nodes_visited = counters_.nodes_visited;
+  stats.leaf_nodes_visited = counters_.leaf_nodes_visited;
+  stats.objects_evaluated = counters_.objects_evaluated;
+  stats.denominator_lo = tracker_.DenominatorLo();
+  stats.denominator_hi = tracker_.DenominatorHi();
+  return stats;
+}
+
+TiqResult TiqTraversal::Result() const {
+  TiqResult result;
+  result.stats = stats();
+  const double den_lo = result.stats.denominator_lo;
 
   // Degenerate case: every density underflowed to zero (the query is
   // astronomically far from all data). P(v|q) is then 0/0; by the model's
@@ -137,18 +137,19 @@ TiqResult QueryTiq(const GaussTree& tree, const Pfv& q, double threshold,
   if (den_lo <= 0.0) return result;
 
   // Final filter on the certified lower bound; report interval midpoints.
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
+  std::vector<ScoredObject> sorted = candidates_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScoredObject& a, const ScoredObject& b) {
               return a.scaled_density > b.scaled_density;
             });
-  for (const Candidate& c : candidates) {
-    const double hi = prob_hi(c.scaled_density);
-    const double lo = prob_lo(c.scaled_density);
+  for (const ScoredObject& c : sorted) {
+    const double hi = ProbHi(c.scaled_density);
+    const double lo = ProbLo(c.scaled_density);
     const double mid = 0.5 * (hi + lo);
     // Exact mode: every surviving candidate is certified (lo >= threshold up
     // to the final bounds); filter at the midpoint for robustness. Lazy mode
     // (paper Figure 5): report every candidate whose upper bound qualifies.
-    if (options.exact_membership && mid < threshold) continue;
+    if (options_.exact_membership && mid < threshold_) continue;
     IdentificationResult item;
     item.id = c.id;
     item.log_density = c.log_density;
@@ -157,6 +158,13 @@ TiqResult QueryTiq(const GaussTree& tree, const Pfv& q, double threshold,
     result.items.push_back(item);
   }
   return result;
+}
+
+TiqResult QueryTiq(const GaussTree& tree, const Pfv& q, double threshold,
+                   const TiqOptions& options) {
+  TiqTraversal traversal(tree, q, threshold, options);
+  traversal.Run();
+  return traversal.Result();
 }
 
 }  // namespace gauss

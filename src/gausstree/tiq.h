@@ -52,6 +52,86 @@ struct TiqResult {
 TiqResult QueryTiq(const GaussTree& tree, const Pfv& q, double threshold,
                    const TiqOptions& options = {});
 
+// Resumable form of QueryTiq, the unit a shard coordinator drives. Run()
+// executes the standard query; afterwards candidates() holds every object
+// whose probability upper bound under the traversal's *local* denominator
+// still clears the threshold. Because a shard's local denominator bounds
+// under-estimate any combined (multi-shard) denominator, that set is a
+// superset of the objects that can qualify globally — a coordinator
+// re-filters it under combined bounds and never misses an answer. When the
+// combined interval leaves a candidate's membership undecided (its
+// probability interval straddles the threshold), the coordinator calls
+// RefineDenominator() on the shards instead of re-running traversals: newly
+// expanded objects only tighten the denominator — they were already
+// certified non-qualifying when the frontier fell below the threshold.
+//
+// Not thread-safe: one traversal is driven by one thread at a time.
+class TiqTraversal {
+ public:
+  TiqTraversal(const GaussTree& tree, const Pfv& q, double threshold,
+               TiqOptions options = {});
+
+  TiqTraversal(const TiqTraversal&) = delete;
+  TiqTraversal& operator=(const TiqTraversal&) = delete;
+
+  // Executes the query loop (paper Figure 5; exact-membership decision and
+  // local probability refinement per `options`). Call once.
+  void Run();
+
+  // Resumes best-first expansion until the scaled denominator gap is at most
+  // `max_gap` or the frontier is exhausted. Candidates that become certified
+  // non-qualifying under the tightened local bounds are swept, exactly as
+  // during Run(); candidates can never be added (see class comment).
+  void RefineDenominator(double max_gap);
+
+  bool exhausted() const { return tracker_.Empty(); }
+
+  // Reference log scale; see MliqTraversal::log_ref().
+  double log_ref() const { return log_ref_; }
+
+  double denominator_lo() const { return tracker_.DenominatorLo(); }
+  double denominator_hi() const { return tracker_.DenominatorHi(); }
+  double denominator_gap() const {
+    return denominator_hi() - denominator_lo();
+  }
+
+  // Surviving candidates in discovery order (unsorted, pre-final-filter).
+  const std::vector<ScoredObject>& candidates() const { return candidates_; }
+
+  // Work counters plus the current denominator bounds.
+  TraversalStats stats() const;
+
+  // Result snapshot under the current bounds; equals QueryTiq's return value
+  // when taken right after Run().
+  TiqResult Result() const;
+
+  const GaussTree& tree() const { return tree_; }
+
+ private:
+  void Expand(const internal::ActiveNode& active);
+  // Discards candidates that can no longer qualify (paper Figure 5's "delete
+  // unnecessary candidates"). Their densities stay in the exact sum.
+  void Sweep();
+  bool AllDecided() const;
+  // Probability bounds of a scaled density under the current local
+  // denominator bounds. den_lo can be 0 early on: upper bound is then 1.
+  double ProbHi(double scaled) const;
+  double ProbLo(double scaled) const;
+
+  const GaussTree& tree_;
+  const Pfv q_;  // copied: the traversal may outlive the caller's probe
+  const double threshold_;
+  const TiqOptions options_;
+  const SigmaPolicy policy_;
+  double log_ref_ = 0.0;
+
+  internal::DenominatorTracker tracker_;
+  internal::QueryCounters counters_;
+  std::vector<ScoredObject> candidates_;
+  GtNode node_;  // deserialization scratch
+  bool ran_ = false;
+};
+
 }  // namespace gauss
 
 #endif  // GAUSS_GAUSSTREE_TIQ_H_

@@ -62,22 +62,14 @@ QueryService::~QueryService() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void QueryService::CompleteUnexecuted(internal::QueryTask* task,
-                                      QueryResponse::Status status) {
-  QueryResponse resp;
-  resp.kind = task->query.kind();
-  resp.status = status;
-  task->promise.set_value(std::move(resp));
-}
-
 std::future<QueryResponse> QueryService::Submit(Query query) {
   auto task = std::make_unique<internal::QueryTask>(std::move(query));
   std::future<QueryResponse> future = task->promise.get_future();
 
-  if (task->query.has_deadline()) {
-    if (task->query.deadline() <= std::chrono::steady_clock::now()) {
+  if (task->query()->has_deadline()) {
+    if (task->query()->deadline() <= std::chrono::steady_clock::now()) {
       // Dead on arrival: don't occupy a queue slot.
-      CompleteUnexecuted(task.get(), QueryResponse::Status::kDeadlineExceeded);
+      task->CompleteUnexecuted(QueryResponse::Status::kDeadlineExceeded);
       return future;
     }
     // A deadline query never waits on a full queue — by the time a slot
@@ -86,7 +78,7 @@ std::future<QueryResponse> QueryService::Submit(Query query) {
     if (!queue_.TryPush(task.get())) {
       GAUSS_CHECK_MSG(!queue_.closed(),
                       "Submit on a shut-down QueryService");
-      CompleteUnexecuted(task.get(), QueryResponse::Status::kShed);
+      task->CompleteUnexecuted(QueryResponse::Status::kShed);
       return future;
     }
   } else {
@@ -101,18 +93,33 @@ std::future<QueryResponse> QueryService::Submit(Query query) {
   return future;
 }
 
+std::future<QueryResponse> QueryService::SubmitWork(
+    std::function<QueryResponse()> work) {
+  auto task = std::make_unique<internal::QueryTask>(std::move(work));
+  std::future<QueryResponse> future = task->promise.get_future();
+  GAUSS_CHECK_MSG(queue_.Push(task.get()),
+                  "SubmitWork on a shut-down QueryService");
+  task.release();
+  return future;
+}
+
 void QueryService::WorkerLoop() {
   internal::QueryTask* raw = nullptr;
   while (queue_.Pop(&raw)) {
     std::unique_ptr<internal::QueryTask> task(raw);
-    if (task->query.has_deadline() &&
-        task->query.deadline() <= std::chrono::steady_clock::now()) {
-      // Expired while queued: report instead of burning tree traversal on
-      // an answer nobody is waiting for.
-      CompleteUnexecuted(task.get(), QueryResponse::Status::kDeadlineExceeded);
-      continue;
+    if (Query* query = task->query()) {
+      if (query->has_deadline() &&
+          query->deadline() <= std::chrono::steady_clock::now()) {
+        // Expired while queued: report instead of burning tree traversal on
+        // an answer nobody is waiting for.
+        task->CompleteUnexecuted(QueryResponse::Status::kDeadlineExceeded);
+        continue;
+      }
+      task->promise.set_value(ExecuteQuery(tree_, *query));
+    } else {
+      auto& work = std::get<std::function<QueryResponse()>>(task->payload);
+      task->promise.set_value(work());
     }
-    task->promise.set_value(ExecuteQuery(tree_, task->query));
   }
 }
 
@@ -135,13 +142,19 @@ BatchResult QueryService::ExecuteBatch(const std::vector<Query>& batch) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  result.stats = AggregateBatchStats(result.responses, wall,
+                                     tree_.pool()->stats() - io_before);
+  return result;
+}
 
-  ServiceStats& stats = result.stats;
-  stats.wall_seconds = wall;
-  stats.io = tree_.pool()->stats() - io_before;
+ServiceStats AggregateBatchStats(const std::vector<QueryResponse>& responses,
+                                 double wall_seconds, const IoStats& io) {
+  ServiceStats stats;
+  stats.wall_seconds = wall_seconds;
+  stats.io = io;
   std::vector<uint64_t> latencies;
-  latencies.reserve(result.responses.size());
-  for (const QueryResponse& resp : result.responses) {
+  latencies.reserve(responses.size());
+  for (const QueryResponse& resp : responses) {
     if (resp.kind == QueryKind::kMliq) {
       ++stats.mliq_queries;
     } else {
@@ -163,10 +176,10 @@ BatchResult QueryService::ExecuteBatch(const std::vector<Query>& batch) {
     latencies.push_back(resp.latency_ns);
   }
   stats.latency = LatencySummary::FromNanos(std::move(latencies));
-  if (wall > 0.0) {
-    stats.qps = static_cast<double>(stats.total_queries()) / wall;
+  if (wall_seconds > 0.0) {
+    stats.qps = static_cast<double>(stats.total_queries()) / wall_seconds;
   }
-  return result;
+  return stats;
 }
 
 }  // namespace gauss

@@ -2,8 +2,10 @@
 #define GAUSS_SERVICE_QUERY_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "gausstree/gauss_tree.h"
@@ -105,14 +107,31 @@ struct BatchResult {
 
 namespace internal {
 
-// One in-flight query: the descriptor plus the promise its future observes.
-// Heap-allocated by Submit(); ownership passes through the RequestQueue to
-// the worker that pops it (or stays with Submit on shed/expiry).
+// One in-flight unit of work: either a Query descriptor (the normal serving
+// path) or an opaque closure (the scatter-gather hook a ShardCoordinator
+// uses to run shard-local traversal steps on the shard's workers), plus the
+// promise its future observes. Heap-allocated by Submit()/SubmitWork();
+// ownership passes through the RequestQueue to the worker that pops it (or
+// stays with Submit on shed/expiry).
 struct QueryTask {
-  Query query;
+  std::variant<Query, std::function<QueryResponse()>> payload;
   std::promise<QueryResponse> promise;
 
-  explicit QueryTask(Query q) : query(std::move(q)) {}
+  explicit QueryTask(Query q) : payload(std::move(q)) {}
+  explicit QueryTask(std::function<QueryResponse()> work)
+      : payload(std::move(work)) {}
+
+  // The query descriptor, or nullptr for closure tasks.
+  Query* query() { return std::get_if<Query>(&payload); }
+
+  // Completes the task without executing it (shed / deadline-exceeded).
+  // Query tasks only — closure tasks carry no deadline and are never shed.
+  void CompleteUnexecuted(QueryResponse::Status status) {
+    QueryResponse resp;
+    resp.kind = query()->kind();
+    resp.status = status;
+    promise.set_value(std::move(resp));
+  }
 };
 
 }  // namespace internal
@@ -148,20 +167,33 @@ class QueryService {
   // shared queue and complete independently.
   BatchResult ExecuteBatch(const std::vector<Query>& batch);
 
+  // Runs an arbitrary closure on a worker thread and returns the future of
+  // its return value. Admission is the blocking-backpressure path (closures
+  // carry no deadline, so they are never shed) — this is how a
+  // ShardCoordinator executes per-shard traversal and refinement steps on
+  // the shard's own worker pool. Thread-safe.
+  std::future<QueryResponse> SubmitWork(std::function<QueryResponse()> work);
+
   const GaussTree& tree() const { return tree_; }
   size_t num_workers() const { return workers_.size(); }
 
  private:
   void WorkerLoop();
 
-  // Completes a task without executing it (shed/deadline-exceeded).
-  static void CompleteUnexecuted(internal::QueryTask* task,
-                                 QueryResponse::Status status);
-
   const GaussTree& tree_;
   RequestQueue queue_;
   std::vector<std::thread> workers_;
 };
+
+// Aggregates per-response outcomes into ServiceStats: query-kind and
+// admission-outcome counts, latency percentiles over executed queries only
+// (a shed or expired query is counted in mliq/tiq_queries exactly once and
+// contributes no latency sample and no traversal work), throughput over
+// `wall_seconds`, and the caller-measured cache delta `io`. Shared by
+// QueryService::ExecuteBatch and ShardCoordinator::ExecuteBatch so both
+// paths count identically.
+ServiceStats AggregateBatchStats(const std::vector<QueryResponse>& responses,
+                                 double wall_seconds, const IoStats& io);
 
 }  // namespace gauss
 

@@ -1,0 +1,378 @@
+#include "service/shard_coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+#include "gausstree/mliq.h"
+#include "gausstree/tiq.h"
+
+namespace gauss {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Global reference scale over a set of per-shard traversals plus the
+// per-shard rebasing factors exp(log_ref_s - log_ref_global). The global
+// reference is the maximum, so every factor is <= 1 and rebasing can only
+// shrink scaled values. Shards with empty trees carry no objects and no
+// denominator mass; they are skipped (factor 0).
+template <typename Traversal>
+struct ScaleInfo {
+  double log_ref = kNegInf;  // kNegInf iff every shard is empty
+  std::vector<double> factor;
+
+  explicit ScaleInfo(const std::vector<std::unique_ptr<Traversal>>& trav) {
+    factor.resize(trav.size(), 0.0);
+    for (const auto& t : trav) {
+      if (t->tree().size() > 0) log_ref = std::max(log_ref, t->log_ref());
+    }
+    for (size_t s = 0; s < trav.size(); ++s) {
+      if (trav[s]->tree().size() > 0) {
+        factor[s] = std::exp(trav[s]->log_ref() - log_ref);
+      }
+    }
+  }
+
+  bool all_empty() const { return log_ref == kNegInf; }
+};
+
+// Combined denominator bounds in the global scale: the Bayes denominator is
+// a sum over all database objects, so it decomposes exactly into per-shard
+// partial sums — and interval bounds on the parts sum to interval bounds on
+// the whole.
+template <typename Traversal>
+void CombineDenominator(const std::vector<std::unique_ptr<Traversal>>& trav,
+                        const ScaleInfo<Traversal>& scale, double* lo,
+                        double* hi) {
+  *lo = 0.0;
+  *hi = 0.0;
+  for (size_t s = 0; s < trav.size(); ++s) {
+    *lo += trav[s]->denominator_lo() * scale.factor[s];
+    *hi += trav[s]->denominator_hi() * scale.factor[s];
+  }
+}
+
+// Round 1: constructs and runs one traversal per shard, each on its own
+// shard's worker pool (page I/O stays with the shard that owns the pages).
+// The coordinator thread blocks in gather, so writes made by the shard
+// workers are sequenced before the coordinator reads the traversals.
+template <typename Traversal, typename Make>
+std::vector<std::unique_ptr<Traversal>> ScatterRun(
+    const std::vector<QueryService*>& shards, const Make& make) {
+  std::vector<std::unique_ptr<Traversal>> trav(shards.size());
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(shards.size());
+  for (size_t s = 0; s < shards.size(); ++s) {
+    futures.push_back(shards[s]->SubmitWork([&trav, &shards, &make, s] {
+      trav[s] = make(shards[s]->tree());
+      trav[s]->Run();
+      return QueryResponse{};
+    }));
+  }
+  for (auto& f : futures) f.get();
+  return trav;
+}
+
+// One refinement round: every shard that can still tighten its denominator
+// (non-empty frontier, nonzero gap) halves its gap on its own worker pool.
+// Halving gives geometric convergence of the combined gap across rounds.
+// Returns false when no shard could make progress — the combined bounds are
+// then as tight as they will ever get.
+template <typename Traversal>
+bool RefineRound(const std::vector<QueryService*>& shards,
+                 const std::vector<std::unique_ptr<Traversal>>& trav) {
+  std::vector<std::future<QueryResponse>> futures;
+  for (size_t s = 0; s < trav.size(); ++s) {
+    Traversal* t = trav[s].get();
+    if (t->exhausted() || t->denominator_gap() <= 0.0) continue;
+    const double target = 0.5 * t->denominator_gap();
+    futures.push_back(shards[s]->SubmitWork([t, target] {
+      t->RefineDenominator(target);
+      return QueryResponse{};
+    }));
+  }
+  for (auto& f : futures) f.get();
+  return !futures.empty();
+}
+
+// Work counters summed over every shard (all rounds included); denominator
+// bounds are the combined global-scale interval.
+template <typename Traversal>
+TraversalStats SumStats(const std::vector<std::unique_ptr<Traversal>>& trav,
+                        double global_lo, double global_hi) {
+  TraversalStats total;
+  for (const auto& t : trav) {
+    const TraversalStats s = t->stats();
+    total.nodes_visited += s.nodes_visited;
+    total.leaf_nodes_visited += s.leaf_nodes_visited;
+    total.objects_evaluated += s.objects_evaluated;
+  }
+  total.denominator_lo = global_lo;
+  total.denominator_hi = global_hi;
+  return total;
+}
+
+// A shard-local scored object rebased onto the coordinator's global scale.
+struct GlobalCandidate {
+  ScoredObject obj;
+  double scaled_global = 0.0;
+};
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(std::vector<QueryService*> shards,
+                                   ShardCoordinatorOptions options)
+    : shards_(std::move(shards)), queue_(options.queue_capacity) {
+  GAUSS_CHECK_MSG(!shards_.empty(), "ShardCoordinator needs >= 1 shard");
+  for (const QueryService* shard : shards_) GAUSS_CHECK(shard != nullptr);
+  const size_t dim = shards_.front()->tree().dim();
+  for (const QueryService* shard : shards_) {
+    GAUSS_CHECK_MSG(shard->tree().dim() == dim,
+                    "all shards must share one dimensionality");
+  }
+  size_t threads = options.num_threads;
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { CoordinatorLoop(); });
+  }
+}
+
+ShardCoordinator::~ShardCoordinator() {
+  queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<QueryResponse> ShardCoordinator::Submit(Query query) {
+  auto task = std::make_unique<internal::QueryTask>(std::move(query));
+  std::future<QueryResponse> future = task->promise.get_future();
+
+  // Admission semantics identical to QueryService::Submit — the front door
+  // is the only admission point of a sharded database.
+  if (task->query()->has_deadline()) {
+    if (task->query()->deadline() <= std::chrono::steady_clock::now()) {
+      task->CompleteUnexecuted(QueryResponse::Status::kDeadlineExceeded);
+      return future;
+    }
+    if (!queue_.TryPush(task.get())) {
+      GAUSS_CHECK_MSG(!queue_.closed(),
+                      "Submit on a shut-down ShardCoordinator");
+      task->CompleteUnexecuted(QueryResponse::Status::kShed);
+      return future;
+    }
+  } else {
+    GAUSS_CHECK_MSG(queue_.Push(task.get()),
+                    "Submit on a shut-down ShardCoordinator");
+  }
+  task.release();
+  return future;
+}
+
+void ShardCoordinator::CoordinatorLoop() {
+  internal::QueryTask* raw = nullptr;
+  while (queue_.Pop(&raw)) {
+    std::unique_ptr<internal::QueryTask> task(raw);
+    Query* query = task->query();  // the coordinator only enqueues queries
+    if (query->has_deadline() &&
+        query->deadline() <= std::chrono::steady_clock::now()) {
+      task->CompleteUnexecuted(QueryResponse::Status::kDeadlineExceeded);
+      continue;
+    }
+    task->promise.set_value(ExecuteSharded(*query));
+  }
+}
+
+QueryResponse ShardCoordinator::ExecuteSharded(const Query& query) {
+  const auto start = std::chrono::steady_clock::now();
+  QueryResponse resp = query.kind() == QueryKind::kMliq ? ExecuteMliq(query)
+                                                        : ExecuteTiq(query);
+  resp.latency_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return resp;
+}
+
+QueryResponse ShardCoordinator::ExecuteMliq(const Query& query) {
+  QueryResponse resp;
+  resp.kind = QueryKind::kMliq;
+  const MliqOptions& options = query.mliq_options();
+
+  auto trav = ScatterRun<MliqTraversal>(
+      shards_, [&](const GaussTree& tree) {
+        return std::make_unique<MliqTraversal>(tree, query.pfv(), query.k(),
+                                               options);
+      });
+
+  const ScaleInfo<MliqTraversal> scale(trav);
+  double global_lo = 0.0, global_hi = 0.0;
+  if (!scale.all_empty()) {
+    CombineDenominator(trav, scale, &global_lo, &global_hi);
+
+    // The merged top-k is already final after round 1 (see header): only the
+    // probability certification can require more work. Shards refine until
+    // the combined interval meets the requested accuracy.
+    if (options.refine_probabilities) {
+      const double eps = options.probability_accuracy;
+      while (!(global_lo > 0.0 &&
+               (global_hi - global_lo) <= eps * global_lo)) {
+        if (!RefineRound(shards_, trav)) break;
+        CombineDenominator(trav, scale, &global_lo, &global_hi);
+      }
+    }
+
+    // Merge the per-shard top-k lists: any global winner is a local winner,
+    // so the union contains the exact global top-k. Stable sort keeps each
+    // shard's internal (already density-descending) order on ties.
+    std::vector<GlobalCandidate> merged;
+    for (size_t s = 0; s < trav.size(); ++s) {
+      for (const ScoredObject& o : trav[s]->top_items()) {
+        merged.push_back({o, o.scaled_density * scale.factor[s]});
+      }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const GlobalCandidate& a, const GlobalCandidate& b) {
+                       return a.scaled_global > b.scaled_global;
+                     });
+    if (merged.size() > query.k()) merged.resize(query.k());
+
+    for (const GlobalCandidate& c : merged) {
+      IdentificationResult item;
+      item.id = c.obj.id;
+      item.log_density = c.obj.log_density;
+      if (global_lo > 0.0) {
+        const double p_hi = std::min(1.0, c.scaled_global / global_lo);
+        const double p_lo = c.scaled_global / global_hi;
+        item.probability = 0.5 * (p_hi + p_lo);
+        item.probability_error = 0.5 * (p_hi - p_lo);
+      }
+      resp.items.push_back(item);
+    }
+  }
+  resp.stats = SumStats(trav, global_lo, global_hi);
+  return resp;
+}
+
+QueryResponse ShardCoordinator::ExecuteTiq(const Query& query) {
+  QueryResponse resp;
+  resp.kind = QueryKind::kTiq;
+  const TiqOptions& options = query.tiq_options();
+  const double threshold = query.threshold();
+
+  auto trav = ScatterRun<TiqTraversal>(
+      shards_, [&](const GaussTree& tree) {
+        return std::make_unique<TiqTraversal>(tree, query.pfv(), threshold,
+                                              options);
+      });
+
+  const ScaleInfo<TiqTraversal> scale(trav);
+  double global_lo = 0.0, global_hi = 0.0;
+  if (!scale.all_empty()) {
+    // Union of per-shard survivors: a superset of every globally qualifying
+    // object (shard-local upper-bound filtering is conservative).
+    std::vector<GlobalCandidate> cands;
+    for (size_t s = 0; s < trav.size(); ++s) {
+      for (const ScoredObject& o : trav[s]->candidates()) {
+        cands.push_back({o, o.scaled_density * scale.factor[s]});
+      }
+    }
+    CombineDenominator(trav, scale, &global_lo, &global_hi);
+
+    const auto prob_hi = [&](double scaled) {
+      return global_lo > 0.0 ? std::min(1.0, scaled / global_lo) : 1.0;
+    };
+    const auto prob_lo = [&](double scaled) {
+      return global_hi > 0.0 ? scaled / global_hi : 0.0;
+    };
+
+    // Exact membership needs every candidate's interval off the threshold;
+    // probability reporting needs the combined interval at the requested
+    // accuracy. Either failing triggers another shard refinement round.
+    const auto needs_refinement = [&] {
+      if (options.refine_probabilities &&
+          !(global_lo > 0.0 && (global_hi - global_lo) <=
+                                   options.probability_accuracy * global_lo)) {
+        return true;
+      }
+      if (options.exact_membership) {
+        for (const GlobalCandidate& c : cands) {
+          const double hi = prob_hi(c.scaled_global);
+          const double lo = prob_lo(c.scaled_global);
+          if (lo < threshold && hi >= threshold) return true;
+        }
+      }
+      return false;
+    };
+    while (needs_refinement()) {
+      if (!RefineRound(shards_, trav)) break;
+      CombineDenominator(trav, scale, &global_lo, &global_hi);
+    }
+
+    // Final filter under the combined bounds, mirroring the single-tree
+    // reporting rules (TiqTraversal::Result): exact mode keeps certified
+    // members (midpoint filter for robustness), lazy mode keeps every
+    // candidate whose upper bound still qualifies.
+    if (global_lo > 0.0) {
+      std::stable_sort(cands.begin(), cands.end(),
+                       [](const GlobalCandidate& a, const GlobalCandidate& b) {
+                         return a.scaled_global > b.scaled_global;
+                       });
+      for (const GlobalCandidate& c : cands) {
+        const double hi = prob_hi(c.scaled_global);
+        const double lo = prob_lo(c.scaled_global);
+        const double mid = 0.5 * (hi + lo);
+        if (options.exact_membership ? mid < threshold : hi < threshold) {
+          continue;
+        }
+        IdentificationResult item;
+        item.id = c.obj.id;
+        item.log_density = c.obj.log_density;
+        item.probability = mid;
+        item.probability_error = 0.5 * (hi - lo);
+        resp.items.push_back(item);
+      }
+    }
+  }
+  resp.stats = SumStats(trav, global_lo, global_hi);
+  return resp;
+}
+
+BatchResult ShardCoordinator::ExecuteBatch(const std::vector<Query>& batch) {
+  BatchResult result;
+  if (batch.empty()) return result;
+
+  const IoStats io_before = io_stats();
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(batch.size());
+  for (const Query& query : batch) futures.push_back(Submit(query));
+
+  result.responses.reserve(batch.size());
+  for (std::future<QueryResponse>& future : futures) {
+    result.responses.push_back(future.get());
+  }
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.stats =
+      AggregateBatchStats(result.responses, wall, io_stats() - io_before);
+  return result;
+}
+
+IoStats ShardCoordinator::io_stats() const {
+  IoStats total;
+  for (const QueryService* shard : shards_) {
+    total += shard->tree().pool()->stats();
+  }
+  return total;
+}
+
+}  // namespace gauss

@@ -1,0 +1,128 @@
+#ifndef GAUSS_SERVICE_SHARD_COORDINATOR_H_
+#define GAUSS_SERVICE_SHARD_COORDINATOR_H_
+
+#include <cstddef>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "service/query.h"
+#include "service/query_service.h"
+#include "service/request_queue.h"
+#include "service/service_stats.h"
+#include "storage/io_stats.h"
+
+namespace gauss {
+
+// ============================ ShardCoordinator ==============================
+//
+// The front door of a sharded GaussDb: one Submit()/ExecuteBatch() surface
+// over N per-shard QueryServices, each serving one Gauss-tree holding a
+// hash-partition of the gallery. A small pool of coordinator threads
+// executes each admitted query end-to-end by scatter-gathering shard-local
+// traversal steps onto the shards' own worker pools (QueryService::
+// SubmitWork), so page I/O and density evaluation always run on the shard
+// that owns the data.
+//
+// Why sharding is not just a union of per-shard answers: the identification
+// probability P(v|q) is the object's density normalized by a denominator
+// summed over *all* database objects (paper Section 3). Each shard traversal
+// only bounds its own partial denominator, so the coordinator must combine
+// the per-shard intervals — and when the combined interval is still too wide
+// to certify an answer, resume refinement on individual shards:
+//
+//  * Scale. Each shard traversal works in its own reference scale (its
+//    root's joint log upper hull). The coordinator rebases every shard onto
+//    the *maximum* reference (factors exp(log_ref_s - log_ref_g) <= 1, so
+//    rebasing can only shrink values — no overflow), under which per-shard
+//    denominator bounds are summable: lo_g = sum_s lo_s*f_s, hi_g likewise.
+//    Empty shards contribute nothing and are skipped.
+//
+//  * MLIQ. Each shard reports its local top-k by exact density. Any global
+//    top-k object is necessarily in its own shard's local top-k (k local
+//    winners beat every unexpanded object of that shard), so merging the
+//    local lists by density and truncating to k is exact. Probabilities are
+//    then certified against the combined denominator; while the combined
+//    interval is wider than the requested accuracy, every non-exhausted
+//    shard is asked to halve its denominator gap (MliqTraversal::
+//    RefineDenominator) — geometric convergence, and the reported id set
+//    never changes during refinement.
+//
+//  * TIQ. Each shard's surviving candidates are a superset of its globally
+//    qualifying objects (a shard-local denominator under-estimates the
+//    combined one, so local upper-bound filtering is conservative — no
+//    false dismissals). The coordinator re-filters the union under combined
+//    bounds; in exact-membership mode it first issues refinement rounds to
+//    the shards until no candidate's probability interval straddles the
+//    threshold (a second scatter round per halving step), so the final set
+//    equals the single-tree algorithm's. Lazy mode keeps the paper's
+//    Figure 5 contract (no false dismissals; straddling candidates are
+//    reported) without extra rounds.
+//
+// Admission control happens only here, never at the shards: the coordinator
+// queue sheds deadline-carrying queries when full and expires queued ones
+// exactly like QueryService, while shard-level sub-steps use the blocking
+// path — so a shed or expired query is counted once in the merged
+// ServiceStats, not once per shard.
+//
+// Responses: QueryResponse::stats sums traversal work over all shards and
+// rounds; denominator_lo/hi are the combined bounds in the coordinator's
+// global scale. ExecuteBatch merges IoStats across the shard services'
+// caches (io_stats() likewise).
+//
+// Shutdown: the destructor closes the queue, drains every admitted query
+// (in-flight scatter-gathers complete against the still-live shard
+// services), and joins the coordinator threads. The shard QueryServices
+// must outlive the coordinator.
+// ============================================================================
+
+struct ShardCoordinatorOptions {
+  // Threads executing the per-query merge + refinement logic. Each blocks in
+  // gather while shard workers traverse, so a few go a long way.
+  size_t num_threads = 2;
+  // Bound of the front-door admission queue.
+  size_t queue_capacity = 1024;
+};
+
+class ShardCoordinator {
+ public:
+  // `shards[s]` serves shard s's tree and must outlive the coordinator.
+  // At least one shard; every shard tree must share one dimensionality.
+  ShardCoordinator(std::vector<QueryService*> shards,
+                   ShardCoordinatorOptions options = {});
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  // Closes the queue, drains every admitted query, joins the threads.
+  ~ShardCoordinator();
+
+  // Streaming submission with QueryService-identical admission semantics:
+  // deadline queries are shed at a full queue / expired before execution;
+  // deadline-less queries block (backpressure). Thread-safe.
+  std::future<QueryResponse> Submit(Query query);
+
+  // Batch submission: submit-and-gather over Submit() with merged
+  // ServiceStats (latency percentiles over executed queries, shed/expired
+  // counted once, IoStats summed over the shard caches). Thread-safe.
+  BatchResult ExecuteBatch(const std::vector<Query>& batch);
+
+  // Sum of the shard caches' I/O counters.
+  IoStats io_stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  void CoordinatorLoop();
+  QueryResponse ExecuteSharded(const Query& query);
+  QueryResponse ExecuteMliq(const Query& query);
+  QueryResponse ExecuteTiq(const Query& query);
+
+  std::vector<QueryService*> shards_;
+  RequestQueue queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_SERVICE_SHARD_COORDINATOR_H_

@@ -24,6 +24,15 @@ struct IoStats {
     d.evictions = evictions - other.evictions;
     return d;
   }
+
+  // Merging counters across independent caches (per-shard pools).
+  IoStats& operator+=(const IoStats& other) {
+    logical_reads += other.logical_reads;
+    physical_reads += other.physical_reads;
+    physical_writes += other.physical_writes;
+    evictions += other.evictions;
+    return *this;
+  }
 };
 
 }  // namespace gauss

@@ -2,11 +2,18 @@
 #define GAUSS_TESTS_SERVICE_TEST_UTIL_H_
 
 // Helpers shared by the serving-layer tests (service_test, streaming_test,
-// api_test): mixed MLIQ/TIQ batch construction, ground truth through the
-// documented low-level API, and the byte-identical result comparison the
-// acceptance criteria are phrased in.
+// api_test, shard_serving_test): mixed MLIQ/TIQ batch construction, ground
+// truth through the documented low-level API, the byte-identical result
+// comparison the acceptance criteria are phrased in, and the gated
+// PageCache that pins services in a known state for deterministic
+// admission-control tests.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,8 +23,72 @@
 #include "gausstree/mliq.h"
 #include "gausstree/tiq.h"
 #include "service/query.h"
+#include "storage/page_cache.h"
 
 namespace gauss::test {
+
+// PageCache decorator whose reads can be gated shut: a worker executing a
+// query blocks inside Fetch() until the test opens the gate. This pins the
+// service in a known state (worker busy, queue holding exactly the tasks the
+// test placed) so admission-control behavior can be asserted without races.
+class GatedPageCache : public PageCache {
+ public:
+  explicit GatedPageCache(PageCache* inner) : inner_(inner) {}
+
+  PageRef Fetch(PageId id) override {
+    WaitWhileGated();
+    return inner_->Fetch(id);
+  }
+  PageRef FetchMutable(PageId id) override {
+    WaitWhileGated();
+    return inner_->FetchMutable(id);
+  }
+  void WritePage(PageId id, const void* data) override {
+    inner_->WritePage(id, data);
+  }
+  void FlushAll() override { inner_->FlushAll(); }
+  void Clear() override { inner_->Clear(); }
+  IoStats stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+  PageDevice* device() const override { return inner_->device(); }
+  bool thread_safe() const override { return inner_->thread_safe(); }
+
+  void CloseGate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    gated_ = true;
+  }
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gated_ = false;
+    }
+    cv_.notify_all();
+  }
+  // Number of threads currently blocked at the gate.
+  size_t waiting() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return waiting_;
+  }
+
+ private:
+  void WaitWhileGated() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++waiting_;
+    cv_.wait(lock, [this] { return !gated_; });
+    --waiting_;
+  }
+
+  PageCache* inner_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool gated_ = false;
+  size_t waiting_ = 0;
+};
+
+// Busy-waits (1 ms naps) for a gate/queue condition to become observable.
+inline void SpinUntil(const std::function<bool()>& pred) {
+  while (!pred()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
 
 // Alternating MLIQ (k=3) / TIQ (threshold 0.2) queries over a workload.
 inline std::vector<Query> MakeMixedBatch(

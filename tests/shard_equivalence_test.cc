@@ -1,0 +1,355 @@
+// Differential property harness for sharded GaussDb: for randomized
+// datasets, dimensionalities, and shard counts 1-8, scatter-gathered
+// MLIQ/TIQ answers must match the single-tree reference (ids and ordering
+// exactly; probabilities within the requested accuracy when refinement is
+// on) and the seq-scan oracle — in both TIQ exact_membership modes. Every
+// assertion runs under a SCOPED_TRACE naming the generator seed and
+// configuration, so a failure prints exactly what to replay.
+//
+// Why this is the acceptance gate: a sharded TIQ/MLIQ answer is only
+// correct if the coordinator combines per-shard Bayes-denominator bounds
+// and re-refines when the combined interval is too loose — none of which a
+// per-shard unit test can see. Comparing whole answers against an
+// independently built single tree (different tree shapes, different
+// traversal orders) and against the exhaustive scan catches any mistake in
+// the combination math.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/gauss_db.h"
+#include "common/random.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "pfv/pfv_file.h"
+#include "scan/seq_scan.h"
+#include "service_test_util.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_device.h"
+
+namespace gauss {
+namespace {
+
+constexpr double kAccuracy = 1e-4;  // requested probability accuracy
+constexpr double kThreshold = 0.2;  // TIQ threshold for generated workloads
+
+// The query variants every trial exercises per probe. Refined variants pin
+// probability values; unrefined ones pin ids/ordering under loose bounds.
+std::vector<Query> MakeVariants(const Pfv& probe) {
+  std::vector<Query> variants;
+  variants.push_back(Query::Mliq(probe, 3).Accuracy(kAccuracy));
+  variants.push_back(Query::Mliq(probe, 5).RefineProbabilities(false));
+  variants.push_back(Query::Tiq(probe, kThreshold).ExactMembership(true));
+  variants.push_back(
+      Query::Tiq(probe, kThreshold).ExactMembership(true).Accuracy(kAccuracy));
+  variants.push_back(Query::Tiq(probe, kThreshold).ExactMembership(false));
+  return variants;
+}
+
+bool IsLazyTiq(const Query& query) {
+  return query.kind() == QueryKind::kTiq &&
+         !query.tiq_options().exact_membership;
+}
+
+bool RefinesProbabilities(const Query& query) {
+  return query.kind() == QueryKind::kMliq
+             ? query.mliq_options().refine_probabilities
+             : query.tiq_options().refine_probabilities;
+}
+
+std::vector<uint64_t> Ids(const std::vector<IdentificationResult>& items) {
+  std::vector<uint64_t> ids;
+  ids.reserve(items.size());
+  for (const IdentificationResult& item : items) ids.push_back(item.id);
+  return ids;
+}
+
+// ids and ordering exactly; probabilities within the sum of the two
+// certified interval half-widths (each answer's midpoint is within its own
+// half-width of the true probability).
+void ExpectEquivalent(const std::vector<IdentificationResult>& got,
+                      const std::vector<IdentificationResult>& want,
+                      bool compare_probabilities) {
+  ASSERT_EQ(Ids(got), Ids(want));
+  if (!compare_probabilities) return;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].probability, want[i].probability,
+                got[i].probability_error + want[i].probability_error + 1e-12)
+        << "item " << i << " id " << got[i].id;
+  }
+}
+
+// Lazy-mode TIQ contract (paper Figure 5): the traversal-dependent result
+// set must contain every true answer (no false dismissals), and every extra
+// must be a certified straddler — its probability interval still reaches
+// the threshold.
+void ExpectLazyTiqContract(const std::vector<IdentificationResult>& got,
+                           const std::vector<IdentificationResult>& exact) {
+  const std::vector<uint64_t> got_ids = Ids(got);
+  const std::set<uint64_t> got_set(got_ids.begin(), got_ids.end());
+  for (const IdentificationResult& item : exact) {
+    EXPECT_TRUE(got_set.count(item.id))
+        << "lazy TIQ dismissed true answer id " << item.id;
+  }
+  const std::vector<uint64_t> exact_ids = Ids(exact);
+  const std::set<uint64_t> exact_set(exact_ids.begin(), exact_ids.end());
+  for (const IdentificationResult& item : got) {
+    if (exact_set.count(item.id)) continue;
+    EXPECT_GE(item.probability + item.probability_error, kThreshold - 1e-12)
+        << "lazy TIQ reported id " << item.id
+        << " whose certified upper bound misses the threshold";
+  }
+}
+
+// Single-tree and seq-scan reference answers plus the probe workload for
+// one dataset.
+class Reference {
+ public:
+  explicit Reference(const PfvDataset& dataset, size_t probes, uint64_t seed)
+      : scan_pool_(&scan_device_, 1 << 12),
+        scan_file_(&scan_pool_, dataset.dim()) {
+    scan_file_.AppendAll(dataset);
+
+    if (dataset.size() > 0) {
+      WorkloadConfig wconfig;
+      wconfig.query_count = probes;
+      wconfig.seed = seed;
+      for (const IdentificationQuery& q : GenerateWorkload(dataset, wconfig)) {
+        probes_.push_back(q.query);
+      }
+    } else {
+      // No objects to probe near: a fixed far-field probe still must return
+      // empty answers everywhere.
+      probes_.push_back(Pfv(1, std::vector<double>(dataset.dim(), 0.5),
+                            std::vector<double>(dataset.dim(), 0.1)));
+    }
+    for (const Pfv& probe : probes_) {
+      for (Query& query : MakeVariants(probe)) {
+        batch_.push_back(std::move(query));
+      }
+    }
+
+    GaussDb db = GaussDb::CreateInMemory(dataset.dim());
+    db.Build(dataset);
+    Session session = db.Serve({.num_workers = 2});
+    single_tree_ = session.ExecuteBatch(batch_);
+  }
+
+  const std::vector<Query>& batch() const { return batch_; }
+  const BatchResult& single_tree() const { return single_tree_; }
+
+  // Exact TIQ answer for the probe behind batch()[i] (exhaustive scan).
+  std::vector<IdentificationResult> ScanTiq(size_t i) const {
+    SeqScan scan(&scan_file_);
+    return scan.QueryTiq(batch_[i].pfv(), kThreshold).items;
+  }
+  std::vector<IdentificationResult> ScanMliq(size_t i, size_t k) const {
+    SeqScan scan(&scan_file_);
+    return scan.QueryMliq(batch_[i].pfv(), k).items;
+  }
+
+ private:
+  InMemoryPageDevice scan_device_;
+  BufferPool scan_pool_;
+  PfvFile scan_file_;
+  std::vector<Pfv> probes_;
+  std::vector<Query> batch_;
+  BatchResult single_tree_;
+};
+
+// Runs the whole differential comparison for one dataset and shard count.
+void CheckShardCount(const PfvDataset& dataset, const Reference& ref,
+                     size_t num_shards) {
+  GaussDbOptions options;
+  options.shards.num_shards = num_shards;
+  GaussDb db = GaussDb::CreateInMemory(dataset.dim(), options);
+  db.Build(dataset);
+  EXPECT_EQ(db.size(), dataset.size());
+  EXPECT_EQ(db.num_shards(), num_shards);
+
+  Session session = db.Serve(
+      {.num_workers = 2 * num_shards, .coordinator_threads = 2});
+  EXPECT_TRUE(session.sharded());
+  EXPECT_EQ(session.num_shards(), num_shards);
+  size_t sharded_objects = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    session.shard_tree(s).Validate();
+    sharded_objects += session.shard_tree(s).size();
+  }
+  EXPECT_EQ(sharded_objects, dataset.size());
+
+  const BatchResult result = session.ExecuteBatch(ref.batch());
+  ASSERT_EQ(result.responses.size(), ref.batch().size());
+  for (size_t i = 0; i < result.responses.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    const Query& query = ref.batch()[i];
+    const QueryResponse& got = result.responses[i];
+    const QueryResponse& want = ref.single_tree().responses[i];
+    EXPECT_EQ(got.status, QueryResponse::Status::kOk);
+    EXPECT_EQ(got.kind, query.kind());
+    // Combined denominator interval must be well-formed.
+    EXPECT_LE(got.stats.denominator_lo, got.stats.denominator_hi);
+
+    if (IsLazyTiq(query)) {
+      ExpectLazyTiqContract(got.items, ref.ScanTiq(i));
+      continue;
+    }
+    ExpectEquivalent(got.items, want.items, RefinesProbabilities(query));
+    // Independent oracle: the exhaustive scan.
+    if (query.kind() == QueryKind::kTiq) {
+      EXPECT_EQ(Ids(got.items), Ids(ref.ScanTiq(i)));
+    } else {
+      EXPECT_EQ(Ids(got.items), Ids(ref.ScanMliq(i, query.k())));
+    }
+  }
+}
+
+PfvDataset MakeDataset(size_t size, size_t dim, size_t clusters,
+                       uint64_t seed) {
+  if (size == 0) return PfvDataset(dim);  // the generator requires size > 0
+  ClusteredDatasetConfig config;
+  config.size = size;
+  config.dim = dim;
+  config.cluster_count = clusters;
+  config.seed = seed;
+  return GenerateClusteredDataset(config);
+}
+
+// Acceptance criterion: every shard count 1 through 8 matches the
+// single-tree reference on one solid configuration. Shard count 1 routes
+// through the full coordinator (scale rebasing, combination, final filter)
+// and must be byte-compatible with the plain single-tree answers.
+TEST(ShardEquivalenceTest, ShardCounts1Through8MatchSingleTreeReference) {
+  const PfvDataset dataset = MakeDataset(1000, 4, 10, /*seed=*/101);
+  const Reference ref(dataset, /*probes=*/8, /*seed=*/11);
+  for (size_t shards = 1; shards <= 8; ++shards) {
+    SCOPED_TRACE("num_shards=" + std::to_string(shards));
+    CheckShardCount(dataset, ref, shards);
+  }
+}
+
+// Randomized trials over dataset shape; failures print the seed to replay.
+TEST(ShardEquivalenceTest, RandomizedDifferentialTrials) {
+  constexpr uint64_t kBaseSeed = 7000;
+  Rng rng(kBaseSeed);
+  for (size_t trial = 0; trial < 4; ++trial) {
+    const uint64_t seed = kBaseSeed + 31 * trial;
+    const size_t dim = 2 + rng.UniformInt(5);         // 2..6
+    const size_t size = 300 + rng.UniformInt(1200);   // 300..1499
+    const size_t clusters = 4 + rng.UniformInt(12);   // 4..15
+    char trace[128];
+    std::snprintf(trace, sizeof(trace),
+                  "trial=%zu seed=%llu dim=%zu size=%zu clusters=%zu", trial,
+                  static_cast<unsigned long long>(seed), dim, size, clusters);
+    SCOPED_TRACE(trace);
+
+    const PfvDataset dataset = MakeDataset(size, dim, clusters, seed);
+    const Reference ref(dataset, /*probes=*/4, seed + 1);
+    for (size_t shards : {2, 3, 5, 8}) {
+      SCOPED_TRACE("num_shards=" + std::to_string(shards));
+      CheckShardCount(dataset, ref, shards);
+    }
+  }
+}
+
+// Degenerate galleries: empty database, and datasets smaller than the shard
+// count (some shard trees stay empty — their traversals must contribute
+// nothing to the combined denominator, not a bogus reference scale).
+TEST(ShardEquivalenceTest, TinyAndEmptyDatasetsAcrossShardCounts) {
+  for (size_t size : {0, 1, 5}) {
+    SCOPED_TRACE("size=" + std::to_string(size));
+    const PfvDataset dataset = MakeDataset(size, 3, 2, /*seed=*/303);
+    const Reference ref(dataset, /*probes=*/2, /*seed=*/17);
+    for (size_t shards : {1, 2, 8}) {
+      SCOPED_TRACE("num_shards=" + std::to_string(shards));
+      CheckShardCount(dataset, ref, shards);
+    }
+  }
+}
+
+// A sharded on-file database must survive close + reopen: the manifest
+// restores the shard layout and every answer is byte-identical to the
+// pre-reopen serving stack (same trees, same traversals, same bounds).
+TEST(ShardEquivalenceTest, ShardedFileRoundTripIsByteIdentical) {
+  const std::string path =
+      ::testing::TempDir() + "/gauss_db_sharded_roundtrip.db";
+  const PfvDataset dataset = MakeDataset(800, 4, 8, /*seed=*/505);
+  const Reference ref(dataset, /*probes=*/6, /*seed=*/19);
+
+  BatchResult before;
+  {
+    GaussDbOptions options;
+    options.shards.num_shards = 3;
+    GaussDb db = GaussDb::CreateOnFile(path, dataset.dim(), options);
+    db.Build(dataset);
+    Session session = db.Serve({.num_workers = 3});
+    before = session.ExecuteBatch(ref.batch());
+  }  // db + session gone: only the file survives
+
+  {
+    GaussDb reopened = GaussDb::OpenFile(path);
+    EXPECT_TRUE(reopened.sharded());
+    EXPECT_EQ(reopened.num_shards(), 3u);
+    EXPECT_EQ(reopened.dim(), dataset.dim());
+    EXPECT_EQ(reopened.size(), dataset.size());
+    Session session = reopened.Serve({.num_workers = 3});
+    const BatchResult after = session.ExecuteBatch(ref.batch());
+    ASSERT_EQ(after.responses.size(), before.responses.size());
+    for (size_t i = 0; i < after.responses.size(); ++i) {
+      SCOPED_TRACE("query " + std::to_string(i));
+      test::ExpectItemsBytesEqual(after.responses[i].items,
+                                  before.responses[i].items);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// The shard manifest (header + one PageId per shard) must fit page 0; a
+// page size too small for the shard count fails loudly at creation instead
+// of overflowing the manifest write at Finalize().
+TEST(ShardEquivalenceDeathTest, ManifestMustFitThePage) {
+  GaussDbOptions options;
+  options.page_size = 256;
+  options.shards.num_shards = 64;  // 24-byte header + 64 PageIds > 256
+  EXPECT_DEATH(GaussDb::CreateInMemory(3, options),
+               "shard manifest does not fit");
+}
+
+// Reopened sharded databases keep routing Insert() to the right shard: the
+// partitioner is a pure function of the object id.
+TEST(ShardEquivalenceTest, ReopenedShardedFileAcceptsMoreInserts) {
+  const std::string path = ::testing::TempDir() + "/gauss_db_sharded_grow.db";
+  const PfvDataset first = MakeDataset(300, 3, 6, /*seed=*/606);
+  const PfvDataset second = MakeDataset(200, 3, 6, /*seed=*/607);
+  {
+    GaussDbOptions options;
+    options.shards.num_shards = 4;
+    GaussDb db = GaussDb::CreateOnFile(path, first.dim(), options);
+    db.Build(first);
+  }
+  {
+    GaussDb db = GaussDb::OpenFile(path);
+    // Offset ids so the two datasets don't collide.
+    for (size_t i = 0; i < second.size(); ++i) {
+      Pfv pfv = second[i];
+      pfv.id += 1'000'000;
+      db.Insert(pfv);
+    }
+    Session session = db.Serve({.num_workers = 4});
+    size_t total = 0;
+    for (size_t s = 0; s < session.num_shards(); ++s) {
+      session.shard_tree(s).Validate();
+      total += session.shard_tree(s).size();
+    }
+    EXPECT_EQ(total, first.size() + second.size());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gauss
