@@ -17,13 +17,16 @@
 //
 // GAUSS_BENCH_SCALE in (0,1] shrinks the dataset for quick runs; the ci
 // smoke test (sweep_shards_smoke in CMakeLists.txt) runs at 0.02 so the
-// cross-check can't rot.
+// cross-check can't rot. When GAUSS_BENCH_JSON names a file, every cell
+// appends its metrics as a JSON line for bench/check_regression.py (the CI
+// bench-regression guard).
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -110,6 +113,22 @@ void Run() {
                 Table::Num(reference.stats.latency.p99_us),
                 Table::Num(reference.stats.pages_per_query())});
 
+  const auto emit_cell = [&](const std::string& cell, const ServiceStats& s) {
+    BenchCellMetrics metrics;
+    metrics.bench = "sweep_shards";
+    metrics.scale = scale;
+    metrics.cell = cell;
+    metrics.qps = s.qps;
+    metrics.p99_us = s.latency.p99_us;
+    metrics.pages_per_query = s.pages_per_query();
+    if (s.io.prefetch_issued > 0) {
+      metrics.prefetch_hit_rate = static_cast<double>(s.io.prefetch_hits) /
+                                  static_cast<double>(s.io.prefetch_issued);
+    }
+    AppendBenchJson(metrics);
+  };
+  emit_cell("reference", reference.stats);
+
   for (size_t shards : {1, 2, 4, 8}) {
     GaussDbOptions options;
     options.shards.num_shards = shards;
@@ -139,6 +158,9 @@ void Run() {
                     Table::Num(stats.qps), Table::Num(stats.latency.p50_us),
                     Table::Num(stats.latency.p99_us),
                     Table::Num(stats.pages_per_query())});
+      emit_cell("shards=" + std::to_string(shards) +
+                    ",workers=" + std::to_string(shards * workers),
+                stats);
     }
   }
   table.Print(std::cout);

@@ -259,6 +259,7 @@ Session GaussDb::Serve(ServeOptions options) {
     QueryServiceOptions service_options;
     service_options.num_workers = workers_per_shard;
     service_options.queue_capacity = options.queue_capacity;
+    service_options.prefetch_depth = options.prefetch_depth;
     stack.service =
         std::make_unique<QueryService>(*stack.tree, service_options);
     stacks.push_back(std::move(stack));

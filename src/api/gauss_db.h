@@ -127,6 +127,18 @@ struct ServeOptions {
   // Sharded databases only: threads driving the scatter-gather merge and
   // refinement logic (service/shard_coordinator.h).
   size_t coordinator_threads = 2;
+  // Asynchronous read-ahead depth of the serving traversals: after each
+  // node expansion a traversal hints the serving cache
+  // (PageCache::Prefetch) about up to this many of its best still-enqueued
+  // subtree pages, so the next expansions find warm frames instead of
+  // waiting on the device. 0 (default) disables read-ahead — today's fully
+  // synchronous behavior. Purely a latency knob: answers are byte-identical
+  // at every depth, and the paper's page-access metric (logical reads per
+  // query) is unchanged; IoStats::prefetch_* counters report how many hints
+  // became hits. Most useful with a file-backed database and a cache
+  // smaller than the tree; a per-query MliqOptions/TiqOptions::
+  // prefetch_depth overrides this serving-wide default.
+  size_t prefetch_depth = 0;
 };
 
 // One per-shard serving stack: sharded page cache + reopened tree + worker

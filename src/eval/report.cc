@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/macros.h"
 
@@ -61,6 +62,22 @@ void Table::Print(std::ostream& os) const {
 
 void PrintBanner(std::ostream& os, const std::string& title) {
   os << "\n=== " << title << " ===\n";
+}
+
+void AppendBenchJson(const BenchCellMetrics& m) {
+  const char* path = std::getenv("GAUSS_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* file = std::fopen(path, "a");
+  if (file == nullptr) return;  // metrics are best-effort, never fatal
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"%s\",\"scale\":%.6g,\"cell\":\"%s\","
+                "\"qps\":%.6g,\"p99_us\":%.6g,\"pages_per_query\":%.6g,"
+                "\"prefetch_hit_rate\":%.6g}\n",
+                m.bench.c_str(), m.scale, m.cell.c_str(), m.qps, m.p99_us,
+                m.pages_per_query, m.prefetch_hit_rate);
+  std::fputs(line, file);
+  std::fclose(file);
 }
 
 }  // namespace gauss

@@ -30,6 +30,27 @@ class Table {
 // Prints a section banner.
 void PrintBanner(std::ostream& os, const std::string& title);
 
+// One serving-bench measurement cell, as consumed by the CI bench-regression
+// guard (bench/check_regression.py): the benches emit these as JSON lines
+// into $GAUSS_BENCH_JSON, and the guard compares them against the committed
+// bench/BENCH_serving.baseline.json.
+struct BenchCellMetrics {
+  std::string bench;     // emitting binary, e.g. "sweep_concurrency"
+  double scale = 1.0;    // GAUSS_BENCH_SCALE in effect (cells only compare
+                         // against baselines recorded at the same scale)
+  std::string cell;      // unique key within the bench, e.g. "workers=4,batch=512"
+  double qps = 0.0;
+  double p99_us = 0.0;
+  double pages_per_query = 0.0;      // logical reads / query: deterministic
+  double prefetch_hit_rate = 0.0;    // prefetch_hits / prefetch_issued (0 if none)
+};
+
+// Appends `m` as one JSON object line to the file named by the
+// GAUSS_BENCH_JSON environment variable; no-op when the variable is unset.
+// Append mode with a single write per line, so concurrently running benches
+// (ctest -j) interleave whole lines, never bytes.
+void AppendBenchJson(const BenchCellMetrics& m);
+
 }  // namespace gauss
 
 #endif  // GAUSS_EVAL_REPORT_H_

@@ -23,6 +23,10 @@ MliqTraversal::MliqTraversal(const GaussTree& tree, const Pfv& q, size_t k,
   GAUSS_CHECK(k_ > 0);
   if (tree_.size() == 0) return;  // empty frontier: exhausted from the start
 
+  // Read-ahead only makes sense once nodes live on pages; during the build
+  // phase Load() bypasses the cache entirely.
+  if (tree_.store().finalized()) prefetch_depth_ = options_.prefetch_depth;
+
   log_ref_ = internal::ComputeLogRef(tree_, q_);
   // Seed with the root as a pseudo active node (bounds trivially [0, 1]
   // scaled; exact values are irrelevant because it is expanded first).
@@ -61,6 +65,11 @@ void MliqTraversal::Expand(const ActiveNode& active) {
       tracker_.Push(internal::MakeActiveNode(e, q_, policy_, log_ref_));
     }
   }
+  // With the popped node's children enqueued, the queue's best entries are
+  // exactly the pages the next pops will load — hint them to the cache so
+  // their device reads overlap with the density evaluations above.
+  internal::PrefetchFrontier(tracker_, tree_.pool(), prefetch_depth_,
+                             &prefetch_pages_);
 }
 
 void MliqTraversal::Run() {

@@ -30,6 +30,10 @@ struct TiqOptions {
   // algorithm may have to access more pages" (Section 5.2.3).
   bool refine_probabilities = false;
   double probability_accuracy = 1e-6;
+  // Asynchronous read-ahead depth; see MliqOptions::prefetch_depth (same
+  // contract: 0 = off / inherit the serving knob, answers byte-identical at
+  // every depth, ignored on a non-finalized tree).
+  size_t prefetch_depth = 0;
 };
 
 using TiqStats = TraversalStats;
@@ -129,6 +133,10 @@ class TiqTraversal {
   internal::QueryCounters counters_;
   std::vector<ScoredObject> candidates_;
   GtNode node_;  // deserialization scratch
+  // Effective read-ahead depth (0 unless the tree is finalized) and the
+  // scratch list CollectTopPages fills each expansion.
+  size_t prefetch_depth_ = 0;
+  std::vector<PageId> prefetch_pages_;
   bool ran_ = false;
 };
 

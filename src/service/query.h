@@ -106,6 +106,22 @@ class Query {
     return std::move(this->ExactMembership(exact));
   }
 
+  // Asynchronous read-ahead depth of this query's traversal (see
+  // MliqOptions::prefetch_depth): 0 inherits the serving stack's
+  // ServeOptions::prefetch_depth. Purely a latency knob — answers are
+  // byte-identical at every depth.
+  Query& PrefetchDepth(size_t depth) & {
+    if (auto* m = std::get_if<MliqParams>(&params_)) {
+      m->options.prefetch_depth = depth;
+    } else {
+      std::get<TiqParams>(params_).options.prefetch_depth = depth;
+    }
+    return *this;
+  }
+  Query&& PrefetchDepth(size_t depth) && {
+    return std::move(this->PrefetchDepth(depth));
+  }
+
   // Execution-start deadline (admission control; see class comment).
   Query& Deadline(QueryDeadline deadline) & {
     deadline_ = deadline;

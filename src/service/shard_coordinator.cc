@@ -70,7 +70,7 @@ std::vector<std::unique_ptr<Traversal>> ScatterRun(
   futures.reserve(shards.size());
   for (size_t s = 0; s < shards.size(); ++s) {
     futures.push_back(shards[s]->SubmitWork([&trav, &shards, &make, s] {
-      trav[s] = make(shards[s]->tree());
+      trav[s] = make(*shards[s]);
       trav[s]->Run();
       return QueryResponse{};
     }));
@@ -204,10 +204,15 @@ QueryResponse ShardCoordinator::ExecuteMliq(const Query& query) {
   resp.kind = QueryKind::kMliq;
   const MliqOptions& options = query.mliq_options();
 
+  // SubmitWork bypasses the shard's query-execution path, so the shard
+  // service's read-ahead default is applied here (query-level depth wins).
   auto trav = ScatterRun<MliqTraversal>(
-      shards_, [&](const GaussTree& tree) {
-        return std::make_unique<MliqTraversal>(tree, query.pfv(), query.k(),
-                                               options);
+      shards_, [&](const QueryService& shard) {
+        MliqOptions shard_options = options;
+        shard_options.prefetch_depth = internal::EffectivePrefetchDepth(
+            shard_options.prefetch_depth, shard.prefetch_depth());
+        return std::make_unique<MliqTraversal>(shard.tree(), query.pfv(),
+                                               query.k(), shard_options);
       });
 
   const ScaleInfo<MliqTraversal> scale(trav);
@@ -266,9 +271,12 @@ QueryResponse ShardCoordinator::ExecuteTiq(const Query& query) {
   const double threshold = query.threshold();
 
   auto trav = ScatterRun<TiqTraversal>(
-      shards_, [&](const GaussTree& tree) {
-        return std::make_unique<TiqTraversal>(tree, query.pfv(), threshold,
-                                              options);
+      shards_, [&](const QueryService& shard) {
+        TiqOptions shard_options = options;
+        shard_options.prefetch_depth = internal::EffectivePrefetchDepth(
+            shard_options.prefetch_depth, shard.prefetch_depth());
+        return std::make_unique<TiqTraversal>(shard.tree(), query.pfv(),
+                                              threshold, shard_options);
       });
 
   const ScaleInfo<TiqTraversal> scale(trav);

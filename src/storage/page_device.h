@@ -1,9 +1,10 @@
 #ifndef GAUSS_STORAGE_PAGE_DEVICE_H_
 #define GAUSS_STORAGE_PAGE_DEVICE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -17,18 +18,32 @@ namespace gauss {
 // must be deterministic; all I/O accounting happens in the page-cache layer
 // above, not here.
 //
-// Thread-safety contract: `Read` must be safe to call concurrently with
-// other `Read`s — the ShardedBufferPool issues parallel reads from
-// different shards. `Allocate`/`Write` need external serialization against
+// Thread-safety contract: `Read`/`ReadBatch` must be safe to call
+// concurrently with other reads — the ShardedBufferPool issues parallel
+// reads from different shards and the async prefetch engine reads from its
+// own thread. `Allocate`/`Write` need external serialization against
 // everything else (they only run during single-threaded build/finalize).
 // InMemoryPageDevice meets the contract naturally (concurrent reads are
-// plain memcpys from stable allocations); FilePageDevice serializes all
-// operations on an internal mutex because stdio FILE positioning is shared
-// state.
+// plain memcpys from stable allocations); FilePageDevice uses positioned
+// pread/pwrite on a raw file descriptor, so reads never share seek state.
+//
+// Asynchronous reads: ReadAsync() queues a read and returns immediately;
+// a device-owned background thread drains the queue in batches through
+// ReadBatch() and runs each completion callback after its page bytes have
+// landed. This is the engine underneath PageCache::Prefetch — the cache
+// schedules fills without holding any latch across the device wait.
+// Implementations that override the destructor must call DrainAsyncReads()
+// first so no engine thread can touch derived state mid-teardown.
 class PageDevice {
  public:
-  explicit PageDevice(uint32_t page_size) : page_size_(page_size) {}
-  virtual ~PageDevice() = default;
+  // One positioned read: `out` must hold page_size() bytes.
+  struct ReadRequest {
+    PageId id = kInvalidPageId;
+    void* out = nullptr;
+  };
+
+  explicit PageDevice(uint32_t page_size);
+  virtual ~PageDevice();
 
   PageDevice(const PageDevice&) = delete;
   PageDevice& operator=(const PageDevice&) = delete;
@@ -39,6 +54,17 @@ class PageDevice {
   // Copies the page contents into `out` (page_size() bytes).
   virtual void Read(PageId id, void* out) const = 0;
 
+  // Reads `count` pages in one submission where the backend supports it
+  // (io_uring FilePageDevice); the default loops Read(). The async engine
+  // funnels every queued ReadAsync through here, so a batched backend
+  // accelerates prefetching without the cache knowing.
+  virtual void ReadBatch(const ReadRequest* requests, size_t count) const;
+
+  // Queues a read and returns immediately; `done` runs on the engine thread
+  // after the page bytes are in `out`. `out` must stay valid until then.
+  // Completions of one device run on one thread, in submission order.
+  void ReadAsync(PageId id, void* out, std::function<void()> done);
+
   // Overwrites the page with `data` (page_size() bytes).
   virtual void Write(PageId id, const void* data) = 0;
 
@@ -47,8 +73,18 @@ class PageDevice {
 
   uint32_t page_size() const { return page_size_; }
 
+ protected:
+  // Completes every queued ReadAsync and joins the engine thread. Must be
+  // called by any derived destructor (before derived members die); invoked
+  // again by ~PageDevice as a harmless no-op.
+  void DrainAsyncReads();
+
  private:
+  struct AsyncEngine;
+
   uint32_t page_size_;
+  mutable std::mutex engine_mu_;  // guards lazy engine creation
+  std::unique_ptr<AsyncEngine> engine_;
 };
 
 // Heap-backed device; the default for experiments (the disk model converts
@@ -57,6 +93,7 @@ class PageDevice {
 class InMemoryPageDevice : public PageDevice {
  public:
   explicit InMemoryPageDevice(uint32_t page_size = kDefaultPageSize);
+  ~InMemoryPageDevice() override;
 
   PageId Allocate() override;
   void Read(PageId id, void* out) const override;
@@ -67,7 +104,10 @@ class InMemoryPageDevice : public PageDevice {
   std::vector<std::unique_ptr<uint8_t[]>> pages_;
 };
 
-// File-backed device for persistence tests and on-disk operation.
+// File-backed device for persistence tests and on-disk operation. Built on
+// positioned pread/pwrite over a raw descriptor: concurrent reads (including
+// async prefetch batches) proceed in parallel without shared seek state,
+// which is what lets traversal compute overlap with device I/O.
 class FilePageDevice : public PageDevice {
  public:
   // Opens (or creates) the backing file. `truncate` discards existing
@@ -78,16 +118,17 @@ class FilePageDevice : public PageDevice {
 
   PageId Allocate() override;
   void Read(PageId id, void* out) const override;
+  void ReadBatch(const ReadRequest* requests, size_t count) const override;
   void Write(PageId id, const void* data) override;
   size_t PageCount() const override;
 
-  // Flushes buffered writes to the OS.
+  // Flushes written pages to durable storage.
   void Sync();
 
  private:
-  mutable std::mutex mu_;  // guards the shared FILE* position
-  std::FILE* file_ = nullptr;
-  size_t page_count_ = 0;
+  int fd_ = -1;
+  std::mutex alloc_mu_;              // serializes Allocate's append
+  std::atomic<size_t> page_count_{0};
 };
 
 }  // namespace gauss

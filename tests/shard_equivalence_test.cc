@@ -309,6 +309,59 @@ TEST(ShardEquivalenceTest, ShardedFileRoundTripIsByteIdentical) {
   std::remove(path.c_str());
 }
 
+// Asynchronous read-ahead must be invisible in the answers: for both the
+// unsharded service path and the coordinator's scatter-gather path, every
+// prefetch depth returns answers byte-identical to the depth-0 run of the
+// same configuration. The serving cache is deliberately smaller than the
+// tree(s) so depth > 0 genuinely schedules asynchronous fills (asserted via
+// the merged prefetch counters) instead of no-opping on resident pages.
+TEST(ShardEquivalenceTest, PrefetchDepthSweepIsByteIdenticalPerTopology) {
+  // Large enough that every per-shard tree dwarfs its serving cache —
+  // GaussTree::Open's reachability walk warms the cache, so a tree that
+  // fits would turn every hint into a residency no-op.
+  const PfvDataset dataset = MakeDataset(4000, 4, 10, /*seed=*/909);
+  WorkloadConfig wconfig;
+  wconfig.query_count = 6;
+  wconfig.seed = 23;
+  std::vector<Query> batch;
+  for (const IdentificationQuery& q : GenerateWorkload(dataset, wconfig)) {
+    for (Query& v : MakeVariants(q.query)) batch.push_back(std::move(v));
+  }
+
+  for (const size_t shards : {size_t{0}, size_t{3}}) {  // 0 = unsharded
+    SCOPED_TRACE("num_shards=" + std::to_string(shards));
+    GaussDbOptions options;
+    options.shards.num_shards = shards;
+    GaussDb db = GaussDb::CreateInMemory(dataset.dim(), options);
+    db.Build(dataset);
+
+    BatchResult at_depth0;
+    for (const size_t depth : {size_t{0}, size_t{2}, size_t{8}}) {
+      SCOPED_TRACE("prefetch_depth=" + std::to_string(depth));
+      ServeOptions serve;
+      serve.num_workers = 2 * std::max<size_t>(1, shards);
+      serve.cache_pages = 48;  // well below the tree pages: real misses
+      serve.prefetch_depth = depth;
+      Session session = db.Serve(serve);
+
+      const BatchResult result = session.ExecuteBatch(batch);
+      ASSERT_EQ(result.responses.size(), batch.size());
+      if (depth == 0) {
+        at_depth0 = result;
+        EXPECT_EQ(session.io_stats().prefetch_issued, 0u);
+        continue;
+      }
+      for (size_t i = 0; i < result.responses.size(); ++i) {
+        SCOPED_TRACE("query " + std::to_string(i));
+        EXPECT_EQ(result.responses[i].status, QueryResponse::Status::kOk);
+        test::ExpectItemsBytesEqual(result.responses[i].items,
+                                    at_depth0.responses[i].items);
+      }
+      EXPECT_GT(session.io_stats().prefetch_issued, 0u);
+    }
+  }
+}
+
 // The shard manifest (header + one PageId per shard) must fit page 0; a
 // page size too small for the shard count fails loudly at creation instead
 // of overflowing the manifest write at Finalize().
