@@ -53,13 +53,19 @@ def load_cells(path):
                 raise SystemExit(f"{path}:{lineno}: bad JSON line: {e}")
             key = (record["bench"], record["scale"], record["cell"])
             if key in cells:
-                record["p99_us"] = min(record.get("p99_us", 0.0),
-                                       cells[key].get("p99_us", 0.0))
+                observed = [v for v in (record.get("p99_us"),
+                                        cells[key].get("p99_us"))
+                            if v is not None]
+                if observed:
+                    record["p99_us"] = min(observed)
             cells[key] = record
     return cells
 
 
-def main():
+def main(argv=None):
+    """Runs the guard; `argv` defaults to sys.argv[1:] (injectable for the
+    unit tests in bench/test_check_regression.py). Returns the process exit
+    code: 0 = no regression, 1 = at least one gate failed."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True,
                         help="BENCH_serving.json emitted by this run")
@@ -75,7 +81,7 @@ def main():
                              "hardware, where absolute timings don't transfer")
     parser.add_argument("--skip-pages", action="store_true",
                         help="gate only p99 (for a runner-local timing baseline)")
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     current = load_cells(args.current)
     baseline = load_cells(args.baseline)

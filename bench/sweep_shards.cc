@@ -15,11 +15,21 @@
 // throughput. The interesting sharded win is capacity (a gallery larger
 // than one device) — the sweep quantifies what that costs per query.
 //
+// --devices=dir switches the sharded databases onto the multi-device
+// directory layout (GaussDb::CreateOnDirectory under $TMPDIR): one
+// FilePageDevice per shard behind the same scatter-gather front door. Every
+// cell's answers are then additionally cross-checked BYTE-identically
+// against the single-file sharded layout of the same shard count — same
+// partitioner, same shard trees, so any divergence is a storage-layer bug —
+// before the usual tolerance check against the in-memory single-tree
+// reference. Cold-start columns show N independent files being read in
+// parallel through their own async engines.
+//
 // GAUSS_BENCH_SCALE in (0,1] shrinks the dataset for quick runs; the ci
-// smoke test (sweep_shards_smoke in CMakeLists.txt) runs at 0.02 so the
-// cross-check can't rot. When GAUSS_BENCH_JSON names a file, every cell
-// appends its metrics as a JSON line for bench/check_regression.py (the CI
-// bench-regression guard).
+// smoke tests (sweep_shards_smoke and sweep_shards_dir_smoke in
+// CMakeLists.txt) run at 0.02 so the cross-checks can't rot. When
+// GAUSS_BENCH_JSON names a file, every cell appends its metrics as a JSON
+// line for bench/check_regression.py (the CI bench-regression guard).
 
 #include <cmath>
 #include <cstdio>
@@ -29,6 +39,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "api/gauss_db.h"
 #include "data/generators.h"
@@ -62,9 +74,60 @@ bool SameAnswers(const BatchResult& a, const BatchResult& b) {
   return true;
 }
 
-void Run() {
+// Byte-level comparison for two runs that share partitioning and tree
+// shapes (single-file vs directory layout of the same sharded database):
+// the storage layout must be invisible, down to the last bit.
+bool BytesIdentical(const BatchResult& a, const BatchResult& b) {
+  if (a.responses.size() != b.responses.size()) return false;
+  for (size_t i = 0; i < a.responses.size(); ++i) {
+    const auto& x = a.responses[i].items;
+    const auto& y = b.responses[i].items;
+    if (x.size() != y.size()) return false;
+    for (size_t j = 0; j < x.size(); ++j) {
+      if (x[j].id != y[j].id ||
+          std::memcmp(&x[j].probability, &y[j].probability,
+                      sizeof(double)) != 0 ||
+          std::memcmp(&x[j].probability_error, &y[j].probability_error,
+                      sizeof(double)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Scratch directory for the --devices=dir layouts; removed afterwards.
+std::string MakeScratchDir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string pattern =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/sweep_shards_dir.XXXXXX";
+  std::vector<char> buf(pattern.begin(), pattern.end());
+  buf.push_back('\0');
+  const char* dir = ::mkdtemp(buf.data());
+  if (dir == nullptr) {
+    std::cout << "ERROR: cannot create scratch directory " << pattern << "\n";
+    std::exit(1);
+  }
+  return dir;
+}
+
+void RemoveDirectoryLayout(const std::string& dir, size_t num_shards) {
+  for (size_t s = 0; s < num_shards; ++s) {
+    char name[40];
+    std::snprintf(name, sizeof(name), "shard-%04zu.gauss", s);
+    std::remove((dir + "/" + name).c_str());
+  }
+  std::remove((dir + "/MANIFEST").c_str());
+  ::rmdir(dir.c_str());
+}
+
+void Run(bool directory_devices) {
   PrintBanner(std::cout,
-              "Sharded GaussDb sweep (scatter-gather MLIQ+TIQ, warm cache)");
+              directory_devices
+                  ? "Sharded GaussDb sweep (multi-device directory layout, "
+                    "scatter-gather MLIQ+TIQ, warm cache)"
+                  : "Sharded GaussDb sweep (scatter-gather MLIQ+TIQ, warm "
+                    "cache)");
   double scale = 1.0;
   if (const char* env = std::getenv("GAUSS_BENCH_SCALE")) {
     const double s = std::atof(env);
@@ -113,9 +176,11 @@ void Run() {
                 Table::Num(reference.stats.latency.p99_us),
                 Table::Num(reference.stats.pages_per_query())});
 
+  const std::string bench_name =
+      directory_devices ? "sweep_shards_dir" : "sweep_shards";
   const auto emit_cell = [&](const std::string& cell, const ServiceStats& s) {
     BenchCellMetrics metrics;
-    metrics.bench = "sweep_shards";
+    metrics.bench = bench_name;
     metrics.scale = scale;
     metrics.cell = cell;
     metrics.qps = s.qps;
@@ -129,11 +194,36 @@ void Run() {
   };
   emit_cell("reference", reference.stats);
 
-  for (size_t shards : {1, 2, 4, 8}) {
+  // The directory layout needs >= 1 shard (one device per shard) and its
+  // point is many devices: sweep the multi-file shard counts only.
+  const std::vector<size_t> shard_counts =
+      directory_devices ? std::vector<size_t>{4, 8}
+                        : std::vector<size_t>{1, 2, 4, 8};
+  const std::string scratch = directory_devices ? MakeScratchDir() : "";
+
+  for (size_t shards : shard_counts) {
     GaussDbOptions options;
     options.shards.num_shards = shards;
-    GaussDb db = GaussDb::CreateInMemory(config.dim, options);
+
+    // Directory mode: the same gallery once per layout — the single-file
+    // image is the byte-level cross-check reference (same partitioner, same
+    // shard trees; only the pages' physical homes differ).
+    const std::string dir_path =
+        scratch + "/shards" + std::to_string(shards);
+    const std::string file_path = dir_path + ".singlefile";
+    GaussDb db = directory_devices
+                     ? GaussDb::CreateOnDirectory(dir_path, config.dim, options)
+                     : GaussDb::CreateInMemory(config.dim, options);
     db.Build(dataset);
+    BatchResult single_file;
+    if (directory_devices) {
+      GaussDb file_db = GaussDb::CreateOnFile(file_path, config.dim, options);
+      file_db.Build(dataset);
+      Session session = file_db.Serve(
+          {.num_workers = shards, .cache_pages = 1 << 15});
+      session.ExecuteBatch(batch);  // warm
+      single_file = session.ExecuteBatch(batch);
+    }
 
     for (size_t workers : {1, 4}) {
       ServeOptions serve;
@@ -152,6 +242,12 @@ void Run() {
                   << workers << " workers/shard\n";
         std::exit(1);
       }
+      if (directory_devices && !BytesIdentical(result, single_file)) {
+        std::cout << "ERROR: directory-layout answers are not byte-identical "
+                     "to the single-file layout at "
+                  << shards << " shards, " << workers << " workers/shard\n";
+        std::exit(1);
+      }
 
       const ServiceStats& stats = result.stats;
       table.AddRow({Table::Int(shards), Table::Int(shards * workers),
@@ -162,17 +258,37 @@ void Run() {
                     ",workers=" + std::to_string(shards * workers),
                 stats);
     }
+    if (directory_devices) {
+      RemoveDirectoryLayout(dir_path, shards);
+      std::remove(file_path.c_str());
+    }
   }
+  if (directory_devices) ::rmdir(scratch.c_str());
   table.Print(std::cout);
   std::cout << "answers of every cell verified against the unsharded "
                "single-tree reference (ids exact, probabilities within "
                "certified bounds)\n";
+  if (directory_devices) {
+    std::cout << "every directory-layout cell additionally byte-identical to "
+                 "the single-file sharded layout of the same shard count\n";
+  }
 }
 
 }  // namespace
 }  // namespace gauss::bench
 
-int main() {
-  gauss::bench::Run();
+int main(int argc, char** argv) {
+  bool directory_devices = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--devices=dir") == 0) {
+      directory_devices = true;
+    } else if (std::strcmp(argv[i], "--devices=single") == 0) {
+      directory_devices = false;
+    } else {
+      std::fprintf(stderr, "usage: %s [--devices=single|dir]\n", argv[0]);
+      return 1;
+    }
+  }
+  gauss::bench::Run(directory_devices);
   return 0;
 }

@@ -15,12 +15,22 @@
 // Pass --shards=N to partition the gallery over N Gauss-trees served
 // scatter-gather through a ShardCoordinator front door (same clients, same
 // contracts — answers and admission behavior are independent of sharding).
+//
+// Pass --dir=PATH to persist the sharded gallery as a multi-device
+// directory layout (GaussDb::CreateOnDirectory: PATH/MANIFEST + one
+// PATH/shard-NNNN.gauss FilePageDevice per shard) and serve from those
+// files — the "gallery larger than one device" deployment. Implies
+// --shards=4 unless --shards is given. The directory is left in place, and
+// a later `--dir=PATH` run reattaches to it via GaussDb::OpenDirectory
+// (skipping enrollment; shard count then comes from the manifest, typed
+// open errors are reported) instead of truncating the persisted gallery.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -54,13 +64,19 @@ int main(int argc, char** argv) {
   Rng rng(7);
 
   size_t num_shards = 0;  // 0 = unsharded single tree
+  std::string directory;  // non-empty = multi-device directory layout
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       num_shards = static_cast<size_t>(std::atoll(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--dir=", 6) == 0) {
+      directory = argv[i] + 6;
     } else {
-      std::fprintf(stderr, "usage: %s [--shards=N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--shards=N] [--dir=PATH]\n", argv[0]);
       return 1;
     }
+  }
+  if (!directory.empty() && num_shards == 0) {
+    num_shards = 4;  // a directory layout is one device per shard
   }
 
   // True (unobservable) facial geometry per person.
@@ -70,17 +86,54 @@ int main(int argc, char** argv) {
     for (double& f : face) f = rng.NextDouble();
   }
 
-  // ---- Offline: enroll the gallery. --------------------------------------
+  // ---- Offline: enroll the gallery (or reattach to a persisted one). -----
   GaussDbOptions db_options;
   db_options.shards.num_shards = num_shards;  // 0 keeps the single tree
-  GaussDb db = GaussDb::CreateInMemory(kFeatures, db_options);
-  for (size_t person = 0; person < kPersons; ++person) {
-    const std::vector<double> sigma = FeatureSigmas(rng);
-    std::vector<double> observed(kFeatures);
-    for (size_t f = 0; f < kFeatures; ++f) {
-      observed[f] = rng.Gaussian(true_faces[person][f], sigma[f]);
+  const bool reattach = [&] {
+    if (directory.empty()) return false;
+    std::FILE* manifest = std::fopen((directory + "/MANIFEST").c_str(), "rb");
+    if (manifest == nullptr) return false;
+    std::fclose(manifest);
+    return true;
+  }();
+  GaussDb db = [&] {
+    if (directory.empty()) {
+      return GaussDb::CreateInMemory(kFeatures, db_options);
     }
-    db.Insert(Pfv(person, observed, sigma));
+    if (reattach) {
+      // A previous --dir run left a gallery here: serve it instead of
+      // truncating it. A damaged directory comes back as a typed error.
+      OpenResult reopened = GaussDb::OpenDirectory(directory, db_options);
+      if (!reopened.ok()) {
+        std::fprintf(stderr, "cannot reattach to %s: %s (%s)\n",
+                     directory.c_str(), reopened.error().message.c_str(),
+                     OpenErrorCodeName(reopened.error().code));
+        std::exit(1);
+      }
+      return std::move(reopened).value();
+    }
+    return GaussDb::CreateOnDirectory(directory, kFeatures, db_options);
+  }();
+  if (reattach) {
+    std::printf("reattached to the persisted gallery under %s\n",
+                directory.c_str());
+    // The enrollment RNG stream must still advance identically so the
+    // probe clients below test against the same true faces.
+    for (size_t person = 0; person < kPersons; ++person) {
+      const std::vector<double> sigma = FeatureSigmas(rng);
+      for (size_t f = 0; f < kFeatures; ++f) {
+        (void)rng.Gaussian(true_faces[person][f], sigma[f]);
+      }
+    }
+  } else {
+    for (size_t person = 0; person < kPersons; ++person) {
+      const std::vector<double> sigma = FeatureSigmas(rng);
+      std::vector<double> observed(kFeatures);
+      for (size_t f = 0; f < kFeatures; ++f) {
+        observed[f] = rng.Gaussian(true_faces[person][f], sigma[f]);
+      }
+      db.Insert(Pfv(person, observed, sigma));
+    }
   }
 
   // ---- Online: one serving session, shared by every client thread. -------
@@ -89,7 +142,13 @@ int main(int argc, char** argv) {
   serve.cache_pages = 1 << 12;
   Session session = db.Serve(serve);
 
-  if (db.sharded()) {
+  if (db.per_shard_devices()) {
+    std::printf("GaussDb: %zu enrolled persons over %zu shard devices under "
+                "%s, %zu workers behind a scatter-gather front door, %zu "
+                "batch clients + 1 streaming client\n",
+                db.size(), session.num_shards(), directory.c_str(),
+                session.num_workers(), kClients);
+  } else if (db.sharded()) {
     std::printf("GaussDb: %zu enrolled persons over %zu shards, %zu workers "
                 "behind a scatter-gather front door, %zu batch clients + 1 "
                 "streaming client\n",

@@ -1,7 +1,18 @@
 #include "api/gauss_db.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -11,12 +22,15 @@ namespace gauss {
 
 namespace {
 
-// Persistent shard manifest at page 0 of a sharded database, written by
-// Finalize(). Distinguished from the legacy layout (GaussTree header at
-// page 0) by its magic; followed in-page by num_shards PageId entries
-// naming each shard tree's header page.
+// Persistent shard manifest at page 0 of a sharded single-file database,
+// written by Finalize(). Distinguished from the legacy layout (GaussTree
+// header at page 0) by its magic; followed in-page by num_shards PageId
+// entries naming each shard tree's header page.
 constexpr uint64_t kGaussDbManifestMagic = 0x47415553'53444231ull;  // "GAUSSDB1"
-constexpr uint32_t kGaussDbManifestVersion = 1;
+// v2: added hash_seed (the partitioner's routing seed became persistent).
+// v1 (no seed field) is still read — those databases used the unseeded
+// routing, which is exactly hash_seed = 0.
+constexpr uint32_t kGaussDbManifestVersion = 2;
 
 struct ManifestLayout {
   uint64_t magic;
@@ -26,7 +40,15 @@ struct ManifestLayout {
   uint32_t page_size;
   uint32_t dim;
   uint32_t num_shards;
+  uint64_t hash_seed;  // v2+; v1 manifests end after num_shards
 };
+
+// Byte size of the fixed manifest header as persisted by each version (the
+// shard PageId list starts right after it). v1 ended at num_shards; padding
+// placed hash_seed at offset 24, so v1's header was 24 bytes.
+size_t ManifestHeaderBytes(uint32_t version) {
+  return version >= 2 ? sizeof(ManifestLayout) : offsetof(ManifestLayout, hash_seed);
+}
 
 // Shard count bound: nobody needs more partitions than this on one node.
 // The manifest (header + PageId per shard) must additionally fit the
@@ -37,22 +59,135 @@ size_t ManifestBytes(size_t num_shards) {
   return sizeof(ManifestLayout) + num_shards * sizeof(PageId);
 }
 
+// Directory layout: <dir>/MANIFEST names the format and the shard files.
+constexpr char kDirManifestName[] = "MANIFEST";
+constexpr char kDirManifestTag[] = "gaussdb-directory";
+constexpr uint32_t kDirManifestVersion = 1;
+
+std::string ShardFileName(size_t shard) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "shard-%04zu.gauss", shard);
+  return name;
+}
+
+OpenError Err(OpenErrorCode code, std::string message) {
+  return OpenError{code, std::move(message)};
+}
+
+// A manifest shard path must stay inside the database directory: relative,
+// no ".." component, and no "." component either — "." only exists to
+// alias a path the duplicate-entry check below would otherwise catch (a
+// symlinked *file* inside the directory is the supported way to spread
+// shards over mounts).
+bool SafeRelativePath(const std::string& path) {
+  if (path.empty() || path.front() == '/') return false;
+  std::istringstream stream(path);
+  std::string component;
+  while (std::getline(stream, component, '/')) {
+    if (component.empty() || component == "." || component == "..") {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Validates that `device` page 0 holds a single-tree image compatible with
+// the expected geometry; fills `*error` and returns false otherwise.
+// `what` names the file for messages; `dim` of 0 skips the dim check (the
+// legacy unsharded layout learns the dim from the header itself).
+bool CheckTreeHeader(PageDevice& device, const std::string& what, uint32_t dim,
+                     OpenError* error) {
+  if (device.PageCount() == 0) {
+    *error = Err(OpenErrorCode::kNotAGaussDb,
+                 what + ": empty file, no Gauss-tree header");
+    return false;
+  }
+  std::vector<uint8_t> page(device.page_size());
+  device.Read(/*id=*/0, page.data());
+  const GaussTree::HeaderInfo info =
+      GaussTree::InspectHeader(page.data(), page.size());
+  if (!info.valid_magic) {
+    *error = Err(OpenErrorCode::kNotAGaussDb,
+                 what + ": page 0 does not hold a Gauss-tree header");
+    return false;
+  }
+  if (info.version != GaussTree::header_version()) {
+    *error = Err(OpenErrorCode::kVersionMismatch,
+                 what + ": Gauss-tree header version " +
+                     std::to_string(info.version) + ", this build reads " +
+                     std::to_string(GaussTree::header_version()));
+    return false;
+  }
+  if (info.page_size != device.page_size()) {
+    *error = Err(OpenErrorCode::kPageSizeMismatch,
+                 what + ": page size mismatch: tree serialized with " +
+                     std::to_string(info.page_size) + ", device opened with " +
+                     std::to_string(device.page_size()));
+    return false;
+  }
+  if (dim != 0 && info.dim != dim) {
+    *error = Err(OpenErrorCode::kCorruptManifest,
+                 what + ": shard tree dimensionality " +
+                     std::to_string(info.dim) +
+                     " disagrees with the manifest's " + std::to_string(dim));
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
+const char* OpenErrorCodeName(OpenErrorCode code) {
+  switch (code) {
+    case OpenErrorCode::kIoError: return "io_error";
+    case OpenErrorCode::kNotAGaussDb: return "not_a_gaussdb";
+    case OpenErrorCode::kVersionMismatch: return "version_mismatch";
+    case OpenErrorCode::kPageSizeMismatch: return "page_size_mismatch";
+    case OpenErrorCode::kCorruptManifest: return "corrupt_manifest";
+    case OpenErrorCode::kMissingShardFile: return "missing_shard_file";
+    case OpenErrorCode::kShardCountMismatch: return "shard_count_mismatch";
+  }
+  return "unknown";
+}
+
+void GaussDb::InitShardRouting(const GaussDbOptions& options) {
+  sharded_ = options.shards.num_shards >= 1;
+  if (sharded_) {
+    GAUSS_CHECK_MSG(options.shards.num_shards <= kMaxShards,
+                    "too many shards");
+    partitioner_ =
+        Partitioner(options.shards.num_shards, options.shards.hash_seed);
+  }
+}
+
 void GaussDb::InitFreshTrees() {
+  if (per_shard_devices_) {
+    // Directory layout: every shard file is an ordinary single-tree image —
+    // its tree header must land at page 0 of its own device.
+    const size_t shards = num_shards();
+    trees_.reserve(shards);
+    shard_metas_.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      trees_.push_back(std::make_unique<GaussTree>(build_pools_[s].get(), dim_,
+                                                   options_.tree));
+      shard_metas_.push_back(trees_.back()->meta_page());
+      GAUSS_CHECK(shard_metas_.back() == kMetaPage);
+    }
+    return;
+  }
   if (sharded_) {
     GAUSS_CHECK_MSG(ManifestBytes(num_shards()) <= options_.page_size,
                     "shard manifest does not fit the configured page size");
     // The manifest page must be allocated before any tree so it lands on
     // page 0; its contents are written by Finalize().
-    const PageId manifest = device_->Allocate();
+    const PageId manifest = devices_[0]->Allocate();
     GAUSS_CHECK(manifest == kMetaPage);
   }
   const size_t shards = num_shards();
   trees_.reserve(shards);
   shard_metas_.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
-    trees_.push_back(std::make_unique<GaussTree>(build_pool_.get(), dim_,
+    trees_.push_back(std::make_unique<GaussTree>(build_pools_[0].get(), dim_,
                                                  options_.tree));
     shard_metas_.push_back(trees_.back()->meta_page());
   }
@@ -62,6 +197,10 @@ void GaussDb::InitFreshTrees() {
 
 void GaussDb::WriteManifest() {
   GAUSS_CHECK(sharded_);
+  if (per_shard_devices_) {
+    WriteDirectoryManifest();
+    return;
+  }
   ManifestLayout manifest;
   std::memset(&manifest, 0, sizeof(manifest));
   manifest.magic = kGaussDbManifestMagic;
@@ -69,27 +208,66 @@ void GaussDb::WriteManifest() {
   manifest.page_size = options_.page_size;
   manifest.dim = static_cast<uint32_t>(dim_);
   manifest.num_shards = static_cast<uint32_t>(shard_metas_.size());
+  manifest.hash_seed = partitioner_.seed();
   std::vector<uint8_t> page(options_.page_size, 0);
   std::memcpy(page.data(), &manifest, sizeof(manifest));
   std::memcpy(page.data() + sizeof(manifest), shard_metas_.data(),
               shard_metas_.size() * sizeof(PageId));
-  build_pool_->WritePage(kMetaPage, page.data());
-  build_pool_->FlushAll();
+  build_pools_[0]->WritePage(kMetaPage, page.data());
+  build_pools_[0]->FlushAll();
+}
+
+void GaussDb::WriteDirectoryManifest() {
+  GAUSS_CHECK(per_shard_devices_ && !directory_.empty());
+  // Write + fsync + rename + directory fsync: a crash at any point leaves
+  // either the previous manifest or the new one, never a half-written or
+  // zero-length one — Finalize()'s durability promise must include the one
+  // file the layout needs to reopen, not just the shard devices it syncs.
+  const std::string final_path = directory_ + "/" + kDirManifestName;
+  const std::string tmp_path = final_path + ".tmp";
+  std::ostringstream contents;
+  contents << kDirManifestTag << ' ' << kDirManifestVersion << '\n'
+           << "page_size " << options_.page_size << '\n'
+           << "dim " << dim_ << '\n'
+           << "hash_seed " << partitioner_.seed() << '\n'
+           << "num_shards " << num_shards() << '\n';
+  for (size_t s = 0; s < num_shards(); ++s) {
+    contents << "shard " << ShardFileName(s) << '\n';
+  }
+  const std::string text = contents.str();
+  {
+    const int fd =
+        ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    GAUSS_CHECK_MSG(fd >= 0, tmp_path.c_str());
+    size_t written = 0;
+    while (written < text.size()) {
+      const ssize_t n =
+          ::write(fd, text.data() + written, text.size() - written);
+      if (n < 0 && errno == EINTR) continue;
+      GAUSS_CHECK_MSG(n > 0, tmp_path.c_str());
+      written += static_cast<size_t>(n);
+    }
+    GAUSS_CHECK_MSG(::fsync(fd) == 0, tmp_path.c_str());
+    GAUSS_CHECK_MSG(::close(fd) == 0, tmp_path.c_str());
+  }
+  GAUSS_CHECK_MSG(std::rename(tmp_path.c_str(), final_path.c_str()) == 0,
+                  final_path.c_str());
+  {
+    const int dir_fd = ::open(directory_.c_str(), O_RDONLY | O_DIRECTORY);
+    GAUSS_CHECK_MSG(dir_fd >= 0, directory_.c_str());
+    GAUSS_CHECK_MSG(::fsync(dir_fd) == 0, directory_.c_str());
+    ::close(dir_fd);
+  }
 }
 
 GaussDb GaussDb::CreateInMemory(size_t dim, GaussDbOptions options) {
   GaussDb db;
   db.options_ = options;
   db.dim_ = dim;
-  db.sharded_ = options.shards.num_shards >= 1;
-  if (db.sharded_) {
-    GAUSS_CHECK_MSG(options.shards.num_shards <= kMaxShards,
-                    "too many shards");
-    db.partitioner_ = Partitioner(options.shards.num_shards);
-  }
-  db.device_ = std::make_unique<InMemoryPageDevice>(options.page_size);
-  db.build_pool_ =
-      std::make_unique<BufferPool>(db.device_.get(), options.build_cache_pages);
+  db.InitShardRouting(options);
+  db.devices_.push_back(std::make_unique<InMemoryPageDevice>(options.page_size));
+  db.build_pools_.push_back(std::make_unique<BufferPool>(
+      db.devices_[0].get(), options.build_cache_pages));
   db.InitFreshTrees();
   return db;
 }
@@ -99,78 +277,278 @@ GaussDb GaussDb::CreateOnFile(const std::string& path, size_t dim,
   GaussDb db;
   db.options_ = options;
   db.dim_ = dim;
-  db.sharded_ = options.shards.num_shards >= 1;
-  if (db.sharded_) {
-    GAUSS_CHECK_MSG(options.shards.num_shards <= kMaxShards,
-                    "too many shards");
-    db.partitioner_ = Partitioner(options.shards.num_shards);
-  }
+  db.InitShardRouting(options);
   auto device = std::make_unique<FilePageDevice>(path, options.page_size,
                                                  /*truncate=*/true);
-  db.file_device_ = device.get();
-  db.device_ = std::move(device);
-  db.build_pool_ =
-      std::make_unique<BufferPool>(db.device_.get(), options.build_cache_pages);
+  db.file_devices_.push_back(device.get());
+  db.devices_.push_back(std::move(device));
+  db.build_pools_.push_back(std::make_unique<BufferPool>(
+      db.devices_[0].get(), options.build_cache_pages));
   db.InitFreshTrees();
   return db;
 }
 
-GaussDb GaussDb::OpenFile(const std::string& path, GaussDbOptions options) {
+GaussDb GaussDb::CreateOnDirectory(const std::string& path, size_t dim,
+                                   GaussDbOptions options) {
+  GAUSS_CHECK_MSG(options.shards.num_shards >= 1,
+                  "CreateOnDirectory requires shards.num_shards >= 1 (the "
+                  "directory layout is one device per shard)");
   GaussDb db;
   db.options_ = options;
-  auto device = std::make_unique<FilePageDevice>(path, options.page_size,
-                                                 /*truncate=*/false);
-  db.file_device_ = device.get();
-  db.device_ = std::move(device);
-  db.build_pool_ =
-      std::make_unique<BufferPool>(db.device_.get(), options.build_cache_pages);
+  db.dim_ = dim;
+  db.InitShardRouting(options);
+  db.per_shard_devices_ = true;
+  db.directory_ = path;
+  if (::mkdir(path.c_str(), 0755) != 0) {
+    GAUSS_CHECK_MSG(errno == EEXIST, path.c_str());
+  }
+  const size_t shards = db.num_shards();
+  db.devices_.reserve(shards);
+  db.build_pools_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    auto device = std::make_unique<FilePageDevice>(
+        path + "/" + ShardFileName(s), options.page_size, /*truncate=*/true);
+    db.file_devices_.push_back(device.get());
+    db.devices_.push_back(std::move(device));
+    db.build_pools_.push_back(std::make_unique<BufferPool>(
+        db.devices_[s].get(), options.build_cache_pages));
+  }
+  db.InitFreshTrees();
+  return db;
+}
+
+OpenResult GaussDb::OpenFile(const std::string& path, GaussDbOptions options) {
+  std::string device_error;
+  auto device =
+      FilePageDevice::TryOpen(path, options.page_size, &device_error);
+  if (device == nullptr) {
+    return Err(OpenErrorCode::kIoError, device_error);
+  }
+  if (device->PageCount() == 0) {
+    return Err(OpenErrorCode::kNotAGaussDb,
+               path + ": empty file, not a finalized GaussDb");
+  }
+  // No GaussDb header fits a page this small, and the manifest copy below
+  // must not read past the page buffer.
+  if (options.page_size < sizeof(ManifestLayout)) {
+    return Err(OpenErrorCode::kNotAGaussDb,
+               path + ": page size " + std::to_string(options.page_size) +
+                   " is too small to hold any GaussDb header");
+  }
 
   // Page 0 is either the shard manifest (sharded layout) or the tree header
   // (legacy layout); the magic decides. Persistent facts override whatever
   // the caller passed.
+  std::vector<uint8_t> page(device->page_size());
+  device->Read(kMetaPage, page.data());
   ManifestLayout manifest;
-  {
-    const PageRef page = db.build_pool_->Fetch(kMetaPage);
-    std::memcpy(&manifest, page.data(), sizeof(manifest));
-    if (manifest.magic == kGaussDbManifestMagic) {
-      GAUSS_CHECK_MSG(manifest.version == kGaussDbManifestVersion,
-                      "unsupported GaussDb manifest version");
-      GAUSS_CHECK_MSG(manifest.page_size == options.page_size,
-                      "page size mismatch: the device is opened with a "
-                      "different page size than the database was created "
-                      "with");
-      GAUSS_CHECK_MSG(manifest.num_shards >= 1 &&
-                          manifest.num_shards <= kMaxShards &&
-                          ManifestBytes(manifest.num_shards) <=
-                              options.page_size,
-                      "corrupt shard manifest");
-      db.sharded_ = true;
-      db.partitioner_ = Partitioner(manifest.num_shards);
-      db.options_.shards.num_shards = manifest.num_shards;
-      db.shard_metas_.resize(manifest.num_shards);
-      std::memcpy(db.shard_metas_.data(), page.data() + sizeof(manifest),
-                  manifest.num_shards * sizeof(PageId));
-    }
-  }
+  std::memcpy(&manifest, page.data(), sizeof(manifest));
 
-  if (db.sharded_) {
-    for (const PageId meta : db.shard_metas_) {
-      db.trees_.push_back(GaussTree::Open(db.build_pool_.get(), meta));
+  GaussDb db;
+  db.options_ = options;
+
+  if (manifest.magic == kGaussDbManifestMagic) {
+    if (manifest.version < 1 || manifest.version > kGaussDbManifestVersion) {
+      return Err(OpenErrorCode::kVersionMismatch,
+                 path + ": GaussDb manifest version " +
+                     std::to_string(manifest.version) + ", this build reads " +
+                     std::to_string(kGaussDbManifestVersion) + " and below");
     }
-    db.dim_ = db.trees_[0]->dim();
-    GAUSS_CHECK_MSG(db.dim_ == manifest.dim, "corrupt shard manifest");
+    // v1 predates the persistent hash seed: those databases were routed
+    // unseeded, which is exactly seed 0.
+    if (manifest.version < 2) manifest.hash_seed = 0;
+    if (manifest.page_size != options.page_size) {
+      return Err(OpenErrorCode::kPageSizeMismatch,
+                 path + ": page size mismatch: the database was created with " +
+                     std::to_string(manifest.page_size) +
+                     ", the device is opened with " +
+                     std::to_string(options.page_size));
+    }
+    const size_t header_bytes = ManifestHeaderBytes(manifest.version);
+    if (manifest.num_shards < 1 || manifest.num_shards > kMaxShards ||
+        header_bytes + manifest.num_shards * sizeof(PageId) >
+            options.page_size) {
+      return Err(OpenErrorCode::kCorruptManifest,
+                 path + ": shard manifest names " +
+                     std::to_string(manifest.num_shards) +
+                     " shards, outside the representable range");
+    }
+    db.sharded_ = true;
+    db.partitioner_ = Partitioner(manifest.num_shards, manifest.hash_seed);
+    db.options_.shards.num_shards = manifest.num_shards;
+    db.options_.shards.hash_seed = manifest.hash_seed;
+    db.shard_metas_.resize(manifest.num_shards);
+    std::memcpy(db.shard_metas_.data(), page.data() + header_bytes,
+                manifest.num_shards * sizeof(PageId));
+    for (const PageId meta : db.shard_metas_) {
+      if (meta >= device->PageCount()) {
+        return Err(OpenErrorCode::kCorruptManifest,
+                   path + ": shard header page " + std::to_string(meta) +
+                       " is beyond the file's " +
+                       std::to_string(device->PageCount()) + " pages");
+      }
+      std::vector<uint8_t> shard_page(device->page_size());
+      device->Read(meta, shard_page.data());
+      const GaussTree::HeaderInfo info =
+          GaussTree::InspectHeader(shard_page.data(), shard_page.size());
+      if (!info.valid_magic || info.dim != manifest.dim ||
+          info.page_size != options.page_size) {
+        return Err(OpenErrorCode::kCorruptManifest,
+                   path + ": shard header page " + std::to_string(meta) +
+                       " does not hold a matching Gauss-tree header");
+      }
+      if (info.version != GaussTree::header_version()) {
+        return Err(OpenErrorCode::kVersionMismatch,
+                   path + ": shard tree header version " +
+                       std::to_string(info.version) + ", this build reads " +
+                       std::to_string(GaussTree::header_version()));
+      }
+    }
+    db.dim_ = manifest.dim;
   } else {
-    // Legacy layout: the header (magic-checked by GaussTree::Open) lives at
-    // page 0 by construction.
-    db.trees_.push_back(GaussTree::Open(db.build_pool_.get(), kMetaPage));
-    db.dim_ = db.trees_[0]->dim();
+    // Legacy layout: the (magic-checked) tree header lives at page 0 by
+    // construction.
+    OpenError error;
+    if (!CheckTreeHeader(*device, path, /*dim=*/0, &error)) return error;
     db.shard_metas_.push_back(kMetaPage);
   }
+
+  db.file_devices_.push_back(device.get());
+  db.devices_.push_back(std::move(device));
+  db.build_pools_.push_back(std::make_unique<BufferPool>(
+      db.devices_[0].get(), options.build_cache_pages));
+  for (const PageId meta : db.shard_metas_) {
+    db.trees_.push_back(GaussTree::Open(db.build_pools_[0].get(), meta));
+  }
+  db.dim_ = db.trees_[0]->dim();
   db.options_.tree = db.trees_[0]->options();
   for (const auto& tree : db.trees_) {
     GAUSS_CHECK_MSG(tree->dim() == db.dim_,
                     "shard trees disagree on dimensionality");
   }
+  return db;
+}
+
+OpenResult GaussDb::OpenDirectory(const std::string& path,
+                                  GaussDbOptions options) {
+  const std::string manifest_path = path + "/" + kDirManifestName;
+  std::ifstream in(manifest_path);
+  if (!in.good()) {
+    return Err(OpenErrorCode::kIoError,
+               manifest_path + ": " + std::strerror(errno));
+  }
+
+  std::string tag;
+  uint32_t version = 0;
+  if (!(in >> tag >> version) || tag != kDirManifestTag) {
+    return Err(OpenErrorCode::kNotAGaussDb,
+               manifest_path + ": not a GaussDb directory manifest");
+  }
+  if (version != kDirManifestVersion) {
+    return Err(OpenErrorCode::kVersionMismatch,
+               manifest_path + ": directory manifest version " +
+                   std::to_string(version) + ", this build reads " +
+                   std::to_string(kDirManifestVersion));
+  }
+
+  uint32_t page_size = 0;
+  uint64_t dim = 0;
+  uint64_t hash_seed = 0;
+  uint64_t num_shards = 0;
+  bool have_page_size = false, have_dim = false, have_seed = false,
+       have_shards = false;
+  std::vector<std::string> shard_paths;
+  std::string key;
+  while (in >> key) {
+    if (key == "page_size") {
+      have_page_size = static_cast<bool>(in >> page_size);
+    } else if (key == "dim") {
+      have_dim = static_cast<bool>(in >> dim);
+    } else if (key == "hash_seed") {
+      have_seed = static_cast<bool>(in >> hash_seed);
+    } else if (key == "num_shards") {
+      have_shards = static_cast<bool>(in >> num_shards);
+    } else if (key == "shard") {
+      std::string rel;
+      if (!(in >> rel)) break;
+      shard_paths.push_back(std::move(rel));
+    } else {
+      return Err(OpenErrorCode::kCorruptManifest,
+                 manifest_path + ": unknown manifest key '" + key + "'");
+    }
+  }
+  if (!have_page_size || !have_dim || !have_seed || !have_shards ||
+      dim == 0) {
+    return Err(OpenErrorCode::kCorruptManifest,
+               manifest_path + ": truncated manifest (missing page_size/dim/"
+                               "hash_seed/num_shards)");
+  }
+  if (num_shards < 1 || num_shards > kMaxShards) {
+    return Err(OpenErrorCode::kCorruptManifest,
+               manifest_path + ": shard count " + std::to_string(num_shards) +
+                   " outside the representable range");
+  }
+  if (shard_paths.size() != num_shards) {
+    return Err(OpenErrorCode::kShardCountMismatch,
+               manifest_path + ": manifest declares " +
+                   std::to_string(num_shards) + " shards but lists " +
+                   std::to_string(shard_paths.size()) + " shard files");
+  }
+  if (page_size != options.page_size) {
+    return Err(OpenErrorCode::kPageSizeMismatch,
+               manifest_path + ": page size mismatch: the database was "
+                               "created with " +
+                   std::to_string(page_size) + ", the device is opened with " +
+                   std::to_string(options.page_size));
+  }
+
+  GaussDb db;
+  db.options_ = options;
+  db.options_.shards.num_shards = num_shards;
+  db.options_.shards.hash_seed = hash_seed;
+  db.InitShardRouting(db.options_);
+  db.per_shard_devices_ = true;
+  db.directory_ = path;
+  db.dim_ = static_cast<size_t>(dim);
+
+  // Duplicate entries would alias two read-write shard devices onto one
+  // file — reads would consult the same tree twice and a reopen-and-Insert
+  // would interleave two trees' appends, corrupting it.
+  {
+    std::set<std::string> unique_paths(shard_paths.begin(), shard_paths.end());
+    if (unique_paths.size() != shard_paths.size()) {
+      return Err(OpenErrorCode::kCorruptManifest,
+                 manifest_path + ": manifest lists the same shard file twice");
+    }
+  }
+
+  for (size_t s = 0; s < shard_paths.size(); ++s) {
+    if (!SafeRelativePath(shard_paths[s])) {
+      return Err(OpenErrorCode::kCorruptManifest,
+                 manifest_path + ": shard path '" + shard_paths[s] +
+                     "' escapes the database directory");
+    }
+    const std::string shard_path = path + "/" + shard_paths[s];
+    std::string device_error;
+    auto device =
+        FilePageDevice::TryOpen(shard_path, options.page_size, &device_error);
+    if (device == nullptr) {
+      return Err(OpenErrorCode::kMissingShardFile,
+                 "shard " + std::to_string(s) + ": " + device_error);
+    }
+    OpenError error;
+    if (!CheckTreeHeader(*device, shard_path, static_cast<uint32_t>(dim),
+                         &error)) {
+      return error;
+    }
+    db.file_devices_.push_back(device.get());
+    db.devices_.push_back(std::move(device));
+    db.build_pools_.push_back(std::make_unique<BufferPool>(
+        db.devices_[s].get(), options.build_cache_pages));
+    db.shard_metas_.push_back(kMetaPage);
+    db.trees_.push_back(GaussTree::Open(db.build_pools_[s].get(), kMetaPage));
+  }
+  db.options_.tree = db.trees_[0]->options();
   return db;
 }
 
@@ -221,18 +599,18 @@ void GaussDb::Finalize() {
     if (!tree->store().finalized()) tree->Finalize();
   }
   if (sharded_) WriteManifest();
-  if (file_device_ != nullptr) file_device_->Sync();
+  for (FilePageDevice* device : file_devices_) device->Sync();
 }
 
 Session GaussDb::Serve(ServeOptions options) {
   if (!trees_.empty()) {
     Finalize();
     // Atomic phase switch: tear down the build stack (trees first, then
-    // their pool — Finalize already flushed) before the serving stack
+    // their pools — Finalize already flushed) before the serving stack
     // attaches to the same pages. size_ is re-derived from the reopened
     // serving trees below.
     trees_.clear();
-    build_pool_.reset();
+    build_pools_.clear();
   }
   GAUSS_CHECK_MSG(!shard_metas_.empty(), "Serve on an unbuilt GaussDb");
 
@@ -252,8 +630,11 @@ Session GaussDb::Serve(ServeOptions options) {
   size_t total_size = 0;
   for (size_t s = 0; s < shards; ++s) {
     ShardServingStack stack;
+    // Directory layout: each shard's serving cache sits on the shard's own
+    // device, so its misses and prefetch batches never queue behind another
+    // shard's reads (per-device async engines run in parallel).
     stack.pool = std::make_unique<ShardedBufferPool>(
-        device_.get(), pages_per_shard, options.num_shards);
+        devices_[DeviceOf(s)].get(), pages_per_shard, options.num_shards);
     stack.tree = GaussTree::Open(stack.pool.get(), shard_metas_[s]);
     total_size += stack.tree->size();
     QueryServiceOptions service_options;

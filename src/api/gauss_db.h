@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,22 +41,28 @@ namespace gauss {
 // GaussDb owns the storage stack and drives its lifecycle through the
 // paper's build-offline / serve-online shape:
 //
-//   * Build phase — CreateInMemory()/CreateOnFile() pick the page device and
-//     attach a single-threaded BufferPool plus an empty GaussTree. Build(')s
-//     bulk-load (or Insert() incrementally), then Finalize() serializes the
-//     nodes to pages — explicit, or implied by Serve().
+//   * Build phase — CreateInMemory()/CreateOnFile()/CreateOnDirectory() pick
+//     the page device(s) and attach single-threaded BufferPool(s) plus empty
+//     GaussTree(s). Build() bulk-loads (or Insert() incrementally), then
+//     Finalize() serializes the nodes to pages — explicit, or implied by
+//     Serve().
 //   * Serve phase — Serve() atomically switches the stack: it flushes and
-//     tears down the build pool, reattaches the finalized tree via
-//     GaussTree::Open() over a latch-striped ShardedBufferPool, and starts a
-//     QueryService worker pool. The returned Session owns that serving
+//     tears down the build pool(s), reattaches the finalized tree(s) via
+//     GaussTree::Open() over latch-striped ShardedBufferPool(s), and starts
+//     QueryService worker pools. The returned Session owns that serving
 //     stack; queries go through Session::Submit()/ExecuteBatch().
-//   * Reopen — OpenFile() attaches to a database file persisted by an
-//     earlier CreateOnFile() + Finalize() run (the tree header lives at page
-//     0 of the file; opening anything else fails the header magic check).
+//   * Reopen — OpenFile()/OpenDirectory() attach to a database persisted by
+//     an earlier Create*() + Finalize() run. Both return an OpenResult: a
+//     missing file, unrecognizable or truncated manifest/header, or a
+//     version/page-size/shard-layout mismatch is reported as a typed
+//     OpenError for the caller to handle (a serving fleet must degrade a
+//     bad replica, not abort). Corruption deeper than the headers — node
+//     pages of a structurally valid-looking tree — still fails loudly on
+//     first access, as does API misuse.
 //
 // Sharding (GaussDbOptions::shards, ShardOptions::num_shards >= 1): the
-// gallery is hash-partitioned by object id (api/partitioner.h) over N
-// Gauss-trees living as N page regions of the one device. Build()/Insert()
+// gallery is hash-partitioned by object id (api/partitioner.h, optionally
+// seeded by ShardOptions::hash_seed) over N Gauss-trees. Build()/Insert()
 // route each object to its shard's tree; Serve() returns a Session whose
 // front door is a ShardCoordinator scatter-gathering every query across
 // per-shard QueryServices and combining the per-shard Bayes-denominator
@@ -63,17 +70,37 @@ namespace gauss {
 // so MLIQ/TIQ answers equal the single-tree algorithm's (see
 // service/shard_coordinator.h for the algorithm and its correctness
 // argument, tests/shard_equivalence_test.cc for the differential proof).
+// The coordinator protocol never sees where a shard's pages live, which is
+// why the same Session serves both storage layouts below unchanged.
 //
-// Sharded file layout: page 0 holds a GaussDb shard manifest (own magic;
-// num_shards, dimensionality, page size, per-shard header page ids) written
-// by Finalize(); each shard tree keeps its ordinary GaussTree header on its
-// own page. An unsharded database keeps the legacy layout (tree header
-// directly at page 0), and OpenFile() distinguishes the two by the page-0
-// magic — both layouts reopen transparently, sharding options are restored
-// from the manifest and the caller's ShardOptions are ignored.
+// Two persistent layouts:
 //
-// Lifetime rules: GaussDb owns the device; every Session borrows it, so a
-// Session must be destroyed before its GaussDb. Serve() may be called
+//   * Single-file (CreateOnFile): every shard tree lives as a page region of
+//     the one device. Page 0 holds a GaussDb shard manifest (own magic;
+//     format version, num_shards, hash seed, dimensionality, page size,
+//     per-shard header page ids) written by Finalize(); each shard tree
+//     keeps its ordinary GaussTree header on its own page. An unsharded
+//     database keeps the legacy layout (tree header directly at page 0), and
+//     OpenFile() distinguishes the two by the page-0 magic — both layouts
+//     reopen transparently, sharding options are restored from the manifest
+//     and the caller's ShardOptions are ignored.
+//
+//   * Directory (CreateOnDirectory): one *device per shard*, for galleries
+//     larger than one device. `<dir>/MANIFEST` is a small text file naming
+//     the format version, page size, dimensionality, hash seed, shard count,
+//     and the per-shard relative paths; each `<dir>/shard-NNNN.gauss` is an
+//     ordinary single-tree FilePageDevice image (GaussTree header at page 0)
+//     — so any shard file is independently openable with OpenFile() for
+//     inspection or repair, and per-shard files can live on different
+//     mounts via symlinks. Each shard gets its own BufferPool during build
+//     and its own ShardedBufferPool + async read engine during serving, so
+//     reads (including prefetch batches) overlap across all N files truly
+//     in parallel. Session::io_stats() still merges the per-shard counters
+//     into one per-session view. OpenDirectory() reattaches; the manifest's
+//     facts override the caller's ShardOptions.
+//
+// Lifetime rules: GaussDb owns the device(s); every Session borrows them, so
+// a Session must be destroyed before its GaussDb. Serve() may be called
 // multiple times — each call builds an independent serving stack (own cache
 // budget, own workers) over the same read-only pages, which is how several
 // differently-sized frontends can share one database.
@@ -95,6 +122,11 @@ struct ShardOptions {
   // scatter-gather front door. 1 is a valid degenerate case (one shard
   // behind a coordinator) and useful for testing the combination logic.
   size_t num_shards = 0;
+  // Perturbs the id hash (api/partitioner.h). Part of the database's
+  // persistent identity — recorded in both layouts' manifests so a reopened
+  // database routes inserts exactly as the original build did. 0 (default)
+  // is the historical unseeded routing.
+  uint64_t hash_seed = 0;
 };
 
 // Build-phase configuration.
@@ -103,7 +135,9 @@ struct GaussDbOptions {
   GaussTreeOptions tree;
   // Page size of the backing device (bytes).
   uint32_t page_size = kDefaultPageSize;
-  // Cache budget of the single-threaded build pool, in pages.
+  // Cache budget of the single-threaded build pool, in pages. When each
+  // shard has its own device (CreateOnDirectory), the budget applies per
+  // shard pool.
   size_t build_cache_pages = 1 << 14;
   // Gallery partitioning over multiple Gauss-trees.
   ShardOptions shards;
@@ -137,9 +171,35 @@ struct ServeOptions {
   // query) is unchanged; IoStats::prefetch_* counters report how many hints
   // became hits. Most useful with a file-backed database and a cache
   // smaller than the tree; a per-query MliqOptions/TiqOptions::
-  // prefetch_depth overrides this serving-wide default.
+  // prefetch_depth overrides this serving-wide default. Under the directory
+  // layout each shard prefetches through its own device's async engine, so
+  // read-ahead overlaps across all shard files.
   size_t prefetch_depth = 0;
 };
+
+// Why an OpenFile()/OpenDirectory() attempt was rejected. These are the
+// recoverable conditions — a damaged or foreign *image*; API misuse (e.g.
+// serving an unbuilt database) still aborts via GAUSS_CHECK.
+enum class OpenErrorCode {
+  kIoError,            // file/directory missing or unreadable, size not a
+                       // page multiple (truncated mid-page)
+  kNotAGaussDb,        // no recognizable GaussDb/Gauss-tree header
+  kVersionMismatch,    // manifest or tree header format version unsupported
+  kPageSizeMismatch,   // opened with a page size != the persisted one
+  kCorruptManifest,    // manifest present but truncated or inconsistent
+  kMissingShardFile,   // directory manifest names a shard file that is absent
+  kShardCountMismatch, // manifest shard count disagrees with its shard list
+};
+
+// Human-readable name of an OpenErrorCode ("page_size_mismatch", ...).
+const char* OpenErrorCodeName(OpenErrorCode code);
+
+struct OpenError {
+  OpenErrorCode code = OpenErrorCode::kIoError;
+  std::string message;  // what was wrong, with the offending path/values
+};
+
+class OpenResult;
 
 // One per-shard serving stack: sharded page cache + reopened tree + worker
 // pool. Destruction order (reverse of declaration): service joins its
@@ -212,6 +272,10 @@ class Session {
   }
 
   // I/O counters summed over all serving caches (1 for unsharded sessions).
+  // Per-session by construction: each Serve() call owns its own caches, so
+  // concurrent sessions over one database never blend their counters — also
+  // true under the directory layout, where the caches additionally sit on
+  // different devices.
   IoStats io_stats() const {
     IoStats total;
     for (const ShardServingStack& stack : stacks_) total += stack.pool->stats();
@@ -258,13 +322,36 @@ class GaussDb {
   static GaussDb CreateOnFile(const std::string& path, size_t dim,
                               GaussDbOptions options = {});
 
+  // A fresh database persisted to the directory `path` (created if absent),
+  // one FilePageDevice per shard: `path/shard-NNNN.gauss` plus a
+  // `path/MANIFEST` text file written by Finalize(). Requires
+  // options.shards.num_shards >= 1 — the directory layout exists to spread
+  // a sharded gallery over multiple devices (each shard file can be a
+  // symlink onto its own mount). OpenDirectory() reattaches later.
+  static GaussDb CreateOnDirectory(const std::string& path, size_t dim,
+                                   GaussDbOptions options = {});
+
   // Reattaches to a database file written by CreateOnFile() + Finalize().
   // Tree options, dimensionality, and sharding are read back from the
   // persistent headers (legacy tree header or shard manifest at page 0);
-  // `options.tree`/`options.shards` are ignored. Aborts if the file does
-  // not hold a finalized GaussDb (magic check) or if `options.page_size`
-  // differs from the page size the file was created with.
-  static GaussDb OpenFile(const std::string& path, GaussDbOptions options = {});
+  // `options.tree`/`options.shards` are ignored. A missing file, a damaged
+  // or foreign manifest/header, or `options.page_size` differing from the
+  // page size the file was created with comes back as a typed OpenError
+  // (see OpenResult); node-level corruption behind valid headers still
+  // fails loudly on first access.
+  static OpenResult OpenFile(const std::string& path,
+                             GaussDbOptions options = {});
+
+  // Reattaches to a database directory written by CreateOnDirectory() +
+  // Finalize(): parses `path/MANIFEST` and opens every listed shard file as
+  // its shard's device. The manifest's facts (shard count, hash seed, page
+  // size, dimensionality) override `options`. Typed error paths mirror
+  // OpenFile()'s and add the directory-specific ones: a manifest naming a
+  // missing shard file (kMissingShardFile), a shard list disagreeing with
+  // the declared count (kShardCountMismatch), a shard file that is not a
+  // single-tree image or disagrees on page size/dimensionality.
+  static OpenResult OpenDirectory(const std::string& path,
+                                  GaussDbOptions options = {});
 
   GaussDb(GaussDb&&) = default;
   GaussDb& operator=(GaussDb&&) = default;
@@ -279,15 +366,18 @@ class GaussDb {
   // if necessary. Must not be called once Serve() has been used.
   void Insert(const Pfv& pfv);
 
-  // Serializes the tree(s) to pages, writes the shard manifest when
-  // sharded, and syncs file-backed devices. Idempotent; Serve() calls it
-  // implicitly when needed.
+  // Serializes the tree(s) to pages, writes the manifest when sharded (page
+  // 0 of the single file, or the MANIFEST text file of a directory), and
+  // syncs file-backed devices. Idempotent; Serve() calls it implicitly when
+  // needed.
   void Finalize();
 
-  // Switches to the serve phase: tears down the build pool and returns a
+  // Switches to the serve phase: tears down the build pool(s) and returns a
   // Session serving the finalized pages. Unsharded: one ShardedBufferPool +
   // QueryService stack. Sharded: one stack per shard behind a
-  // ShardCoordinator. May be called repeatedly for independent serving
+  // ShardCoordinator — under the directory layout each stack's cache sits
+  // on its shard's own device, so shard reads never queue behind another
+  // shard's device. May be called repeatedly for independent serving
   // stacks; after the first call the build phase is over and Insert()
   // aborts.
   Session Serve(ServeOptions options = {});
@@ -300,8 +390,12 @@ class GaussDb {
   size_t num_shards() const { return sharded_ ? partitioner_.num_shards() : 1; }
   bool sharded() const { return sharded_; }
 
-  // The backing device (shared by the build pool and every Session).
-  PageDevice& device() { return *device_; }
+  // True when each shard has its own device (directory layout).
+  bool per_shard_devices() const { return per_shard_devices_; }
+
+  // The backing device of `shard` (shared by the build pool and every
+  // Session). Single-device layouts route every shard to the one device.
+  PageDevice& device(size_t shard = 0) { return *devices_[DeviceOf(shard)]; }
 
   // Build-phase tree access (nullptr once Serve() has switched phases).
   // `shard` indexes the partition for sharded databases.
@@ -312,31 +406,89 @@ class GaussDb {
  private:
   GaussDb() = default;
 
-  // Page the first persistent header lives at: GaussDb always allocates it
-  // first on a fresh device — the legacy tree header (unsharded) or the
-  // shard manifest — which is what OpenFile() relies on.
+  // Page the first persistent header lives at. Single-device layouts:
+  // GaussDb always allocates it first on a fresh device — the legacy tree
+  // header (unsharded) or the shard manifest — which is what OpenFile()
+  // relies on. Directory layout: every shard file is a single-tree image,
+  // so each shard's tree header lands here on its own device.
   static constexpr PageId kMetaPage = 0;
 
-  // Creates the (empty) shard trees on a fresh device: the manifest page
-  // first when sharded, then one tree per shard in shard order.
+  // Device index backing `shard`: identity under per-shard devices, 0
+  // otherwise.
+  size_t DeviceOf(size_t shard) const {
+    return per_shard_devices_ ? shard : 0;
+  }
+
+  void InitShardRouting(const GaussDbOptions& options);
+
+  // Creates the (empty) shard trees on the fresh device(s): single-device —
+  // the manifest page first when sharded, then one tree per shard in shard
+  // order; per-shard devices — one tree at page 0 of each device.
   void InitFreshTrees();
 
-  // Writes the shard manifest to page 0 (sharded databases only).
+  // Writes the shard manifest: page 0 (single-file sharded layout) or the
+  // MANIFEST text file (directory layout).
   void WriteManifest();
+  void WriteDirectoryManifest();
 
   GaussDbOptions options_;
-  std::unique_ptr<PageDevice> device_;
-  FilePageDevice* file_device_ = nullptr;  // device_.get() when file-backed
-  std::unique_ptr<BufferPool> build_pool_;
+  // One device for the in-memory/single-file layouts; one per shard for the
+  // directory layout (DeviceOf maps shard -> device index).
+  std::vector<std::unique_ptr<PageDevice>> devices_;
+  std::vector<FilePageDevice*> file_devices_;  // the file-backed subset
+  // Build pools, parallel to devices_ (the build path stays
+  // single-threaded; per-shard pools exist so each shard's pages stay on
+  // its own device).
+  std::vector<std::unique_ptr<BufferPool>> build_pools_;
   // Build-phase trees, one per shard; empty while serving.
   std::vector<std::unique_ptr<GaussTree>> trees_;
 
   bool sharded_ = false;
+  bool per_shard_devices_ = false;
+  std::string directory_;  // CreateOnDirectory/OpenDirectory root
   Partitioner partitioner_{1};
   std::vector<PageId> shard_metas_;  // per-shard header page ids
 
   size_t dim_ = 0;
   size_t size_ = 0;  // cached once trees_ are torn down
+};
+
+// Success-or-typed-error result of OpenFile()/OpenDirectory(). Callers that
+// can degrade check ok() and read error(); callers that cannot (tests,
+// one-shot tools) call value(), which keeps the old fail-loudly behavior —
+// it aborts with the error message when the open was rejected.
+class OpenResult {
+ public:
+  /*implicit*/ OpenResult(GaussDb db) : db_(std::move(db)) {}
+  /*implicit*/ OpenResult(OpenError error) : error_(std::move(error)) {}
+
+  bool ok() const { return db_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  // The typed rejection; only meaningful when !ok().
+  const OpenError& error() const {
+    GAUSS_CHECK_MSG(!ok(), "OpenResult::error() on a successful open");
+    return error_;
+  }
+
+  // Moves the opened database out; aborts with the error message if the
+  // open was rejected.
+  GaussDb value() && {
+    GAUSS_CHECK_MSG(ok(), error_.message.c_str());
+    GaussDb db = std::move(*db_);
+    db_.reset();
+    return db;
+  }
+
+  GaussDb& operator*() {
+    GAUSS_CHECK_MSG(ok(), error_.message.c_str());
+    return *db_;
+  }
+  GaussDb* operator->() { return &**this; }
+
+ private:
+  std::optional<GaussDb> db_;
+  OpenError error_;
 };
 
 }  // namespace gauss

@@ -15,21 +15,32 @@ namespace gauss {
 // The hash is SplitMix64 (full-avalanche mixer), so the sequential /
 // clustered ids real galleries use spread evenly across shards instead of
 // striping, and it is a pure function of the id — the same object lands on
-// the same shard across Insert(), Build(), and a later OpenFile() of the
-// persisted database. Routing by id (not by feature-space region) keeps
-// shard loads balanced under any data distribution; identification queries
-// must consult every shard anyway, because the Bayes denominator spans the
-// whole gallery (see service/shard_coordinator.h).
+// the same shard across Insert(), Build(), and a later OpenFile() /
+// OpenDirectory() of the persisted database. Routing by id (not by
+// feature-space region) keeps shard loads balanced under any data
+// distribution; identification queries must consult every shard anyway,
+// because the Bayes denominator spans the whole gallery (see
+// service/shard_coordinator.h).
+//
+// The optional seed perturbs the hash (id is xor-ed with it before mixing):
+// operators running several sharded galleries side by side can decorrelate
+// their partitions. Seed 0 — the default — reproduces the historical
+// unseeded routing, and the seed is part of the database's persistent
+// identity: both the page-0 manifest of the single-file layout and the
+// directory layout's manifest file record it, so reopen routes exactly as
+// the original build did.
 class Partitioner {
  public:
-  explicit Partitioner(size_t num_shards) : num_shards_(num_shards) {
+  explicit Partitioner(size_t num_shards, uint64_t seed = 0)
+      : num_shards_(num_shards), seed_(seed) {
     GAUSS_CHECK_MSG(num_shards_ > 0, "Partitioner needs >= 1 shard");
   }
 
   size_t num_shards() const { return num_shards_; }
+  uint64_t seed() const { return seed_; }
 
   size_t ShardOf(uint64_t id) const {
-    return static_cast<size_t>(Mix(id) % num_shards_);
+    return static_cast<size_t>(Mix(id ^ seed_) % num_shards_);
   }
 
   // Splits a dataset into one per-shard dataset (stable order within each
@@ -52,6 +63,7 @@ class Partitioner {
   }
 
   size_t num_shards_;
+  uint64_t seed_ = 0;
 };
 
 }  // namespace gauss

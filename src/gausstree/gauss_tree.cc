@@ -100,6 +100,23 @@ void GaussTree::Finalize() {
   pool_->FlushAll();
 }
 
+GaussTree::HeaderInfo GaussTree::InspectHeader(const void* page_bytes,
+                                               size_t len) {
+  HeaderInfo info;
+  if (page_bytes == nullptr || len < sizeof(MetaPageLayout)) return info;
+  MetaPageLayout meta;
+  std::memcpy(&meta, page_bytes, sizeof(meta));
+  info.valid_magic = meta.magic == kGaussTreeMagic;
+  if (!info.valid_magic) return info;
+  info.version = meta.version;
+  info.page_size = meta.page_size;
+  info.dim = meta.dim;
+  info.size = meta.size;
+  return info;
+}
+
+uint32_t GaussTree::header_version() { return kGaussTreeVersion; }
+
 std::unique_ptr<GaussTree> GaussTree::Open(PageCache* pool,
                                            PageId meta_page) {
   GAUSS_CHECK(pool != nullptr);

@@ -75,6 +75,24 @@ class GaussTree {
   // more objects. Aborts if `meta_page` does not hold a Gauss-tree header.
   static std::unique_ptr<GaussTree> Open(PageCache* pool, PageId meta_page);
 
+  // Non-aborting peek at a would-be header page, for callers (GaussDb's
+  // typed OpenFile/OpenDirectory error paths) that must report a corrupt or
+  // foreign file to *their* caller instead of taking the process down.
+  // `len` is the number of valid bytes at `page_bytes` (a short page yields
+  // valid_magic = false). Open() remains the one place that trusts a header.
+  struct HeaderInfo {
+    bool valid_magic = false;  // page starts with the Gauss-tree magic
+    uint32_t version = 0;
+    uint32_t page_size = 0;    // page size the tree was serialized with
+    uint32_t dim = 0;
+    uint64_t size = 0;         // object count
+  };
+  static HeaderInfo InspectHeader(const void* page_bytes, size_t len);
+
+  // Header version Finalize() writes and Open() accepts; InspectHeader
+  // callers compare against this for a typed version-mismatch report.
+  static uint32_t header_version();
+
   // Page holding the persistent header (root id, dimensionality, options);
   // pass it to Open() to reattach.
   PageId meta_page() const { return meta_page_; }

@@ -189,6 +189,42 @@ FilePageDevice::FilePageDevice(const std::string& path, uint32_t page_size,
                     std::memory_order_relaxed);
 }
 
+std::unique_ptr<FilePageDevice> FilePageDevice::TryOpen(const std::string& path,
+                                                        uint32_t page_size,
+                                                        std::string* error) {
+  if (page_size == 0) {
+    if (error != nullptr) {
+      *error = path + ": page size 0 is invalid";
+    }
+    return nullptr;
+  }
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = path + ": " + std::strerror(errno);
+    }
+    return nullptr;
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0 || static_cast<size_t>(size) % page_size != 0) {
+    if (error != nullptr) {
+      *error = path + ": size " + std::to_string(size) +
+               " is not a multiple of the page size " +
+               std::to_string(page_size) + " (truncated or foreign file)";
+    }
+    ::close(fd);
+    return nullptr;
+  }
+  auto device = std::unique_ptr<FilePageDevice>(
+      new FilePageDevice(fd, page_size, static_cast<size_t>(size) / page_size));
+  return device;
+}
+
+FilePageDevice::FilePageDevice(int fd, uint32_t page_size, size_t page_count)
+    : PageDevice(page_size), fd_(fd) {
+  page_count_.store(page_count, std::memory_order_relaxed);
+}
+
 FilePageDevice::~FilePageDevice() {
   DrainAsyncReads();
   if (fd_ >= 0) ::close(fd_);

@@ -107,7 +107,10 @@ class InMemoryPageDevice : public PageDevice {
 // File-backed device for persistence tests and on-disk operation. Built on
 // positioned pread/pwrite over a raw descriptor: concurrent reads (including
 // async prefetch batches) proceed in parallel without shared seek state,
-// which is what lets traversal compute overlap with device I/O.
+// which is what lets traversal compute overlap with device I/O. Every
+// FilePageDevice owns its own descriptor and its own async read engine, so
+// a multi-device database (one device per shard — GaussDb's directory
+// layout) overlaps reads across all its files genuinely in parallel.
 class FilePageDevice : public PageDevice {
  public:
   // Opens (or creates) the backing file. `truncate` discards existing
@@ -115,6 +118,16 @@ class FilePageDevice : public PageDevice {
   FilePageDevice(const std::string& path, uint32_t page_size = kDefaultPageSize,
                  bool truncate = true);
   ~FilePageDevice() override;
+
+  // Attaches to an *existing* file without creating it, returning nullptr
+  // (with a human-readable reason in `*error`) instead of aborting when the
+  // file is missing, unreadable, or truncated to a non-page-multiple size.
+  // This is the recoverable-open primitive underneath GaussDb's typed
+  // OpenFile()/OpenDirectory() error paths — a missing shard file is a
+  // caller-reportable condition, not a process-fatal invariant violation.
+  static std::unique_ptr<FilePageDevice> TryOpen(
+      const std::string& path, uint32_t page_size = kDefaultPageSize,
+      std::string* error = nullptr);
 
   PageId Allocate() override;
   void Read(PageId id, void* out) const override;
@@ -126,6 +139,9 @@ class FilePageDevice : public PageDevice {
   void Sync();
 
  private:
+  // Adopts an already-opened descriptor (TryOpen's success path).
+  FilePageDevice(int fd, uint32_t page_size, size_t page_count);
+
   int fd_ = -1;
   std::mutex alloc_mu_;              // serializes Allocate's append
   std::atomic<size_t> page_count_{0};

@@ -3,6 +3,7 @@
 // file round trip (CreateOnFile -> OpenFile), support several independent
 // serving sessions, and enforce its lifecycle rules.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -103,7 +104,7 @@ TEST(GaussDbTest, FileRoundTripReturnsByteIdenticalAnswers) {
   }  // db + session gone: only the file survives
 
   {
-    GaussDb reopened = GaussDb::OpenFile(path);
+    GaussDb reopened = GaussDb::OpenFile(path).value();
     EXPECT_EQ(reopened.dim(), kDim);
     EXPECT_EQ(reopened.size(), dataset.size());
     Session session = reopened.Serve({.num_workers = 2});
@@ -116,7 +117,7 @@ TEST(GaussDbTest, FileRoundTripReturnsByteIdenticalAnswers) {
   std::remove(path.c_str());
 }
 
-TEST(GaussDbDeathTest, OpenFileWithMismatchedPageSizeFailsLoudly) {
+TEST(GaussDbTest, OpenFileWithMismatchedPageSizeReturnsTypedError) {
   const std::string path = ::testing::TempDir() + "/gauss_db_pagesize_test.db";
   {
     GaussDbOptions options;
@@ -124,10 +125,147 @@ TEST(GaussDbDeathTest, OpenFileWithMismatchedPageSizeFailsLoudly) {
     GaussDb db = GaussDb::CreateOnFile(path, kDim, options);
     db.Build(MakeDataset(200));
   }
-  // Reopening with the (different) default page size would map every PageId
-  // to the wrong byte offset; the persistent header catches it.
-  EXPECT_DEATH(GaussDb::OpenFile(path), "page size mismatch");
+  // Reopening with a different page size would map every PageId to the
+  // wrong byte offset; the persistent header catches it — as a typed error
+  // the caller can report, not an abort (2048 divides every 4096-page file,
+  // so the open reaches the header check deterministically).
+  GaussDbOptions reopen;
+  reopen.page_size = 2048;
+  const OpenResult result = GaussDb::OpenFile(path, reopen);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, OpenErrorCode::kPageSizeMismatch);
+  EXPECT_NE(result.error().message.find("page size mismatch"),
+            std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(GaussDbTest, OpenFileOnMissingEmptyOrForeignFilesReturnsTypedErrors) {
+  const std::string missing = ::testing::TempDir() + "/gauss_db_no_such.db";
+  std::remove(missing.c_str());
+  const OpenResult not_there = GaussDb::OpenFile(missing);
+  ASSERT_FALSE(not_there.ok());
+  EXPECT_EQ(not_there.error().code, OpenErrorCode::kIoError);
+
+  // Empty file: opens as a zero-page device — no header to trust.
+  const std::string empty = ::testing::TempDir() + "/gauss_db_empty.db";
+  { std::fclose(std::fopen(empty.c_str(), "wb")); }
+  const OpenResult no_pages = GaussDb::OpenFile(empty);
+  ASSERT_FALSE(no_pages.ok());
+  EXPECT_EQ(no_pages.error().code, OpenErrorCode::kNotAGaussDb);
+  std::remove(empty.c_str());
+
+  // A page-aligned file of garbage: right shape, no recognizable header.
+  const std::string foreign = ::testing::TempDir() + "/gauss_db_foreign.db";
+  {
+    std::FILE* f = std::fopen(foreign.c_str(), "wb");
+    const std::vector<uint8_t> junk(kDefaultPageSize, 0x5a);
+    std::fwrite(junk.data(), 1, junk.size(), f);
+    std::fclose(f);
+  }
+  const OpenResult junk_file = GaussDb::OpenFile(foreign);
+  ASSERT_FALSE(junk_file.ok());
+  EXPECT_EQ(junk_file.error().code, OpenErrorCode::kNotAGaussDb);
+  std::remove(foreign.c_str());
+
+  // Truncated mid-page (not a page-size multiple): rejected at the device.
+  const std::string truncated = ::testing::TempDir() + "/gauss_db_trunc.db";
+  {
+    std::FILE* f = std::fopen(truncated.c_str(), "wb");
+    const std::vector<uint8_t> junk(kDefaultPageSize + 100, 0);
+    std::fwrite(junk.data(), 1, junk.size(), f);
+    std::fclose(f);
+  }
+  const OpenResult short_file = GaussDb::OpenFile(truncated);
+  ASSERT_FALSE(short_file.ok());
+  EXPECT_EQ(short_file.error().code, OpenErrorCode::kIoError);
+  std::remove(truncated.c_str());
+}
+
+TEST(GaussDbTest, OpenFileOnCorruptShardManifestReturnsTypedError) {
+  const std::string path = ::testing::TempDir() + "/gauss_db_badmanifest.db";
+  {
+    GaussDbOptions options;
+    options.shards.num_shards = 3;
+    GaussDb db = GaussDb::CreateOnFile(path, kDim, options);
+    db.Build(MakeDataset(300));
+  }
+  // Corrupt the manifest's shard-count field in place (offset 20: after
+  // magic + version + page_size + dim). 64k shards is outside the
+  // representable range, so the typed corrupt-manifest path fires.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    const uint32_t bogus_shards = 65535;
+    std::fseek(f, 20, SEEK_SET);
+    std::fwrite(&bogus_shards, sizeof(bogus_shards), 1, f);
+    std::fclose(f);
+  }
+  const OpenResult result = GaussDb::OpenFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, OpenErrorCode::kCorruptManifest);
+
+  // And a bumped manifest version is a version mismatch, not corruption.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    const uint32_t restored_shards = 3;
+    std::fseek(f, 20, SEEK_SET);
+    std::fwrite(&restored_shards, sizeof(restored_shards), 1, f);
+    const uint32_t future_version = 99;
+    std::fseek(f, 8, SEEK_SET);  // version follows the 8-byte magic
+    std::fwrite(&future_version, sizeof(future_version), 1, f);
+    std::fclose(f);
+  }
+  const OpenResult versioned = GaussDb::OpenFile(path);
+  ASSERT_FALSE(versioned.ok());
+  EXPECT_EQ(versioned.error().code, OpenErrorCode::kVersionMismatch);
+  std::remove(path.c_str());
+}
+
+TEST(GaussDbTest, OpenFileReadsLegacyV1ShardManifest) {
+  // PR 3/4-era sharded databases persisted manifest v1: no hash_seed field,
+  // shard header page ids at byte 24 instead of 32. They used unseeded
+  // routing (= seed 0), so they must keep opening. Forge one by rewriting a
+  // fresh v2 manifest page into the v1 shape.
+  const std::string path = ::testing::TempDir() + "/gauss_db_v1manifest.db";
+  const PfvDataset dataset = MakeDataset(300);
+  {
+    GaussDbOptions options;
+    options.shards.num_shards = 3;
+    GaussDb db = GaussDb::CreateOnFile(path, kDim, options);
+    db.Build(dataset);
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::vector<uint8_t> page(kDefaultPageSize);
+    ASSERT_EQ(std::fread(page.data(), 1, page.size(), f), page.size());
+    const uint32_t v1 = 1;
+    std::memcpy(page.data() + 8, &v1, sizeof(v1));       // version field
+    std::memmove(page.data() + 24, page.data() + 32,     // shard metas:
+                 3 * sizeof(PageId));                    // v2 -> v1 offset
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fwrite(page.data(), 1, page.size(), f), page.size());
+    std::fclose(f);
+  }
+  GaussDb reopened = GaussDb::OpenFile(path).value();
+  EXPECT_TRUE(reopened.sharded());
+  EXPECT_EQ(reopened.num_shards(), 3u);
+  EXPECT_EQ(reopened.dim(), kDim);
+  EXPECT_EQ(reopened.size(), dataset.size());
+  Session session = reopened.Serve({.num_workers = 2});
+  for (size_t s = 0; s < session.num_shards(); ++s) {
+    session.shard_tree(s).Validate();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GaussDbDeathTest, OpenResultValueOnErrorAbortsWithTheMessage) {
+  const std::string missing = ::testing::TempDir() + "/gauss_db_value_abort.db";
+  std::remove(missing.c_str());
+  // Callers that cannot degrade keep the old fail-loudly contract through
+  // value().
+  EXPECT_DEATH(GaussDb::OpenFile(missing).value(), "gauss_db_value_abort");
 }
 
 TEST(GaussDbTest, OpenFileReadsBackTreeOptions) {
@@ -141,7 +279,7 @@ TEST(GaussDbTest, OpenFileReadsBackTreeOptions) {
     db.Build(dataset);
   }
   {
-    GaussDb reopened = GaussDb::OpenFile(path);
+    GaussDb reopened = GaussDb::OpenFile(path).value();
     ASSERT_NE(reopened.build_tree(), nullptr);
     EXPECT_EQ(reopened.build_tree()->options().sigma_policy,
               SigmaPolicy::kAdditive);
@@ -160,7 +298,7 @@ TEST(GaussDbTest, ReopenedFileAcceptsMoreInserts) {
     db.Build(first);
   }
   {
-    GaussDb db = GaussDb::OpenFile(path);
+    GaussDb db = GaussDb::OpenFile(path).value();
     for (size_t i = 0; i < second.size(); ++i) db.Insert(second[i]);
     Session session = db.Serve({.num_workers = 1});
     EXPECT_EQ(session.tree().size(), first.size() + second.size());

@@ -253,6 +253,50 @@ TEST(ShardedBufferPoolTest, ConcurrentFetchesAreConsistent) {
   EXPECT_EQ(pool.stats().logical_reads, 8u * 400u);
 }
 
+TEST(FilePageDeviceTest, TryOpenReportsFailuresInsteadOfAborting) {
+  const std::string path = ::testing::TempDir() + "/gauss_tryopen_test.db";
+  std::remove(path.c_str());
+
+  // Missing file: nullptr + reason, and the probe must NOT create the file
+  // (the constructor's O_CREAT semantics would turn a typo into an empty
+  // database).
+  std::string error;
+  EXPECT_EQ(FilePageDevice::TryOpen(path, 512, &error), nullptr);
+  EXPECT_NE(error.find(path), std::string::npos);
+  {
+    FILE* probe = std::fopen(path.c_str(), "rb");
+    EXPECT_EQ(probe, nullptr);
+    if (probe != nullptr) std::fclose(probe);
+  }
+
+  // Valid image: adopts the existing pages read-write.
+  {
+    FilePageDevice device(path, 512, /*truncate=*/true);
+    const PageId id = device.Allocate();
+    device.Write(id, Pattern(512, 77).data());
+  }
+  {
+    auto device = FilePageDevice::TryOpen(path, 512, &error);
+    ASSERT_NE(device, nullptr);
+    EXPECT_EQ(device->PageCount(), 1u);
+    std::vector<uint8_t> out(512);
+    device->Read(0, out.data());
+    EXPECT_EQ(out, Pattern(512, 77));
+  }
+
+  // Truncated mid-page: typed failure, not a GAUSS_CHECK abort.
+  {
+    FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc(0x5a, f);
+    std::fclose(f);
+  }
+  error.clear();
+  EXPECT_EQ(FilePageDevice::TryOpen(path, 512, &error), nullptr);
+  EXPECT_NE(error.find("not a multiple"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(PageDeviceAsyncTest, ReadBatchMatchesSingleReads) {
   InMemoryPageDevice device(256);
   std::vector<PageId> ids;
