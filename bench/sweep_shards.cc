@@ -25,17 +25,30 @@
 // reference. Cold-start columns show N independent files being read in
 // parallel through their own async engines.
 //
+// --backend=rpc serves every cell through the distributed transport
+// (src/net/): each shard's QueryService is exported by a loopback
+// ShardServer and the measured session is a GaussDb::ServeRemote() front
+// door speaking the binary wire protocol — Start/Refine/Release frames and
+// batched refinement rounds included. Every RPC cell is cross-checked
+// BYTE-identically against the in-process coordinator over the very same
+// shard services before the usual tolerance check, so the wire path cannot
+// quietly compute something different. The QPS delta between
+// sweep_shards and sweep_shards_rpc cells is the transport tax on a
+// loopback network.
+//
 // GAUSS_BENCH_SCALE in (0,1] shrinks the dataset for quick runs; the ci
-// smoke tests (sweep_shards_smoke and sweep_shards_dir_smoke in
-// CMakeLists.txt) run at 0.02 so the cross-checks can't rot. When
-// GAUSS_BENCH_JSON names a file, every cell appends its metrics as a JSON
-// line for bench/check_regression.py (the CI bench-regression guard).
+// smoke tests (sweep_shards_smoke, sweep_shards_dir_smoke and
+// sweep_shards_rpc_smoke in CMakeLists.txt) run at 0.02 so the cross-checks
+// can't rot. When GAUSS_BENCH_JSON names a file, every cell appends its
+// metrics as a JSON line for bench/check_regression.py (the CI
+// bench-regression guard).
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +59,8 @@
 #include "data/generators.h"
 #include "data/workload.h"
 #include "eval/report.h"
+#include "net/net_error.h"
+#include "net/shard_server.h"
 
 namespace gauss::bench {
 namespace {
@@ -121,9 +136,12 @@ void RemoveDirectoryLayout(const std::string& dir, size_t num_shards) {
   ::rmdir(dir.c_str());
 }
 
-void Run(bool directory_devices) {
+void Run(bool directory_devices, bool rpc_backend) {
   PrintBanner(std::cout,
-              directory_devices
+              rpc_backend
+                  ? "Sharded GaussDb sweep (loopback RPC shard backends, "
+                    "scatter-gather MLIQ+TIQ, warm cache)"
+              : directory_devices
                   ? "Sharded GaussDb sweep (multi-device directory layout, "
                     "scatter-gather MLIQ+TIQ, warm cache)"
                   : "Sharded GaussDb sweep (scatter-gather MLIQ+TIQ, warm "
@@ -176,8 +194,9 @@ void Run(bool directory_devices) {
                 Table::Num(reference.stats.latency.p99_us),
                 Table::Num(reference.stats.pages_per_query())});
 
-  const std::string bench_name =
-      directory_devices ? "sweep_shards_dir" : "sweep_shards";
+  const std::string bench_name = rpc_backend        ? "sweep_shards_rpc"
+                                 : directory_devices ? "sweep_shards_dir"
+                                                     : "sweep_shards";
   const auto emit_cell = [&](const std::string& cell, const ServiceStats& s) {
     BenchCellMetrics metrics;
     metrics.bench = bench_name;
@@ -237,6 +256,45 @@ void Run(bool directory_devices) {
       session.ExecuteBatch(batch);  // warm the caches and the threads
       BatchResult result = session.ExecuteBatch(batch);
 
+      // RPC mode: export each shard's QueryService through a loopback
+      // ShardServer, dial them all from a ServeRemote() front door, and
+      // measure the wire path. The in-process result just computed over the
+      // same shard services is the byte-level cross-check. (Teardown order:
+      // the remote session hangs up before its servers go away.)
+      std::vector<std::unique_ptr<ShardServer>> servers;
+      if (rpc_backend) {
+        std::vector<std::string> endpoints;
+        for (size_t s = 0; s < session.num_shards(); ++s) {
+          NetError error;
+          std::unique_ptr<ShardServer> server =
+              ShardServer::Listen(session.shard_service(s), {}, &error);
+          if (server == nullptr) {
+            std::cout << "ERROR: ShardServer::Listen: " << error.ToString()
+                      << "\n";
+            std::exit(1);
+          }
+          endpoints.push_back("127.0.0.1:" +
+                              std::to_string(server->port()));
+          servers.push_back(std::move(server));
+        }
+        ServeResult connected = GaussDb::ServeRemote(endpoints);
+        if (!connected.ok()) {
+          std::cout << "ERROR: ServeRemote: " << connected.error().ToString()
+                    << "\n";
+          std::exit(1);
+        }
+        Session remote = std::move(connected).value();
+        remote.ExecuteBatch(batch);  // warm the connections
+        BatchResult rpc_result = remote.ExecuteBatch(batch);
+        if (!BytesIdentical(rpc_result, result)) {
+          std::cout << "ERROR: RPC answers are not byte-identical to the "
+                       "in-process coordinator at "
+                    << shards << " shards, " << workers << " workers/shard\n";
+          std::exit(1);
+        }
+        result = std::move(rpc_result);
+      }
+
       if (!SameAnswers(result, reference)) {
         std::cout << "ERROR: answers diverged at " << shards << " shards, "
                   << workers << " workers/shard\n";
@@ -272,6 +330,10 @@ void Run(bool directory_devices) {
     std::cout << "every directory-layout cell additionally byte-identical to "
                  "the single-file sharded layout of the same shard count\n";
   }
+  if (rpc_backend) {
+    std::cout << "every RPC cell additionally byte-identical to the "
+                 "in-process coordinator over the same shard services\n";
+  }
 }
 
 }  // namespace
@@ -279,16 +341,30 @@ void Run(bool directory_devices) {
 
 int main(int argc, char** argv) {
   bool directory_devices = false;
+  bool rpc_backend = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--devices=dir") == 0) {
       directory_devices = true;
     } else if (std::strcmp(argv[i], "--devices=single") == 0) {
       directory_devices = false;
+    } else if (std::strcmp(argv[i], "--backend=rpc") == 0) {
+      rpc_backend = true;
+    } else if (std::strcmp(argv[i], "--backend=inprocess") == 0) {
+      rpc_backend = false;
     } else {
-      std::fprintf(stderr, "usage: %s [--devices=single|dir]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--devices=single|dir] [--backend=inprocess|rpc]\n",
+                   argv[0]);
       return 1;
     }
   }
-  gauss::bench::Run(directory_devices);
+  if (directory_devices && rpc_backend) {
+    std::fprintf(stderr,
+                 "%s: --devices=dir and --backend=rpc are separate sweeps; "
+                 "pick one\n",
+                 argv[0]);
+    return 1;
+  }
+  gauss::bench::Run(directory_devices, rpc_backend);
   return 0;
 }

@@ -24,12 +24,24 @@
 // a later `--dir=PATH` run reattaches to it via GaussDb::OpenDirectory
 // (skipping enrollment; shard count then comes from the manifest, typed
 // open errors are reported) instead of truncating the persisted gallery.
+//
+// Pass --connect=host:port,... to serve the same clients over *remote*
+// shards instead: each endpoint is a gauss_shardd process serving one shard
+// file of a gallery persisted by an earlier --dir run, and
+// GaussDb::ServeRemote() builds the scatter-gather front door over
+// RpcBackends. The batch and streaming clients are byte-for-byte the code
+// below — the transport is invisible above the Session surface:
+//
+//   hostA$ gauss_shardd --file=GALLERY/shard-0000.gauss --port=7001
+//   ...
+//   front$ query_server --connect=hostA:7001,hostB:7001,...
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,15 +77,27 @@ int main(int argc, char** argv) {
 
   size_t num_shards = 0;  // 0 = unsharded single tree
   std::string directory;  // non-empty = multi-device directory layout
+  std::string connect;    // non-empty = remote shards (gauss_shardd hosts)
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       num_shards = static_cast<size_t>(std::atoll(argv[i] + 9));
     } else if (std::strncmp(argv[i], "--dir=", 6) == 0) {
       directory = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      connect = argv[i] + 10;
     } else {
-      std::fprintf(stderr, "usage: %s [--shards=N] [--dir=PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--shards=N] [--dir=PATH] "
+                   "[--connect=host:port,...]\n",
+                   argv[0]);
       return 1;
     }
+  }
+  if (!connect.empty() && (num_shards != 0 || !directory.empty())) {
+    std::fprintf(stderr,
+                 "--connect serves remote shards; it does not combine with "
+                 "--shards/--dir\n");
+    return 1;
   }
   if (!directory.empty() && num_shards == 0) {
     num_shards = 4;  // a directory layout is one device per shard
@@ -86,84 +110,120 @@ int main(int argc, char** argv) {
     for (double& f : face) f = rng.NextDouble();
   }
 
-  // ---- Offline: enroll the gallery (or reattach to a persisted one). -----
-  GaussDbOptions db_options;
-  db_options.shards.num_shards = num_shards;  // 0 keeps the single tree
-  const bool reattach = [&] {
-    if (directory.empty()) return false;
-    std::FILE* manifest = std::fopen((directory + "/MANIFEST").c_str(), "rb");
-    if (manifest == nullptr) return false;
-    std::fclose(manifest);
-    return true;
-  }();
-  GaussDb db = [&] {
-    if (directory.empty()) {
-      return GaussDb::CreateInMemory(kFeatures, db_options);
-    }
-    if (reattach) {
-      // A previous --dir run left a gallery here: serve it instead of
-      // truncating it. A damaged directory comes back as a typed error.
-      OpenResult reopened = GaussDb::OpenDirectory(directory, db_options);
-      if (!reopened.ok()) {
-        std::fprintf(stderr, "cannot reattach to %s: %s (%s)\n",
-                     directory.c_str(), reopened.error().message.c_str(),
-                     OpenErrorCodeName(reopened.error().code));
-        std::exit(1);
-      }
-      return std::move(reopened).value();
-    }
-    return GaussDb::CreateOnDirectory(directory, kFeatures, db_options);
-  }();
-  if (reattach) {
-    std::printf("reattached to the persisted gallery under %s\n",
-                directory.c_str());
-    // The enrollment RNG stream must still advance identically so the
-    // probe clients below test against the same true faces.
+  ServeOptions serve;
+  serve.num_workers = 4;
+  serve.cache_pages = 1 << 12;
+
+  // ---- Offline: enroll the gallery (or reattach/connect to one). ---------
+  std::optional<GaussDb> db;
+  std::optional<Session> session;
+  if (!connect.empty()) {
+    // The gallery lives on remote gauss_shardd servers, each serving one
+    // shard file persisted by an earlier --dir run of this binary. The
+    // enrollment RNG stream must still advance identically so the probe
+    // clients below test against the same true faces.
     for (size_t person = 0; person < kPersons; ++person) {
       const std::vector<double> sigma = FeatureSigmas(rng);
       for (size_t f = 0; f < kFeatures; ++f) {
         (void)rng.Gaussian(true_faces[person][f], sigma[f]);
       }
     }
-  } else {
-    for (size_t person = 0; person < kPersons; ++person) {
-      const std::vector<double> sigma = FeatureSigmas(rng);
-      std::vector<double> observed(kFeatures);
-      for (size_t f = 0; f < kFeatures; ++f) {
-        observed[f] = rng.Gaussian(true_faces[person][f], sigma[f]);
+    std::vector<std::string> endpoints;
+    for (size_t start = 0; start <= connect.size();) {
+      size_t comma = connect.find(',', start);
+      if (comma == std::string::npos) comma = connect.size();
+      if (comma > start) {
+        endpoints.push_back(connect.substr(start, comma - start));
       }
-      db.Insert(Pfv(person, observed, sigma));
+      start = comma + 1;
     }
-  }
-
-  // ---- Online: one serving session, shared by every client thread. -------
-  ServeOptions serve;
-  serve.num_workers = 4;
-  serve.cache_pages = 1 << 12;
-  Session session = db.Serve(serve);
-
-  if (db.per_shard_devices()) {
-    std::printf("GaussDb: %zu enrolled persons over %zu shard devices under "
-                "%s, %zu workers behind a scatter-gather front door, %zu "
-                "batch clients + 1 streaming client\n",
-                db.size(), session.num_shards(), directory.c_str(),
-                session.num_workers(), kClients);
-  } else if (db.sharded()) {
-    std::printf("GaussDb: %zu enrolled persons over %zu shards, %zu workers "
-                "behind a scatter-gather front door, %zu batch clients + 1 "
-                "streaming client\n",
-                db.size(), session.num_shards(), session.num_workers(),
-                kClients);
+    ServeResult remote = GaussDb::ServeRemote(endpoints, serve);
+    if (!remote.ok()) {
+      std::fprintf(stderr, "cannot connect to remote shards: %s\n",
+                   remote.error().message.c_str());
+      return 1;
+    }
+    session.emplace(std::move(remote).value());
+    std::printf("GaussDb: %zu remote shard server(s) behind a scatter-gather "
+                "front door, %zu batch clients + 1 streaming client\n",
+                session->num_shards(), kClients);
   } else {
-    std::printf("GaussDb: %zu enrolled persons, %zu workers, %zu batch "
-                "clients + 1 streaming client\n",
-                db.size(), session.num_workers(), kClients);
+    GaussDbOptions db_options;
+    db_options.shards.num_shards = num_shards;  // 0 keeps the single tree
+    const bool reattach = [&] {
+      if (directory.empty()) return false;
+      std::FILE* manifest = std::fopen((directory + "/MANIFEST").c_str(), "rb");
+      if (manifest == nullptr) return false;
+      std::fclose(manifest);
+      return true;
+    }();
+    db.emplace([&] {
+      if (directory.empty()) {
+        return GaussDb::CreateInMemory(kFeatures, db_options);
+      }
+      if (reattach) {
+        // A previous --dir run left a gallery here: serve it instead of
+        // truncating it. A damaged directory comes back as a typed error.
+        OpenResult reopened = GaussDb::OpenDirectory(directory, db_options);
+        if (!reopened.ok()) {
+          std::fprintf(stderr, "cannot reattach to %s: %s (%s)\n",
+                       directory.c_str(), reopened.error().message.c_str(),
+                       OpenErrorCodeName(reopened.error().code));
+          std::exit(1);
+        }
+        return std::move(reopened).value();
+      }
+      return GaussDb::CreateOnDirectory(directory, kFeatures, db_options);
+    }());
+    if (reattach) {
+      std::printf("reattached to the persisted gallery under %s\n",
+                  directory.c_str());
+      // The enrollment RNG stream must still advance identically so the
+      // probe clients below test against the same true faces.
+      for (size_t person = 0; person < kPersons; ++person) {
+        const std::vector<double> sigma = FeatureSigmas(rng);
+        for (size_t f = 0; f < kFeatures; ++f) {
+          (void)rng.Gaussian(true_faces[person][f], sigma[f]);
+        }
+      }
+    } else {
+      for (size_t person = 0; person < kPersons; ++person) {
+        const std::vector<double> sigma = FeatureSigmas(rng);
+        std::vector<double> observed(kFeatures);
+        for (size_t f = 0; f < kFeatures; ++f) {
+          observed[f] = rng.Gaussian(true_faces[person][f], sigma[f]);
+        }
+        db->Insert(Pfv(person, observed, sigma));
+      }
+    }
+
+    // ---- Online: one serving session, shared by every client thread. -----
+    session.emplace(db->Serve(serve));
+
+    if (db->per_shard_devices()) {
+      std::printf("GaussDb: %zu enrolled persons over %zu shard devices under "
+                  "%s, %zu workers behind a scatter-gather front door, %zu "
+                  "batch clients + 1 streaming client\n",
+                  db->size(), session->num_shards(), directory.c_str(),
+                  session->num_workers(), kClients);
+    } else if (db->sharded()) {
+      std::printf("GaussDb: %zu enrolled persons over %zu shards, %zu workers "
+                  "behind a scatter-gather front door, %zu batch clients + 1 "
+                  "streaming client\n",
+                  db->size(), session->num_shards(), session->num_workers(),
+                  kClients);
+    } else {
+      std::printf("GaussDb: %zu enrolled persons, %zu workers, %zu batch "
+                  "clients + 1 streaming client\n",
+                  db->size(), session->num_workers(), kClients);
+    }
   }
 
   std::atomic<size_t> identified{0};
   std::atomic<size_t> probes_total{0};
   std::atomic<size_t> mliq_probes{0};
   std::atomic<size_t> watchlist_reports{0};
+  std::atomic<size_t> shard_errors{0};
 
   auto client = [&](size_t client_id) {
     Rng client_rng(100 + client_id);
@@ -188,10 +248,16 @@ int main(int argc, char** argv) {
         }
       }
 
-      const BatchResult result = session.ExecuteBatch(batch);
+      const BatchResult result = session->ExecuteBatch(batch);
       for (size_t p = 0; p < result.responses.size(); ++p) {
         const QueryResponse& resp = result.responses[p];
         probes_total.fetch_add(1, std::memory_order_relaxed);
+        if (resp.status == QueryResponse::Status::kShardError) {
+          // Remote serving only: a shard connection died — the query failed
+          // typed instead of hanging. Count it and move on.
+          shard_errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         if (resp.kind == QueryKind::kMliq) {
           mliq_probes.fetch_add(1, std::memory_order_relaxed);
           if (!resp.items.empty() && resp.items[0].id == truth[p]) {
@@ -223,7 +289,7 @@ int main(int argc, char** argv) {
       for (size_t f = 0; f < kFeatures; ++f) {
         observed[f] = stream_rng.Gaussian(true_faces[person][f], sigma[f]);
       }
-      auto future = session.Submit(
+      auto future = session->Submit(
           Query::Mliq(Pfv(950000 + p, observed, sigma), /*k=*/1)
               .DeadlineAfter(std::chrono::milliseconds(50)));
       const QueryResponse resp = future.get();
@@ -246,14 +312,17 @@ int main(int argc, char** argv) {
               identified.load(), mliq_probes.load());
   std::printf("TIQ watchlist reports: %zu identities above %.0f%%\n",
               watchlist_reports.load(), kWatchlistThreshold * 100);
+  if (shard_errors.load() != 0) {
+    std::printf("shard errors: %zu probes failed typed\n", shard_errors.load());
+  }
   std::printf("streaming gate: %zu answered in budget, %zu shed/expired "
               "(deadline 50 ms)\n",
               streamed_ok.load(), streamed_rejected.load());
-  const IoStats io = session.io_stats();  // summed over per-shard caches
+  const IoStats io = session->io_stats();  // summed over per-shard caches
   std::printf("cache(s): %llu logical / %llu physical reads across %zu "
               "serving pool(s)\n",
               static_cast<unsigned long long>(io.logical_reads),
               static_cast<unsigned long long>(io.physical_reads),
-              session.num_shards());
+              session->num_shards());
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <set>
@@ -17,6 +18,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "net/rpc_backend.h"
 
 namespace gauss {
 
@@ -223,8 +225,14 @@ void GaussDb::WriteDirectoryManifest() {
   // either the previous manifest or the new one, never a half-written or
   // zero-length one — Finalize()'s durability promise must include the one
   // file the layout needs to reopen, not just the shard devices it syncs.
+  // The tmp name carries the pid: several processes may reattach to one
+  // directory concurrently (one gauss_shardd per shard) and each Serve()
+  // rewrites an identical manifest — distinct tmp files make the concurrent
+  // write+rename pairs race-free (renames are atomic; last writer wins with
+  // the same bytes).
   const std::string final_path = directory_ + "/" + kDirManifestName;
-  const std::string tmp_path = final_path + ".tmp";
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   std::ostringstream contents;
   contents << kDirManifestTag << ' ' << kDirManifestVersion << '\n'
            << "page_size " << options_.page_size << '\n'
@@ -647,20 +655,87 @@ Session GaussDb::Serve(ServeOptions options) {
   }
   size_ = total_size;
 
+  std::vector<std::unique_ptr<ShardBackend>> backends;
   std::unique_ptr<ShardCoordinator> coordinator;
   if (sharded_) {
-    std::vector<QueryService*> services;
-    services.reserve(shards);
+    // The coordinator reaches each shard through the transport-agnostic
+    // ShardBackend seam; locally that is an InProcessBackend per shard
+    // service (zero behavior change vs. wiring the services directly).
+    std::vector<ShardBackend*> backend_ptrs;
+    backends.reserve(shards);
+    backend_ptrs.reserve(shards);
     for (const ShardServingStack& stack : stacks) {
-      services.push_back(stack.service.get());
+      backends.push_back(
+          std::make_unique<InProcessBackend>(stack.service.get()));
+      backend_ptrs.push_back(backends.back().get());
     }
     ShardCoordinatorOptions coordinator_options;
     coordinator_options.num_threads = options.coordinator_threads;
     coordinator_options.queue_capacity = options.queue_capacity;
-    coordinator = std::make_unique<ShardCoordinator>(std::move(services),
+    coordinator = std::make_unique<ShardCoordinator>(std::move(backend_ptrs),
                                                      coordinator_options);
   }
-  return Session(std::move(stacks), std::move(coordinator));
+  return Session(std::move(stacks), std::move(backends),
+                 std::move(coordinator));
+}
+
+ServeResult GaussDb::ServeRemote(const std::vector<std::string>& endpoints,
+                                 ServeOptions options) {
+  if (endpoints.empty()) {
+    return NetError{NetErrorCode::kConnectFailed,
+                    "ServeRemote needs >= 1 shard endpoint"};
+  }
+  RpcBackendOptions rpc_options;
+  rpc_options.connect_timeout =
+      std::chrono::milliseconds(options.rpc_connect_timeout_ms);
+  rpc_options.request_timeout =
+      std::chrono::milliseconds(options.rpc_request_timeout_ms);
+
+  std::vector<std::unique_ptr<ShardBackend>> backends;
+  std::vector<ShardBackend*> backend_ptrs;
+  backends.reserve(endpoints.size());
+  backend_ptrs.reserve(endpoints.size());
+  size_t dim = 0;
+  for (const std::string& endpoint : endpoints) {
+    const size_t colon = endpoint.rfind(':');
+    unsigned long port = 0;
+    if (colon != std::string::npos && colon + 1 < endpoint.size()) {
+      char* end = nullptr;
+      port = std::strtoul(endpoint.c_str() + colon + 1, &end, 10);
+      if (end == nullptr || *end != '\0') port = 0;
+    }
+    if (colon == std::string::npos || colon == 0 || port == 0 ||
+        port > 65535) {
+      return NetError{NetErrorCode::kConnectFailed,
+                      endpoint + ": expected host:port"};
+    }
+    NetError error;
+    auto backend =
+        RpcBackend::Connect(endpoint.substr(0, colon),
+                            static_cast<uint16_t>(port), rpc_options, &error);
+    if (backend == nullptr) {
+      error.message = endpoint + ": " + error.message;
+      return error;
+    }
+    if (backends.empty()) {
+      dim = backend->dim();
+    } else if (backend->dim() != dim) {
+      return NetError{
+          NetErrorCode::kProtocolMismatch,
+          endpoint + ": shard dimensionality " +
+              std::to_string(backend->dim()) +
+              " disagrees with the first shard's " + std::to_string(dim)};
+    }
+    backend_ptrs.push_back(backend.get());
+    backends.push_back(std::move(backend));
+  }
+
+  ShardCoordinatorOptions coordinator_options;
+  coordinator_options.num_threads = options.coordinator_threads;
+  coordinator_options.queue_capacity = options.queue_capacity;
+  auto coordinator = std::make_unique<ShardCoordinator>(
+      std::move(backend_ptrs), coordinator_options);
+  return Session({}, std::move(backends), std::move(coordinator));
 }
 
 }  // namespace gauss

@@ -10,6 +10,8 @@
 
 #include "api/partitioner.h"
 #include "gausstree/gauss_tree.h"
+#include "net/net_error.h"
+#include "net/shard_backend.h"
 #include "pfv/pfv.h"
 #include "service/query.h"
 #include "service/query_service.h"
@@ -72,6 +74,18 @@ namespace gauss {
 // argument, tests/shard_equivalence_test.cc for the differential proof).
 // The coordinator protocol never sees where a shard's pages live, which is
 // why the same Session serves both storage layouts below unchanged.
+//
+// Distributed serving: the coordinator reaches its shards through the
+// ShardBackend seam (net/shard_backend.h), so shards may also live on other
+// *hosts*. Run one `gauss_shardd` per shard file (examples/gauss_shardd.cc,
+// built on net/shard_server.h), then connect a front door with
+// GaussDb::ServeRemote({"hostA:7001", "hostB:7001", ...}) — the returned
+// Session scatter-gathers over RpcBackends speaking the versioned binary
+// wire protocol (src/net/README.md) instead of in-process worker pools.
+// Answers are byte-identical to local serving (the loopback differential in
+// tests/shard_equivalence_test.cc proves it); a dead or too-slow shard
+// fails queries with a typed QueryResponse::Status::kShardError instead of
+// hanging.
 //
 // Two persistent layouts:
 //
@@ -175,6 +189,11 @@ struct ServeOptions {
   // layout each shard prefetches through its own device's async engine, so
   // read-ahead overlaps across all shard files.
   size_t prefetch_depth = 0;
+  // ServeRemote() only: TCP connect + handshake patience per shard endpoint,
+  // and the per-request ceiling (a query's own deadline tightens the latter;
+  // see RpcBackendOptions in net/rpc_backend.h).
+  uint64_t rpc_connect_timeout_ms = 5000;
+  uint64_t rpc_request_timeout_ms = 30000;
 };
 
 // Why an OpenFile()/OpenDirectory() attempt was rejected. These are the
@@ -212,23 +231,29 @@ struct ShardServingStack {
 
 // A live serving stack over one finalized GaussDb. Unsharded: one
 // ShardServingStack, queries go straight to its QueryService. Sharded: one
-// stack per shard plus a ShardCoordinator front door that scatter-gathers
-// every query. Move-only; destroying it drains outstanding queries and
-// joins all workers. Must not outlive the GaussDb it came from.
+// stack per shard (each behind an owned InProcessBackend) plus a
+// ShardCoordinator front door that scatter-gathers every query. Remote
+// (GaussDb::ServeRemote): no local stacks at all — the owned backends are
+// RpcBackends onto gauss_shardd servers. Move-only; destroying it drains
+// outstanding queries and joins all workers. A local session must not
+// outlive the GaussDb it came from; a remote one has no GaussDb.
 class Session {
  public:
   Session(Session&&) = default;
 
   // Replacing a live session must tear the old one down in dependency order
-  // (the coordinator drains before the shard services it scatters to; each
-  // service joins its workers before their tree and cache disappear) — a
-  // defaulted member-wise move would destroy pools and trees first, letting
-  // drained queries execute against freed objects.
+  // (the coordinator drains before the backends it scatters through, the
+  // backends close before the shard services under them; each service joins
+  // its workers before their tree and cache disappear) — a defaulted
+  // member-wise move would destroy pools and trees first, letting drained
+  // queries execute against freed objects.
   Session& operator=(Session&& other) noexcept {
     if (this != &other) {
       coordinator_.reset();
+      backends_.clear();
       stacks_.clear();
       stacks_ = std::move(other.stacks_);
+      backends_ = std::move(other.backends_);
       coordinator_ = std::move(other.coordinator_);
     }
     return *this;
@@ -275,15 +300,31 @@ class Session {
   // Per-session by construction: each Serve() call owns its own caches, so
   // concurrent sessions over one database never blend their counters — also
   // true under the directory layout, where the caches additionally sit on
-  // different devices.
+  // different devices. Remote sessions report the remote shard caches'
+  // counters (fetched over the wire; a dead shard contributes nothing).
   IoStats io_stats() const {
+    if (stacks_.empty() && coordinator_ != nullptr) {
+      return coordinator_->io_stats();
+    }
     IoStats total;
     for (const ShardServingStack& stack : stacks_) total += stack.pool->stats();
     return total;
   }
 
-  size_t num_shards() const { return stacks_.size(); }
+  size_t num_shards() const {
+    return coordinator_ ? coordinator_->num_shards() : stacks_.size();
+  }
   bool sharded() const { return coordinator_ != nullptr; }
+  // True for a GaussDb::ServeRemote() session (shards on other hosts; no
+  // local serving stacks).
+  bool remote() const { return coordinator_ != nullptr && stacks_.empty(); }
+
+  // The per-shard QueryService of a local session — what a gauss_shardd
+  // process hands to its ShardServer, and what the loopback tests wrap in
+  // per-shard RPC servers. Local sessions only.
+  QueryService* shard_service(size_t shard) {
+    return stacks_.at(shard).service.get();
+  }
 
   // Shard-coordinator front door of a sharded session (nullptr otherwise).
   ShardCoordinator* coordinator() { return coordinator_.get(); }
@@ -301,14 +342,50 @@ class Session {
  private:
   friend class GaussDb;
   Session(std::vector<ShardServingStack> stacks,
+          std::vector<std::unique_ptr<ShardBackend>> backends,
           std::unique_ptr<ShardCoordinator> coordinator)
-      : stacks_(std::move(stacks)), coordinator_(std::move(coordinator)) {}
+      : stacks_(std::move(stacks)),
+        backends_(std::move(backends)),
+        coordinator_(std::move(coordinator)) {}
 
   // Destruction order (reverse of declaration): the coordinator drains its
-  // in-flight scatter-gathers first, then each shard stack tears down
+  // in-flight scatter-gathers first, then the backends close (their refine
+  // channels and RPC readers join), then each shard stack tears down
   // service -> tree -> cache.
   std::vector<ShardServingStack> stacks_;
+  std::vector<std::unique_ptr<ShardBackend>> backends_;
   std::unique_ptr<ShardCoordinator> coordinator_;
+};
+
+// Success-or-typed-error result of GaussDb::ServeRemote(): connecting to a
+// shard fleet can fail per endpoint (refused, timeout, version mismatch,
+// inconsistent dimensionality), and a front door must degrade, not abort.
+class ServeResult {
+ public:
+  /*implicit*/ ServeResult(Session session) : session_(std::move(session)) {}
+  /*implicit*/ ServeResult(NetError error) : error_(std::move(error)) {}
+
+  bool ok() const { return session_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  // The typed rejection; only meaningful when !ok().
+  const NetError& error() const {
+    GAUSS_CHECK_MSG(!ok(), "ServeResult::error() on a successful connect");
+    return error_;
+  }
+
+  // Moves the connected session out; aborts with the error message if the
+  // connect was rejected.
+  Session value() && {
+    GAUSS_CHECK_MSG(ok(), error_.message.c_str());
+    Session session = std::move(*session_);
+    session_.reset();
+    return session;
+  }
+
+ private:
+  std::optional<Session> session_;
+  NetError error_;
 };
 
 class GaussDb {
@@ -381,6 +458,18 @@ class GaussDb {
   // stacks; after the first call the build phase is over and Insert()
   // aborts.
   Session Serve(ServeOptions options = {});
+
+  // Connects a scatter-gather front door to shard servers on other hosts:
+  // one "host:port" endpoint per shard, each a running gauss_shardd (or any
+  // net/shard_server.h). No local GaussDb is involved — the shards own
+  // their storage stacks; the returned Session owns one RpcBackend per
+  // endpoint plus the coordinator. Fails typed (ServeResult) when an
+  // endpoint is unreachable (kConnectFailed/kTimeout), speaks a different
+  // protocol version (kProtocolMismatch), or the shards disagree on
+  // dimensionality (kProtocolMismatch). Only the rpc_*, coordinator_threads
+  // and queue_capacity fields of `options` apply.
+  static ServeResult ServeRemote(const std::vector<std::string>& endpoints,
+                                 ServeOptions options = {});
 
   size_t size() const;
   size_t dim() const { return dim_; }

@@ -1,0 +1,236 @@
+#include "net/shard_backend.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace gauss {
+
+// ------------------------------ RefineChannel -------------------------------
+
+RefineChannel::RefineChannel(FlushFn flush) : flush_(std::move(flush)) {
+  flusher_ = std::thread([this] { Loop(); });
+}
+
+RefineChannel::~RefineChannel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+  flusher_.join();
+}
+
+std::future<ShardBackend::RefineResult> RefineChannel::Submit(
+    std::vector<RefineSpec> specs) {
+  Waiter waiter;
+  waiter.specs = std::move(specs);
+  std::future<ShardBackend::RefineResult> future =
+      waiter.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GAUSS_CHECK_MSG(!closed_, "Refine on a shut-down backend");
+    pending_.push_back(std::move(waiter));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+BackendRefineCounters RefineChannel::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void RefineChannel::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+    if (pending_.empty()) return;  // closed, fully drained
+    std::vector<Waiter> batch = std::move(pending_);
+    pending_.clear();
+
+    std::vector<RefineSpec> combined;
+    for (const Waiter& w : batch) {
+      combined.insert(combined.end(), w.specs.begin(), w.specs.end());
+    }
+    ++counters_.rounds;
+    counters_.requests += combined.size();
+    lock.unlock();
+
+    // One flush carries every spec pending at round start; submissions
+    // arriving during the flush ride the next round.
+    ShardBackend::RefineResult round = flush_(combined);
+    if (round.error.ok() && round.updates.size() != combined.size()) {
+      round.error = {NetErrorCode::kProtocolError,
+                     "refine round returned wrong update count"};
+      round.updates.clear();
+    }
+
+    size_t offset = 0;
+    for (Waiter& w : batch) {
+      ShardBackend::RefineResult part;
+      part.error = round.error;
+      if (round.error.ok()) {
+        part.updates.assign(round.updates.begin() + offset,
+                            round.updates.begin() + offset + w.specs.size());
+      }
+      offset += w.specs.size();
+      w.promise.set_value(std::move(part));
+    }
+    lock.lock();
+  }
+}
+
+// ----------------------------- InProcessBackend -----------------------------
+
+namespace {
+
+RefineUpdate UpdateFromMliq(const MliqTraversal& t) {
+  RefineUpdate u;
+  const TraversalStats s = t.stats();
+  u.denominator_lo = t.denominator_lo();
+  u.denominator_hi = t.denominator_hi();
+  u.exhausted = t.exhausted();
+  u.nodes_visited = s.nodes_visited;
+  u.leaf_nodes_visited = s.leaf_nodes_visited;
+  u.objects_evaluated = s.objects_evaluated;
+  return u;
+}
+
+RefineUpdate UpdateFromTiq(const TiqTraversal& t) {
+  RefineUpdate u;
+  const TraversalStats s = t.stats();
+  u.denominator_lo = t.denominator_lo();
+  u.denominator_hi = t.denominator_hi();
+  u.exhausted = t.exhausted();
+  u.nodes_visited = s.nodes_visited;
+  u.leaf_nodes_visited = s.leaf_nodes_visited;
+  u.objects_evaluated = s.objects_evaluated;
+  return u;
+}
+
+}  // namespace
+
+InProcessBackend::InProcessBackend(QueryService* service) : service_(service) {
+  GAUSS_CHECK(service_ != nullptr);
+  channel_ = std::make_unique<RefineChannel>(
+      [this](const std::vector<RefineSpec>& specs) { return Flush(specs); });
+}
+
+InProcessBackend::~InProcessBackend() {
+  channel_.reset();  // drain pending refine rounds while service_ is live
+}
+
+size_t InProcessBackend::dim() const { return service_->tree().dim(); }
+
+std::future<ShardBackend::StartResult> InProcessBackend::Start(
+    uint64_t traversal, const Query& query) {
+  auto promise = std::make_shared<std::promise<StartResult>>();
+  std::future<StartResult> future = promise->get_future();
+  // The traversal is constructed *and* run on the shard's worker pool, so
+  // page I/O stays with the shard that owns the pages (same placement as the
+  // pre-backend ShardCoordinator::ScatterRun). `query` stays valid until the
+  // future is ready (ShardBackend contract), so the pointer capture is safe.
+  const Query* q = &query;
+  service_->SubmitWork([this, traversal, q, promise] {
+    StartResult result;
+    Traversal t;
+    if (q->kind() == QueryKind::kMliq) {
+      MliqOptions options = q->mliq_options();
+      options.prefetch_depth = internal::EffectivePrefetchDepth(
+          options.prefetch_depth, service_->prefetch_depth());
+      t.mliq = std::make_unique<MliqTraversal>(service_->tree(), q->pfv(),
+                                               q->k(), options);
+      t.mliq->Run();
+      result.partial.log_ref = t.mliq->log_ref();
+      result.partial.denominator_lo = t.mliq->denominator_lo();
+      result.partial.denominator_hi = t.mliq->denominator_hi();
+      result.partial.exhausted = t.mliq->exhausted();
+      const TraversalStats s = t.mliq->stats();
+      result.partial.nodes_visited = s.nodes_visited;
+      result.partial.leaf_nodes_visited = s.leaf_nodes_visited;
+      result.partial.objects_evaluated = s.objects_evaluated;
+      result.partial.items = t.mliq->top_items();
+    } else {
+      TiqOptions options = q->tiq_options();
+      options.prefetch_depth = internal::EffectivePrefetchDepth(
+          options.prefetch_depth, service_->prefetch_depth());
+      t.tiq = std::make_unique<TiqTraversal>(service_->tree(), q->pfv(),
+                                             q->threshold(), options);
+      t.tiq->Run();
+      result.partial.log_ref = t.tiq->log_ref();
+      result.partial.denominator_lo = t.tiq->denominator_lo();
+      result.partial.denominator_hi = t.tiq->denominator_hi();
+      result.partial.exhausted = t.tiq->exhausted();
+      const TraversalStats s = t.tiq->stats();
+      result.partial.nodes_visited = s.nodes_visited;
+      result.partial.leaf_nodes_visited = s.leaf_nodes_visited;
+      result.partial.objects_evaluated = s.objects_evaluated;
+      result.partial.items = t.tiq->candidates();
+    }
+    result.partial.tree_size = service_->tree().size();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      traversals_[traversal] = std::move(t);
+    }
+    promise->set_value(std::move(result));
+    return QueryResponse{};
+  });
+  return future;
+}
+
+std::future<ShardBackend::RefineResult> InProcessBackend::Refine(
+    std::vector<RefineSpec> specs) {
+  return channel_->Submit(std::move(specs));
+}
+
+ShardBackend::RefineResult InProcessBackend::Flush(
+    const std::vector<RefineSpec>& specs) {
+  // The whole round is one closure on the shard's worker pool — the local
+  // analogue of "one frame per shard per round". Flush blocks until the
+  // closure finishes, so the captured reference stays valid.
+  RefineResult result;
+  const std::vector<RefineSpec>* specs_ptr = &specs;
+  RefineResult* result_ptr = &result;
+  service_->SubmitWork([this, specs_ptr, result_ptr] {
+        for (const RefineSpec& spec : *specs_ptr) {
+          Traversal* t = nullptr;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = traversals_.find(spec.traversal);
+            GAUSS_CHECK_MSG(it != traversals_.end(),
+                            "Refine on an unknown traversal");
+            t = &it->second;
+          }
+          // Safe without the lock: the coordinator never releases a
+          // traversal with a refine round in flight.
+          if (t->mliq) {
+            t->mliq->RefineDenominator(spec.max_gap);
+            result_ptr->updates.push_back(UpdateFromMliq(*t->mliq));
+          } else {
+            t->tiq->RefineDenominator(spec.max_gap);
+            result_ptr->updates.push_back(UpdateFromTiq(*t->tiq));
+          }
+        }
+        return QueryResponse{};
+      })
+      .get();
+  return result;
+}
+
+void InProcessBackend::Release(const std::vector<uint64_t>& traversals) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const uint64_t id : traversals) traversals_.erase(id);
+}
+
+ShardBackend::StatsResult InProcessBackend::FetchStats() {
+  StatsResult result;
+  result.io = service_->tree().pool()->stats();
+  return result;
+}
+
+BackendRefineCounters InProcessBackend::refine_counters() const {
+  return channel_->counters();
+}
+
+}  // namespace gauss

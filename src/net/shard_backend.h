@@ -1,0 +1,232 @@
+#ifndef GAUSS_NET_SHARD_BACKEND_H_
+#define GAUSS_NET_SHARD_BACKEND_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "gausstree/mliq.h"
+#include "gausstree/query_common.h"
+#include "gausstree/tiq.h"
+#include "net/net_error.h"
+#include "service/query.h"
+#include "service/query_service.h"
+#include "service/service_stats.h"
+#include "storage/io_stats.h"
+
+namespace gauss {
+
+// ============================== ShardBackend ================================
+//
+// The transport seam of a sharded GaussDb: everything a ShardCoordinator
+// needs from one shard, abstracted so the shard may live in this process
+// (InProcessBackend over a QueryService) or on another host (RpcBackend over
+// the wire protocol in net/wire.h, served by net/shard_server.h /
+// examples/gauss_shardd). The coordinator's merge mathematics — rebase the
+// per-shard denominator intervals onto a common reference scale, sum them,
+// and drive halve-the-gap refinement until the combined interval certifies
+// the answer — is identical over both; the loopback differential section of
+// tests/shard_equivalence_test.cc proves the answers byte-identical.
+//
+// Protocol, per query:
+//   1. Start(traversal, query) runs the shard-local traversal (MLIQ top-k /
+//      TIQ candidate discovery + local refinement) and returns the shard's
+//      partial answer: reference scale, denominator interval, items. The
+//      traversal stays resumable behind the caller-chosen `traversal`
+//      handle.
+//   2. Refine({traversal, max_gap}...) resumes denominator refinement for a
+//      *batch* of traversals — one round trip per shard per refinement
+//      round, no matter how many unconverged queries ride in it (see
+//      RefineChannel below).
+//   3. Release(traversals) frees the shard-side traversal state once the
+//      coordinator has certified (or abandoned) the query.
+//
+// Failure model: Start/Refine complete with a typed NetError instead of
+// throwing or hanging; a coordinator maps any failure to a per-query
+// QueryResponse::Status::kShardError. InProcessBackend never fails.
+//
+// Threading: all methods are thread-safe; futures become ready on backend
+// worker/reader threads. A Query passed to Start() must stay alive until
+// the returned future is ready (coordinator threads gather immediately, so
+// this holds by construction).
+// ============================================================================
+
+// One shard's partial answer after Start (all values in the shard traversal's
+// *local* reference scale; `log_ref` is that scale, so the coordinator can
+// rebase). Work counters are cumulative over the traversal so far.
+struct ShardPartial {
+  double log_ref = 0.0;
+  uint64_t tree_size = 0;  // shard object count; 0 = empty shard, skip it
+  double denominator_lo = 0.0;
+  double denominator_hi = 0.0;
+  bool exhausted = true;
+  uint64_t nodes_visited = 0;
+  uint64_t leaf_nodes_visited = 0;
+  uint64_t objects_evaluated = 0;
+  // MLIQ: the shard-local top-k (descending scaled density).
+  // TIQ: surviving candidates in discovery order. Final after Start — later
+  // refinement only tightens bounds, never changes the shard's item set.
+  std::vector<ScoredObject> items;
+};
+
+// One traversal's entry in a batched refinement round.
+struct RefineSpec {
+  uint64_t traversal = 0;
+  double max_gap = 0.0;  // target denominator gap (shard-local scale)
+};
+
+// Post-refinement state of one traversal. Counters are cumulative (same
+// convention as ShardPartial), so the latest update always carries the
+// traversal's total work.
+struct RefineUpdate {
+  double denominator_lo = 0.0;
+  double denominator_hi = 0.0;
+  bool exhausted = true;
+  uint64_t nodes_visited = 0;
+  uint64_t leaf_nodes_visited = 0;
+  uint64_t objects_evaluated = 0;
+};
+
+// How many refinement rounds (batched flushes) a backend has sent, and how
+// many per-traversal refine requests those rounds carried — requests/rounds
+// is the batching win ServiceStats::refine_rounds reports.
+struct BackendRefineCounters {
+  uint64_t rounds = 0;
+  uint64_t requests = 0;
+};
+
+class ShardBackend {
+ public:
+  struct StartResult {
+    NetError error;
+    ShardPartial partial;  // valid iff error.ok()
+  };
+
+  struct RefineResult {
+    NetError error;
+    // updates[i] answers specs[i] of the submitted batch; valid iff
+    // error.ok(). A transport failure fails the whole round.
+    std::vector<RefineUpdate> updates;
+  };
+
+  struct StatsResult {
+    NetError error;
+    IoStats io;            // the shard cache's counters
+    ServiceStats service;  // remote serving counters (RPC only; else zero)
+  };
+
+  virtual ~ShardBackend() = default;
+
+  // Dimensionality of the shard's tree (known at connect/attach time).
+  virtual size_t dim() const = 0;
+
+  // Runs the shard-local traversal of `query` under the caller-chosen
+  // handle. Handles must be unique per backend among live traversals.
+  virtual std::future<StartResult> Start(uint64_t traversal,
+                                         const Query& query) = 0;
+
+  // Resumes denominator refinement for a batch of live traversals.
+  // Concurrent calls coalesce: all specs pending when a round begins travel
+  // in one flush (one frame / one shard-worker closure).
+  virtual std::future<RefineResult> Refine(std::vector<RefineSpec> specs) = 0;
+
+  // Frees shard-side traversal state. Fire-and-forget; releasing an unknown
+  // or already-released handle is a no-op.
+  virtual void Release(const std::vector<uint64_t>& traversals) = 0;
+
+  // Fetches the shard's I/O counters (and, remotely, serving counters).
+  virtual StatsResult FetchStats() = 0;
+
+  virtual BackendRefineCounters refine_counters() const = 0;
+};
+
+// ============================== RefineChannel ===============================
+//
+// The refinement batcher both backends share: callers Submit() their specs
+// and get a future; a single flusher thread drains *everything* pending into
+// one flush callback per round. Submissions arriving while a round is in
+// flight coalesce into the next round — so N concurrent unconverged queries
+// cost one round trip per shard per round, not N. Flush results are split
+// back positionally onto the waiters; a flush failure fails every waiter of
+// that round. The destructor drains pending submissions, then joins.
+// ============================================================================
+class RefineChannel {
+ public:
+  using FlushFn = std::function<ShardBackend::RefineResult(
+      const std::vector<RefineSpec>&)>;
+
+  explicit RefineChannel(FlushFn flush);
+  ~RefineChannel();
+
+  RefineChannel(const RefineChannel&) = delete;
+  RefineChannel& operator=(const RefineChannel&) = delete;
+
+  std::future<ShardBackend::RefineResult> Submit(std::vector<RefineSpec> specs);
+
+  BackendRefineCounters counters() const;
+
+ private:
+  struct Waiter {
+    std::vector<RefineSpec> specs;
+    std::promise<ShardBackend::RefineResult> promise;
+  };
+
+  void Loop();
+
+  FlushFn flush_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;                  // guarded by mu_
+  std::vector<Waiter> pending_;          // guarded by mu_
+  BackendRefineCounters counters_;       // guarded by mu_
+  std::thread flusher_;
+};
+
+// ============================= InProcessBackend =============================
+//
+// ShardBackend over a local QueryService: the zero-transport implementation
+// GaussDb::Serve() wires up. Every traversal step runs on the shard's own
+// worker pool via QueryService::SubmitWork — page I/O and density evaluation
+// stay with the shard that owns the data, exactly as the pre-backend
+// coordinator did — and answers are byte-identical to that code path.
+// The QueryService must outlive the backend.
+// ============================================================================
+class InProcessBackend : public ShardBackend {
+ public:
+  explicit InProcessBackend(QueryService* service);
+  ~InProcessBackend() override;
+
+  size_t dim() const override;
+  std::future<StartResult> Start(uint64_t traversal,
+                                 const Query& query) override;
+  std::future<RefineResult> Refine(std::vector<RefineSpec> specs) override;
+  void Release(const std::vector<uint64_t>& traversals) override;
+  StatsResult FetchStats() override;
+  BackendRefineCounters refine_counters() const override;
+
+  QueryService* service() const { return service_; }
+
+ private:
+  // Exactly one of the two is set, matching the query kind.
+  struct Traversal {
+    std::unique_ptr<MliqTraversal> mliq;
+    std::unique_ptr<TiqTraversal> tiq;
+  };
+
+  RefineResult Flush(const std::vector<RefineSpec>& specs);
+
+  QueryService* const service_;
+  std::mutex mu_;
+  std::unordered_map<uint64_t, Traversal> traversals_;  // guarded by mu_
+  std::unique_ptr<RefineChannel> channel_;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_NET_SHARD_BACKEND_H_

@@ -1,0 +1,361 @@
+#include "net/shard_server.h"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "common/macros.h"
+#include "gausstree/query_common.h"
+#include "net/frame_io.h"
+
+namespace gauss {
+
+namespace {
+
+RefineUpdate UpdateFromMliq(const MliqTraversal& t) {
+  RefineUpdate u;
+  const TraversalStats s = t.stats();
+  u.denominator_lo = t.denominator_lo();
+  u.denominator_hi = t.denominator_hi();
+  u.exhausted = t.exhausted();
+  u.nodes_visited = s.nodes_visited;
+  u.leaf_nodes_visited = s.leaf_nodes_visited;
+  u.objects_evaluated = s.objects_evaluated;
+  return u;
+}
+
+RefineUpdate UpdateFromTiq(const TiqTraversal& t) {
+  RefineUpdate u;
+  const TraversalStats s = t.stats();
+  u.denominator_lo = t.denominator_lo();
+  u.denominator_hi = t.denominator_hi();
+  u.exhausted = t.exhausted();
+  u.nodes_visited = s.nodes_visited;
+  u.leaf_nodes_visited = s.leaf_nodes_visited;
+  u.objects_evaluated = s.objects_evaluated;
+  return u;
+}
+
+}  // namespace
+
+std::unique_ptr<ShardServer> ShardServer::Listen(
+    QueryService* service, const ShardServerOptions& options, NetError* error) {
+  GAUSS_CHECK(service != nullptr);
+  TcpListener listener = TcpListener::Listen(options.host, options.port, error);
+  if (!listener.valid()) return nullptr;
+  return std::unique_ptr<ShardServer>(
+      new ShardServer(service, options, std::move(listener)));
+}
+
+ShardServer::ShardServer(QueryService* service,
+                         const ShardServerOptions& options,
+                         TcpListener listener)
+    : service_(service),
+      options_(options),
+      listener_(std::move(listener)) {
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+ShardServer::~ShardServer() { Shutdown(); }
+
+void ShardServer::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    stopping_.store(true);
+    listener_.Shutdown();
+    std::vector<std::shared_ptr<Connection>> live;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& weak : conns_) {
+        if (auto conn = weak.lock()) live.push_back(std::move(conn));
+      }
+    }
+    for (const auto& conn : live) conn->sock.Shutdown();
+    acceptor_.join();
+    std::vector<std::thread> handlers;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      handlers.swap(handlers_);
+    }
+    // Handlers drain their in-flight worker closures before exiting, so
+    // after this join no closure still references connection state.
+    for (std::thread& t : handlers) t.join();
+  });
+}
+
+ServiceStats ShardServer::stats() const {
+  ServiceStats s;
+  s.mliq_queries = mliq_starts_.load();
+  s.tiq_queries = tiq_starts_.load();
+  s.refine_rounds = refine_rounds_.load();
+  s.refine_batched_queries = refine_requests_.load();
+  return s;
+}
+
+void ShardServer::AcceptLoop() {
+  while (true) {
+    NetError error;
+    TcpSocket sock = listener_.Accept(&error);
+    if (!sock.valid()) return;  // Shutdown() or a fatal listener error
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(sock);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_.load()) {
+      conn->sock.Shutdown();
+      return;
+    }
+    conns_.push_back(conn);
+    handlers_.emplace_back([this, conn] { HandleConnection(conn); });
+  }
+}
+
+void ShardServer::SendReply(const std::shared_ptr<Connection>& conn,
+                            MsgType type, uint64_t request_id,
+                            const std::vector<uint8_t>& body) {
+  const SocketDeadline deadline =
+      std::chrono::steady_clock::now() + options_.write_timeout;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  // A failed reply write means the connection is dying; the client observes
+  // that as kPeerClosed/kTimeout on its side, nothing to do here.
+  (void)WriteFrame(conn->sock, type, request_id, body, deadline);
+}
+
+void ShardServer::SendError(const std::shared_ptr<Connection>& conn,
+                            uint64_t request_id, const NetError& error) {
+  std::vector<uint8_t> body;
+  EncodeError(error, &body);
+  SendReply(conn, MsgType::kError, request_id, body);
+}
+
+void ShardServer::HandleConnection(const std::shared_ptr<Connection>& conn) {
+  // Handshake first: anything but a well-formed, version-matching kHello
+  // gets a typed kError frame and the connection closes.
+  Frame frame;
+  const SocketDeadline handshake_deadline =
+      std::chrono::steady_clock::now() + options_.handshake_timeout;
+  if (!ReadFrame(conn->sock, &frame, handshake_deadline).ok()) return;
+  if (frame.type != MsgType::kHello) {
+    SendError(conn, frame.request_id,
+              {NetErrorCode::kProtocolError, "expected hello"});
+    return;
+  }
+  WireHello hello;
+  if (NetError err = DecodeHello(frame.body.data(), frame.body.size(), &hello);
+      !err.ok()) {
+    SendError(conn, frame.request_id, err);
+    return;
+  }
+  if (NetError err = CheckHandshake(hello.magic, hello.version); !err.ok()) {
+    SendError(conn, frame.request_id, err);
+    return;
+  }
+  WireHelloAck ack;
+  ack.dim = static_cast<uint32_t>(service_->tree().dim());
+  ack.tree_size = service_->tree().size();
+  std::vector<uint8_t> ack_body;
+  EncodeHelloAck(ack, &ack_body);
+  SendReply(conn, MsgType::kHelloAck, frame.request_id, ack_body);
+
+  // Frame loop. kStart runs asynchronously on the shard's worker pool (so
+  // concurrent queries pipeline); kRefine is one worker closure for the whole
+  // batch; kRelease/kStats are cheap and handled inline.
+  std::vector<std::future<QueryResponse>> inflight;
+  bool open = true;
+  while (open && !stopping_.load()) {
+    if (!ReadFrame(conn->sock, &frame, NoDeadline()).ok()) break;
+    switch (frame.type) {
+      case MsgType::kStart: {
+        auto start = std::make_shared<WireStart>();
+        if (NetError err = DecodeStart(frame.body.data(), frame.body.size(),
+                                       start.get());
+            !err.ok()) {
+          SendError(conn, frame.request_id, err);
+          open = false;
+          break;
+        }
+        if (start->query->kind() == QueryKind::kMliq) {
+          mliq_starts_.fetch_add(1);
+        } else {
+          tiq_starts_.fetch_add(1);
+        }
+        const uint64_t request_id = frame.request_id;
+        inflight.push_back(service_->SubmitWork([this, conn, request_id,
+                                                 start] {
+          HandleStart(conn, request_id, *start);
+          return QueryResponse{};
+        }));
+        // Prune finished futures so a long-lived connection doesn't
+        // accumulate one per query.
+        for (size_t i = 0; i < inflight.size();) {
+          if (inflight[i].wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready) {
+            inflight[i] = std::move(inflight.back());
+            inflight.pop_back();
+          } else {
+            ++i;
+          }
+        }
+        break;
+      }
+      case MsgType::kRefine: {
+        std::vector<RefineSpec> specs;
+        if (NetError err =
+                DecodeRefine(frame.body.data(), frame.body.size(), &specs);
+            !err.ok()) {
+          SendError(conn, frame.request_id, err);
+          open = false;
+          break;
+        }
+        refine_rounds_.fetch_add(1);
+        refine_requests_.fetch_add(specs.size());
+        HandleRefine(conn, frame.request_id, specs);
+        break;
+      }
+      case MsgType::kRelease: {
+        std::vector<uint64_t> handles;
+        if (NetError err =
+                DecodeRelease(frame.body.data(), frame.body.size(), &handles);
+            !err.ok()) {
+          SendError(conn, frame.request_id, err);
+          open = false;
+          break;
+        }
+        std::lock_guard<std::mutex> lock(conn->mu);
+        for (const uint64_t id : handles) {
+          if (conn->traversals.erase(id) == 0) conn->released.insert(id);
+        }
+        break;
+      }
+      case MsgType::kStats: {
+        if (!frame.body.empty()) {
+          SendError(conn, frame.request_id,
+                    {NetErrorCode::kProtocolError, "stats body not empty"});
+          open = false;
+          break;
+        }
+        HandleStats(conn, frame.request_id);
+        break;
+      }
+      default:
+        SendError(conn, frame.request_id,
+                  {NetErrorCode::kProtocolError, "unexpected message type"});
+        open = false;
+        break;
+    }
+  }
+
+  // Drain queries still running on the worker pool before the connection
+  // state goes away; their replies fail silently into the closed socket.
+  conn->sock.Shutdown();
+  for (std::future<QueryResponse>& f : inflight) f.get();
+}
+
+void ShardServer::HandleStart(const std::shared_ptr<Connection>& conn,
+                              uint64_t request_id, const WireStart& start) {
+  const Query& query = *start.query;
+  ShardPartial partial;
+  Traversal t;
+  if (query.kind() == QueryKind::kMliq) {
+    MliqOptions options = query.mliq_options();
+    options.prefetch_depth = internal::EffectivePrefetchDepth(
+        options.prefetch_depth, service_->prefetch_depth());
+    t.mliq = std::make_shared<MliqTraversal>(service_->tree(), query.pfv(),
+                                             query.k(), options);
+    t.mliq->Run();
+    partial.log_ref = t.mliq->log_ref();
+    partial.denominator_lo = t.mliq->denominator_lo();
+    partial.denominator_hi = t.mliq->denominator_hi();
+    partial.exhausted = t.mliq->exhausted();
+    const TraversalStats s = t.mliq->stats();
+    partial.nodes_visited = s.nodes_visited;
+    partial.leaf_nodes_visited = s.leaf_nodes_visited;
+    partial.objects_evaluated = s.objects_evaluated;
+    partial.items = t.mliq->top_items();
+  } else {
+    TiqOptions options = query.tiq_options();
+    options.prefetch_depth = internal::EffectivePrefetchDepth(
+        options.prefetch_depth, service_->prefetch_depth());
+    t.tiq = std::make_shared<TiqTraversal>(service_->tree(), query.pfv(),
+                                           query.threshold(), options);
+    t.tiq->Run();
+    partial.log_ref = t.tiq->log_ref();
+    partial.denominator_lo = t.tiq->denominator_lo();
+    partial.denominator_hi = t.tiq->denominator_hi();
+    partial.exhausted = t.tiq->exhausted();
+    const TraversalStats s = t.tiq->stats();
+    partial.nodes_visited = s.nodes_visited;
+    partial.leaf_nodes_visited = s.leaf_nodes_visited;
+    partial.objects_evaluated = s.objects_evaluated;
+    partial.items = t.tiq->candidates();
+  }
+  partial.tree_size = service_->tree().size();
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->released.erase(start.traversal) == 0) {
+      conn->traversals[start.traversal] = std::move(t);
+    }
+    // else: released while still starting — drop the traversal on the floor.
+  }
+  std::vector<uint8_t> body;
+  EncodeStartReply(partial, &body);
+  SendReply(conn, MsgType::kStartReply, request_id, body);
+}
+
+void ShardServer::HandleRefine(const std::shared_ptr<Connection>& conn,
+                               uint64_t request_id,
+                               const std::vector<RefineSpec>& specs) {
+  // Look the traversals up front (shared_ptr copies keep them alive even
+  // against a racing kRelease), so an unknown handle is a typed error before
+  // any refinement work happens.
+  std::vector<Traversal> batch;
+  batch.reserve(specs.size());
+  bool unknown = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    for (const RefineSpec& spec : specs) {
+      auto it = conn->traversals.find(spec.traversal);
+      if (it == conn->traversals.end()) {
+        unknown = true;
+        break;
+      }
+      batch.push_back(it->second);
+    }
+  }
+  if (unknown) {
+    SendError(conn, request_id,
+              {NetErrorCode::kProtocolError, "unknown traversal"});
+    return;
+  }
+
+  // The whole round is one closure on the shard's worker pool — the remote
+  // half of "one frame per shard per round".
+  std::vector<RefineUpdate> updates;
+  updates.reserve(specs.size());
+  service_
+      ->SubmitWork([&specs, &batch, &updates] {
+        for (size_t i = 0; i < specs.size(); ++i) {
+          if (batch[i].mliq) {
+            batch[i].mliq->RefineDenominator(specs[i].max_gap);
+            updates.push_back(UpdateFromMliq(*batch[i].mliq));
+          } else {
+            batch[i].tiq->RefineDenominator(specs[i].max_gap);
+            updates.push_back(UpdateFromTiq(*batch[i].tiq));
+          }
+        }
+        return QueryResponse{};
+      })
+      .get();
+
+  std::vector<uint8_t> body;
+  EncodeRefineReply(updates, &body);
+  SendReply(conn, MsgType::kRefineReply, request_id, body);
+}
+
+void ShardServer::HandleStats(const std::shared_ptr<Connection>& conn,
+                              uint64_t request_id) {
+  const IoStats io = service_->tree().pool()->stats();
+  std::vector<uint8_t> body;
+  EncodeStatsReply(io, stats(), &body);
+  SendReply(conn, MsgType::kStatsReply, request_id, body);
+}
+
+}  // namespace gauss

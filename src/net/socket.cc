@@ -1,0 +1,363 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gauss {
+
+namespace {
+
+NetError Errno(NetErrorCode code, const std::string& what) {
+  return {code, what + ": " + std::strerror(errno)};
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Remaining milliseconds until `deadline` for poll(2): -1 = infinite,
+// clamped into [0, INT_MAX].
+int PollTimeoutMs(SocketDeadline deadline) {
+  if (deadline == SocketDeadline::max()) return -1;
+  const auto remaining = deadline - std::chrono::steady_clock::now();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count();
+  if (ms <= 0) return 0;
+  return static_cast<int>(std::min<long long>(ms, 1000 * 60 * 60));
+}
+
+// Waits for `events` on fd until the deadline. kOk when (any) event fired.
+NetError PollFor(int fd, short events, SocketDeadline deadline) {
+  while (true) {
+    const int timeout = PollTimeoutMs(deadline);
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int n = ::poll(&pfd, 1, timeout);
+    if (n > 0) return {};
+    if (n == 0) return {NetErrorCode::kTimeout, "socket deadline elapsed"};
+    if (errno == EINTR) continue;
+    return Errno(NetErrorCode::kIoError, "poll");
+  }
+}
+
+}  // namespace
+
+// -------------------------------- TcpSocket ---------------------------------
+
+TcpSocket::TcpSocket(int fd) : fd_(fd) {
+  if (fd_ >= 0) SetNonBlocking(fd_);
+}
+
+TcpSocket::~TcpSocket() { Close(); }
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpSocket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpSocket TcpSocket::Connect(const std::string& host, uint16_t port,
+                             std::chrono::milliseconds timeout,
+                             NetError* error) {
+  *error = {};
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  const std::string service = std::to_string(port);
+  struct addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+  if (rc != 0 || result == nullptr) {
+    *error = {NetErrorCode::kConnectFailed,
+              "resolve " + host + ": " + ::gai_strerror(rc)};
+    return TcpSocket();
+  }
+
+  const SocketDeadline deadline = std::chrono::steady_clock::now() + timeout;
+  NetError last = {NetErrorCode::kConnectFailed, "no addresses for " + host};
+  for (struct addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last = Errno(NetErrorCode::kConnectFailed, "socket");
+      continue;
+    }
+    SetNonBlocking(fd);
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0 &&
+        errno != EINPROGRESS) {
+      last = Errno(NetErrorCode::kConnectFailed, "connect " + host);
+      ::close(fd);
+      continue;
+    }
+    // Non-blocking connect: completion is "writable"; the verdict is in
+    // SO_ERROR.
+    if (NetError wait = PollFor(fd, POLLOUT, deadline); !wait.ok()) {
+      last = wait.code == NetErrorCode::kTimeout
+                 ? NetError{NetErrorCode::kTimeout, "connect " + host +
+                                                        " timed out"}
+                 : wait;
+      ::close(fd);
+      continue;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      errno = so_error;
+      last = Errno(NetErrorCode::kConnectFailed, "connect " + host);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(result);
+    return TcpSocket(fd);
+  }
+  ::freeaddrinfo(result);
+  *error = std::move(last);
+  return TcpSocket();
+}
+
+NetError TcpSocket::SendAll(const void* data, size_t size,
+                            SocketDeadline deadline) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (NetError wait = PollFor(fd_, POLLOUT, deadline); !wait.ok()) {
+        return wait;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return {NetErrorCode::kPeerClosed, "send on closed connection"};
+    }
+    return Errno(NetErrorCode::kIoError, "send");
+  }
+  return {};
+}
+
+NetError TcpSocket::RecvAll(void* data, size_t size, SocketDeadline deadline) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t received = 0;
+  while (received < size) {
+    size_t n = 0;
+    if (NetError err = RecvSome(p + received, size - received, &n); !err.ok()) {
+      return err;
+    }
+    if (n == 0) {
+      if (NetError wait = WaitReadable(deadline); !wait.ok()) return wait;
+      continue;
+    }
+    received += n;
+  }
+  return {};
+}
+
+NetError TcpSocket::WaitReadable(SocketDeadline deadline) {
+  return PollFor(fd_, POLLIN, deadline);
+}
+
+NetError TcpSocket::RecvSome(void* data, size_t size, size_t* received) {
+  *received = 0;
+  while (true) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n > 0) {
+      *received = static_cast<size_t>(n);
+      return {};
+    }
+    if (n == 0) {
+      return {NetErrorCode::kPeerClosed, "connection closed by peer"};
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return {};
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      return {NetErrorCode::kPeerClosed, "connection reset by peer"};
+    }
+    return Errno(NetErrorCode::kIoError, "recv");
+  }
+}
+
+// ------------------------------- TcpListener --------------------------------
+
+TcpListener::~TcpListener() { CloseFds(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_),
+      wake_read_(other.wake_read_),
+      wake_write_(other.wake_write_),
+      port_(other.port_) {
+  other.fd_ = -1;
+  other.wake_read_ = -1;
+  other.wake_write_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    CloseFds();
+    fd_ = other.fd_;
+    wake_read_ = other.wake_read_;
+    wake_write_ = other.wake_write_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.wake_read_ = -1;
+    other.wake_write_ = -1;
+  }
+  return *this;
+}
+
+void TcpListener::CloseFds() {
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+  fd_ = wake_read_ = wake_write_ = -1;
+}
+
+TcpListener TcpListener::Listen(const std::string& host, uint16_t port,
+                                NetError* error) {
+  *error = {};
+  TcpListener listener;
+
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  const std::string service = std::to_string(port);
+  struct addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+  if (rc != 0 || result == nullptr) {
+    *error = {NetErrorCode::kConnectFailed,
+              "resolve " + host + ": " + ::gai_strerror(rc)};
+    return listener;
+  }
+
+  int fd = -1;
+  for (struct addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, SOCK_STREAM, 0);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, 64) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    *error = Errno(NetErrorCode::kConnectFailed, "bind " + host);
+    return listener;
+  }
+
+  struct sockaddr_storage addr;
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    if (addr.ss_family == AF_INET) {
+      listener.port_ = ntohs(
+          reinterpret_cast<struct sockaddr_in*>(&addr)->sin_port);
+    } else if (addr.ss_family == AF_INET6) {
+      listener.port_ = ntohs(
+          reinterpret_cast<struct sockaddr_in6*>(&addr)->sin6_port);
+    }
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    *error = Errno(NetErrorCode::kIoError, "pipe");
+    ::close(fd);
+    return listener;
+  }
+  SetNonBlocking(fd);
+  SetNonBlocking(pipe_fds[0]);
+  SetNonBlocking(pipe_fds[1]);
+  listener.fd_ = fd;
+  listener.wake_read_ = pipe_fds[0];
+  listener.wake_write_ = pipe_fds[1];
+  return listener;
+}
+
+TcpSocket TcpListener::Accept(NetError* error) {
+  *error = {};
+  while (true) {
+    struct pollfd pfds[2];
+    pfds[0].fd = fd_;
+    pfds[0].events = POLLIN;
+    pfds[0].revents = 0;
+    pfds[1].fd = wake_read_;
+    pfds[1].events = POLLIN;
+    pfds[1].revents = 0;
+    const int n = ::poll(pfds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = Errno(NetErrorCode::kIoError, "poll");
+      return TcpSocket();
+    }
+    if (pfds[1].revents != 0) {
+      *error = {NetErrorCode::kPeerClosed, "listener shut down"};
+      return TcpSocket();
+    }
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpSocket(fd);
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      continue;
+    }
+    *error = Errno(NetErrorCode::kIoError, "accept");
+    return TcpSocket();
+  }
+}
+
+void TcpListener::Shutdown() {
+  if (wake_write_ >= 0) {
+    const uint8_t byte = 1;
+    // Best-effort; a full pipe already guarantees a pending wake.
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+  }
+}
+
+}  // namespace gauss

@@ -1,0 +1,110 @@
+#ifndef GAUSS_NET_SOCKET_H_
+#define GAUSS_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "net/net_error.h"
+
+namespace gauss {
+
+// Thin RAII TCP layer under the wire protocol: non-blocking sockets driven
+// by poll(2), so every operation takes an absolute steady_clock deadline and
+// fails with NetErrorCode::kTimeout instead of blocking forever — this is
+// how per-request deadlines map onto the socket. Shutdown() from another
+// thread wakes any blocked poll (the reader of a dying connection sees
+// kPeerClosed promptly). SIGPIPE is never raised (MSG_NOSIGNAL).
+
+using SocketDeadline = std::chrono::steady_clock::time_point;
+
+// "No deadline": poll indefinitely (still woken by Shutdown()).
+inline SocketDeadline NoDeadline() { return SocketDeadline::max(); }
+
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  // Takes ownership of a connected fd and switches it to non-blocking.
+  explicit TcpSocket(int fd);
+  ~TcpSocket();
+
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  // Resolves host:port (numeric or named host) and connects within
+  // `timeout`. Returns an invalid socket and sets *error on failure
+  // (kConnectFailed / kTimeout).
+  static TcpSocket Connect(const std::string& host, uint16_t port,
+                           std::chrono::milliseconds timeout, NetError* error);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Half-closes both directions: blocked peers and local poll()ers wake and
+  // observe EOF. Idempotent; safe to call from another thread while I/O is
+  // in flight (the fd itself stays open until destruction, so there is no
+  // fd-reuse race).
+  void Shutdown();
+  void Close();
+
+  // Sends the whole buffer or fails: kTimeout past the deadline, kPeerClosed
+  // on a reset/closed connection, kIoError otherwise.
+  NetError SendAll(const void* data, size_t size, SocketDeadline deadline);
+
+  // Receives exactly `size` bytes or fails; an orderly EOF mid-read is
+  // kPeerClosed.
+  NetError RecvAll(void* data, size_t size, SocketDeadline deadline);
+
+  // Waits until the socket is readable (or EOF/error is pending). kTimeout
+  // past the deadline.
+  NetError WaitReadable(SocketDeadline deadline);
+
+  // Non-blocking read of up to `size` bytes. kOk with *received == 0 means
+  // "nothing available right now"; an orderly EOF is kPeerClosed.
+  NetError RecvSome(void* data, size_t size, size_t* received);
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening socket bound to host:port (port 0 picks an ephemeral port —
+// what the loopback tests use). Accept() blocks until a connection arrives
+// or Shutdown() is called from another thread (via a self-pipe, so the wake
+// is race-free).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  static TcpListener Listen(const std::string& host, uint16_t port,
+                            NetError* error);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  // Blocks for the next connection. After Shutdown(), returns an invalid
+  // socket with kPeerClosed.
+  TcpSocket Accept(NetError* error);
+
+  // Wakes every blocked Accept() permanently. Idempotent, thread-safe.
+  void Shutdown();
+
+ private:
+  void CloseFds();
+
+  int fd_ = -1;
+  int wake_read_ = -1;   // self-pipe: Shutdown() writes, Accept() polls
+  int wake_write_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace gauss
+
+#endif  // GAUSS_NET_SOCKET_H_

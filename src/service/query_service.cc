@@ -175,6 +175,9 @@ ServiceStats AggregateBatchStats(const std::vector<QueryResponse>& responses,
       case QueryResponse::Status::kDeadlineExceeded:
         ++stats.deadline_exceeded_queries;
         continue;
+      case QueryResponse::Status::kShardError:
+        ++stats.shard_error_queries;
+        continue;
       case QueryResponse::Status::kOk:
         break;
     }

@@ -10,6 +10,7 @@
 
 #include "gausstree/gauss_tree.h"
 #include "gausstree/query_common.h"
+#include "net/net_error.h"
 #include "pfv/pfv.h"
 #include "service/query.h"
 #include "service/request_queue.h"
@@ -86,10 +87,23 @@ struct QueryResponse {
   // kShed: admission control rejected the query at a full queue (only
   //        deadline-carrying queries are shed; others wait).
   // kDeadlineExceeded: the deadline passed before execution began.
-  enum class Status : uint8_t { kOk = 0, kShed = 1, kDeadlineExceeded = 2 };
+  // kShardError: a sharded coordinator could not complete the query because
+  //              a shard backend failed (connection lost, request timed out,
+  //              malformed reply); `error` carries the typed cause. Never
+  //              produced by an unsharded QueryService or in-process shards.
+  enum class Status : uint8_t {
+    kOk = 0,
+    kShed = 1,
+    kDeadlineExceeded = 2,
+    kShardError = 3,
+  };
 
   QueryKind kind = QueryKind::kMliq;
   Status status = Status::kOk;
+
+  // The failing shard's transport error when status == kShardError;
+  // error.ok() otherwise.
+  NetError error;
 
   // MLIQ: the k most likely identities, descending probability.
   // TIQ: every identity at/above the threshold, descending probability.

@@ -45,11 +45,12 @@ double ServiceStats::pages_per_query() const {
 }
 
 std::string ServiceStats::ToString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
-      "queries: %llu (mliq %llu, tiq %llu; shed %llu, expired %llu) "
-      "in %.3f s -> %.0f qps\n"
+      "queries: %llu (mliq %llu, tiq %llu; shed %llu, expired %llu, "
+      "shard-err %llu) in %.3f s -> %.0f qps\n"
+      "refine: %llu rounds carrying %llu requests\n"
       "latency us: mean %.1f  p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n"
       "io: %llu logical / %llu physical reads (%.1f pages/query), "
       "%llu evictions\n"
@@ -58,8 +59,10 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(mliq_queries),
       static_cast<unsigned long long>(tiq_queries),
       static_cast<unsigned long long>(shed_queries),
-      static_cast<unsigned long long>(deadline_exceeded_queries), wall_seconds,
-      qps,
+      static_cast<unsigned long long>(deadline_exceeded_queries),
+      static_cast<unsigned long long>(shard_error_queries), wall_seconds, qps,
+      static_cast<unsigned long long>(refine_rounds),
+      static_cast<unsigned long long>(refine_batched_queries),
       latency.mean_us, latency.p50_us, latency.p90_us, latency.p99_us,
       latency.max_us, static_cast<unsigned long long>(io.logical_reads),
       static_cast<unsigned long long>(io.physical_reads), pages_per_query(),

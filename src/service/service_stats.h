@@ -37,6 +37,20 @@ struct ServiceStats {
   uint64_t shed_queries = 0;
   uint64_t deadline_exceeded_queries = 0;
 
+  // Queries a sharded coordinator failed because a shard backend failed
+  // (connection lost, request timed out, malformed reply). Counted like
+  // shed/expired: present in mliq/tiq_queries, no latency sample, no work.
+  uint64_t shard_error_queries = 0;
+
+  // Denominator-refinement batching over the batch window: how many
+  // refinement rounds the coordinator's backends flushed (one frame / one
+  // worker closure per shard per round) and how many per-query refine
+  // requests those rounds carried. requests/rounds is the batching win —
+  // e.g. 64 unconverged queries converging in 3 rounds cost 3 round trips
+  // per shard, not 192. Zero on unsharded services.
+  uint64_t refine_rounds = 0;
+  uint64_t refine_batched_queries = 0;
+
   double wall_seconds = 0.0;  // submit of the first query -> last completion
   double qps = 0.0;           // (mliq + tiq) / wall_seconds
 

@@ -4,12 +4,9 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
-#include <memory>
 #include <utility>
 
 #include "common/macros.h"
-#include "gausstree/mliq.h"
-#include "gausstree/tiq.h"
 
 namespace gauss {
 
@@ -17,24 +14,44 @@ namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
-// Global reference scale over a set of per-shard traversals plus the
-// per-shard rebasing factors exp(log_ref_s - log_ref_global). The global
-// reference is the maximum, so every factor is <= 1 and rebasing can only
-// shrink scaled values. Shards with empty trees carry no objects and no
-// denominator mass; they are skipped (factor 0).
-template <typename Traversal>
-struct ScaleInfo {
+// A shard-local scored object rebased onto the coordinator's global scale.
+struct GlobalCandidate {
+  ScoredObject obj;
+  double scaled_global = 0.0;
+};
+
+QueryResponse ShardErrorResponse(QueryKind kind, const NetError& error) {
+  QueryResponse resp;
+  resp.kind = kind;
+  resp.status = QueryResponse::Status::kShardError;
+  resp.error = error;
+  return resp;
+}
+
+}  // namespace
+
+// Global reference scale over the shards' partials plus the per-shard
+// rebasing factors exp(log_ref_s - log_ref_global). The global reference is
+// the maximum, so every factor is <= 1 and rebasing can only shrink scaled
+// values. Shards with empty trees carry no objects and no denominator mass;
+// they are skipped (factor 0).
+namespace {
+
+struct GlobalScale {
   double log_ref = kNegInf;  // kNegInf iff every shard is empty
   std::vector<double> factor;
 
-  explicit ScaleInfo(const std::vector<std::unique_ptr<Traversal>>& trav) {
-    factor.resize(trav.size(), 0.0);
-    for (const auto& t : trav) {
-      if (t->tree().size() > 0) log_ref = std::max(log_ref, t->log_ref());
+  template <typename Runs>
+  explicit GlobalScale(const Runs& runs) {
+    factor.resize(runs.size(), 0.0);
+    for (const auto& run : runs) {
+      if (run.partial.tree_size > 0) {
+        log_ref = std::max(log_ref, run.partial.log_ref);
+      }
     }
-    for (size_t s = 0; s < trav.size(); ++s) {
-      if (trav[s]->tree().size() > 0) {
-        factor[s] = std::exp(trav[s]->log_ref() - log_ref);
+    for (size_t s = 0; s < runs.size(); ++s) {
+      if (runs[s].partial.tree_size > 0) {
+        factor[s] = std::exp(runs[s].partial.log_ref - log_ref);
       }
     }
   }
@@ -46,94 +63,61 @@ struct ScaleInfo {
 // a sum over all database objects, so it decomposes exactly into per-shard
 // partial sums — and interval bounds on the parts sum to interval bounds on
 // the whole.
-template <typename Traversal>
-void CombineDenominator(const std::vector<std::unique_ptr<Traversal>>& trav,
-                        const ScaleInfo<Traversal>& scale, double* lo,
+template <typename Runs>
+void CombineDenominator(const Runs& runs, const GlobalScale& scale, double* lo,
                         double* hi) {
   *lo = 0.0;
   *hi = 0.0;
-  for (size_t s = 0; s < trav.size(); ++s) {
-    *lo += trav[s]->denominator_lo() * scale.factor[s];
-    *hi += trav[s]->denominator_hi() * scale.factor[s];
+  for (size_t s = 0; s < runs.size(); ++s) {
+    *lo += runs[s].partial.denominator_lo * scale.factor[s];
+    *hi += runs[s].partial.denominator_hi * scale.factor[s];
   }
 }
 
-// Round 1: constructs and runs one traversal per shard, each on its own
-// shard's worker pool (page I/O stays with the shard that owns the pages).
-// The coordinator thread blocks in gather, so writes made by the shard
-// workers are sequenced before the coordinator reads the traversals.
-template <typename Traversal, typename Make>
-std::vector<std::unique_ptr<Traversal>> ScatterRun(
-    const std::vector<QueryService*>& shards, const Make& make) {
-  std::vector<std::unique_ptr<Traversal>> trav(shards.size());
-  std::vector<std::future<QueryResponse>> futures;
-  futures.reserve(shards.size());
-  for (size_t s = 0; s < shards.size(); ++s) {
-    futures.push_back(shards[s]->SubmitWork([&trav, &shards, &make, s] {
-      trav[s] = make(*shards[s]);
-      trav[s]->Run();
-      return QueryResponse{};
-    }));
-  }
-  for (auto& f : futures) f.get();
-  return trav;
-}
-
-// One refinement round: every shard that can still tighten its denominator
-// (non-empty frontier, nonzero gap) halves its gap on its own worker pool.
-// Halving gives geometric convergence of the combined gap across rounds.
-// Returns false when no shard could make progress — the combined bounds are
-// then as tight as they will ever get.
-template <typename Traversal>
-bool RefineRound(const std::vector<QueryService*>& shards,
-                 const std::vector<std::unique_ptr<Traversal>>& trav) {
-  std::vector<std::future<QueryResponse>> futures;
-  for (size_t s = 0; s < trav.size(); ++s) {
-    Traversal* t = trav[s].get();
-    if (t->exhausted() || t->denominator_gap() <= 0.0) continue;
-    const double target = 0.5 * t->denominator_gap();
-    futures.push_back(shards[s]->SubmitWork([t, target] {
-      t->RefineDenominator(target);
-      return QueryResponse{};
-    }));
-  }
-  for (auto& f : futures) f.get();
-  return !futures.empty();
-}
-
-// Work counters summed over every shard (all rounds included); denominator
-// bounds are the combined global-scale interval.
-template <typename Traversal>
-TraversalStats SumStats(const std::vector<std::unique_ptr<Traversal>>& trav,
-                        double global_lo, double global_hi) {
+// Work counters summed over every shard (counters are cumulative, so the
+// latest partial always carries each traversal's total); denominator bounds
+// are the combined global-scale interval.
+template <typename Runs>
+TraversalStats SumStats(const Runs& runs, double global_lo, double global_hi) {
   TraversalStats total;
-  for (const auto& t : trav) {
-    const TraversalStats s = t->stats();
-    total.nodes_visited += s.nodes_visited;
-    total.leaf_nodes_visited += s.leaf_nodes_visited;
-    total.objects_evaluated += s.objects_evaluated;
+  for (const auto& run : runs) {
+    total.nodes_visited += run.partial.nodes_visited;
+    total.leaf_nodes_visited += run.partial.leaf_nodes_visited;
+    total.objects_evaluated += run.partial.objects_evaluated;
   }
   total.denominator_lo = global_lo;
   total.denominator_hi = global_hi;
   return total;
 }
 
-// A shard-local scored object rebased onto the coordinator's global scale.
-struct GlobalCandidate {
-  ScoredObject obj;
-  double scaled_global = 0.0;
-};
-
 }  // namespace
+
+ShardCoordinator::ShardCoordinator(std::vector<ShardBackend*> backends,
+                                   ShardCoordinatorOptions options)
+    : backends_(std::move(backends)), queue_(options.queue_capacity) {
+  Init(options);
+}
 
 ShardCoordinator::ShardCoordinator(std::vector<QueryService*> shards,
                                    ShardCoordinatorOptions options)
-    : shards_(std::move(shards)), queue_(options.queue_capacity) {
-  GAUSS_CHECK_MSG(!shards_.empty(), "ShardCoordinator needs >= 1 shard");
-  for (const QueryService* shard : shards_) GAUSS_CHECK(shard != nullptr);
-  const size_t dim = shards_.front()->tree().dim();
-  for (const QueryService* shard : shards_) {
-    GAUSS_CHECK_MSG(shard->tree().dim() == dim,
+    : queue_(options.queue_capacity) {
+  GAUSS_CHECK_MSG(!shards.empty(), "ShardCoordinator needs >= 1 shard");
+  owned_backends_.reserve(shards.size());
+  backends_.reserve(shards.size());
+  for (QueryService* shard : shards) {
+    GAUSS_CHECK(shard != nullptr);
+    owned_backends_.push_back(std::make_unique<InProcessBackend>(shard));
+    backends_.push_back(owned_backends_.back().get());
+  }
+  Init(options);
+}
+
+void ShardCoordinator::Init(ShardCoordinatorOptions options) {
+  GAUSS_CHECK_MSG(!backends_.empty(), "ShardCoordinator needs >= 1 shard");
+  for (const ShardBackend* backend : backends_) GAUSS_CHECK(backend != nullptr);
+  dim_ = backends_.front()->dim();
+  for (const ShardBackend* backend : backends_) {
+    GAUSS_CHECK_MSG(backend->dim() == dim_,
                     "all shards must share one dimensionality");
   }
   size_t threads = options.num_threads;
@@ -199,26 +183,86 @@ QueryResponse ShardCoordinator::ExecuteSharded(const Query& query) {
   return resp;
 }
 
+ShardCoordinator::StartOutcome ShardCoordinator::StartAll(const Query& query) {
+  StartOutcome out;
+  out.runs.resize(backends_.size());
+  std::vector<std::future<ShardBackend::StartResult>> futures;
+  futures.reserve(backends_.size());
+  for (size_t s = 0; s < backends_.size(); ++s) {
+    out.runs[s].id = next_traversal_id_.fetch_add(1);
+    futures.push_back(backends_[s]->Start(out.runs[s].id, query));
+  }
+  // Gather everything even after a failure: `query` must stay alive until
+  // every future is ready, and a straggler shard may still hold state worth
+  // releasing.
+  for (size_t s = 0; s < backends_.size(); ++s) {
+    ShardBackend::StartResult result = futures[s].get();
+    if (!result.error.ok()) {
+      if (out.error.ok()) out.error = result.error;
+      continue;
+    }
+    out.runs[s].partial = std::move(result.partial);
+  }
+  return out;
+}
+
+ShardCoordinator::RoundOutcome ShardCoordinator::RefineRound(
+    std::vector<ShardRun>& runs) {
+  RoundOutcome out;
+  std::vector<size_t> shard_of;
+  std::vector<std::future<ShardBackend::RefineResult>> futures;
+  for (size_t s = 0; s < runs.size(); ++s) {
+    const ShardPartial& p = runs[s].partial;
+    const double gap = p.denominator_hi - p.denominator_lo;
+    if (p.exhausted || gap <= 0.0) continue;
+    // Halve the shard's local gap: geometric convergence of the combined
+    // gap across rounds, computed from the transported bounds so RPC and
+    // in-process shards receive bit-identical targets.
+    const double target = 0.5 * gap;
+    shard_of.push_back(s);
+    futures.push_back(backends_[s]->Refine({{runs[s].id, target}}));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ShardBackend::RefineResult result = futures[i].get();
+    if (!result.error.ok()) {
+      if (out.error.ok()) out.error = result.error;
+      continue;
+    }
+    ShardPartial& p = runs[shard_of[i]].partial;
+    const RefineUpdate& u = result.updates.front();
+    p.denominator_lo = u.denominator_lo;
+    p.denominator_hi = u.denominator_hi;
+    p.exhausted = u.exhausted;
+    p.nodes_visited = u.nodes_visited;
+    p.leaf_nodes_visited = u.leaf_nodes_visited;
+    p.objects_evaluated = u.objects_evaluated;
+  }
+  out.progressed = !futures.empty();
+  return out;
+}
+
+void ShardCoordinator::ReleaseAll(const std::vector<ShardRun>& runs) {
+  for (size_t s = 0; s < runs.size(); ++s) {
+    backends_[s]->Release({runs[s].id});
+  }
+}
+
 QueryResponse ShardCoordinator::ExecuteMliq(const Query& query) {
   QueryResponse resp;
   resp.kind = QueryKind::kMliq;
   const MliqOptions& options = query.mliq_options();
 
-  // SubmitWork bypasses the shard's query-execution path, so the shard
-  // service's read-ahead default is applied here (query-level depth wins).
-  auto trav = ScatterRun<MliqTraversal>(
-      shards_, [&](const QueryService& shard) {
-        MliqOptions shard_options = options;
-        shard_options.prefetch_depth = internal::EffectivePrefetchDepth(
-            shard_options.prefetch_depth, shard.prefetch_depth());
-        return std::make_unique<MliqTraversal>(shard.tree(), query.pfv(),
-                                               query.k(), shard_options);
-      });
+  StartOutcome started = StartAll(query);
+  std::vector<ShardRun>& runs = started.runs;
+  if (!started.error.ok()) {
+    ReleaseAll(runs);
+    return ShardErrorResponse(QueryKind::kMliq, started.error);
+  }
 
-  const ScaleInfo<MliqTraversal> scale(trav);
+  const GlobalScale scale(runs);
   double global_lo = 0.0, global_hi = 0.0;
   if (!scale.all_empty()) {
-    CombineDenominator(trav, scale, &global_lo, &global_hi);
+    CombineDenominator(runs, scale, &global_lo, &global_hi);
 
     // The merged top-k is already final after round 1 (see header): only the
     // probability certification can require more work. Shards refine until
@@ -227,8 +271,13 @@ QueryResponse ShardCoordinator::ExecuteMliq(const Query& query) {
       const double eps = options.probability_accuracy;
       while (!(global_lo > 0.0 &&
                (global_hi - global_lo) <= eps * global_lo)) {
-        if (!RefineRound(shards_, trav)) break;
-        CombineDenominator(trav, scale, &global_lo, &global_hi);
+        const RoundOutcome round = RefineRound(runs);
+        if (!round.error.ok()) {
+          ReleaseAll(runs);
+          return ShardErrorResponse(QueryKind::kMliq, round.error);
+        }
+        if (!round.progressed) break;
+        CombineDenominator(runs, scale, &global_lo, &global_hi);
       }
     }
 
@@ -236,8 +285,8 @@ QueryResponse ShardCoordinator::ExecuteMliq(const Query& query) {
     // so the union contains the exact global top-k. Stable sort keeps each
     // shard's internal (already density-descending) order on ties.
     std::vector<GlobalCandidate> merged;
-    for (size_t s = 0; s < trav.size(); ++s) {
-      for (const ScoredObject& o : trav[s]->top_items()) {
+    for (size_t s = 0; s < runs.size(); ++s) {
+      for (const ScoredObject& o : runs[s].partial.items) {
         merged.push_back({o, o.scaled_density * scale.factor[s]});
       }
     }
@@ -260,7 +309,8 @@ QueryResponse ShardCoordinator::ExecuteMliq(const Query& query) {
       resp.items.push_back(item);
     }
   }
-  resp.stats = SumStats(trav, global_lo, global_hi);
+  resp.stats = SumStats(runs, global_lo, global_hi);
+  ReleaseAll(runs);
   return resp;
 }
 
@@ -270,27 +320,25 @@ QueryResponse ShardCoordinator::ExecuteTiq(const Query& query) {
   const TiqOptions& options = query.tiq_options();
   const double threshold = query.threshold();
 
-  auto trav = ScatterRun<TiqTraversal>(
-      shards_, [&](const QueryService& shard) {
-        TiqOptions shard_options = options;
-        shard_options.prefetch_depth = internal::EffectivePrefetchDepth(
-            shard_options.prefetch_depth, shard.prefetch_depth());
-        return std::make_unique<TiqTraversal>(shard.tree(), query.pfv(),
-                                              threshold, shard_options);
-      });
+  StartOutcome started = StartAll(query);
+  std::vector<ShardRun>& runs = started.runs;
+  if (!started.error.ok()) {
+    ReleaseAll(runs);
+    return ShardErrorResponse(QueryKind::kTiq, started.error);
+  }
 
-  const ScaleInfo<TiqTraversal> scale(trav);
+  const GlobalScale scale(runs);
   double global_lo = 0.0, global_hi = 0.0;
   if (!scale.all_empty()) {
     // Union of per-shard survivors: a superset of every globally qualifying
     // object (shard-local upper-bound filtering is conservative).
     std::vector<GlobalCandidate> cands;
-    for (size_t s = 0; s < trav.size(); ++s) {
-      for (const ScoredObject& o : trav[s]->candidates()) {
+    for (size_t s = 0; s < runs.size(); ++s) {
+      for (const ScoredObject& o : runs[s].partial.items) {
         cands.push_back({o, o.scaled_density * scale.factor[s]});
       }
     }
-    CombineDenominator(trav, scale, &global_lo, &global_hi);
+    CombineDenominator(runs, scale, &global_lo, &global_hi);
 
     const auto prob_hi = [&](double scaled) {
       return global_lo > 0.0 ? std::min(1.0, scaled / global_lo) : 1.0;
@@ -318,8 +366,13 @@ QueryResponse ShardCoordinator::ExecuteTiq(const Query& query) {
       return false;
     };
     while (needs_refinement()) {
-      if (!RefineRound(shards_, trav)) break;
-      CombineDenominator(trav, scale, &global_lo, &global_hi);
+      const RoundOutcome round = RefineRound(runs);
+      if (!round.error.ok()) {
+        ReleaseAll(runs);
+        return ShardErrorResponse(QueryKind::kTiq, round.error);
+      }
+      if (!round.progressed) break;
+      CombineDenominator(runs, scale, &global_lo, &global_hi);
     }
 
     // Final filter under the combined bounds, mirroring the single-tree
@@ -347,7 +400,8 @@ QueryResponse ShardCoordinator::ExecuteTiq(const Query& query) {
       }
     }
   }
-  resp.stats = SumStats(trav, global_lo, global_hi);
+  resp.stats = SumStats(runs, global_lo, global_hi);
+  ReleaseAll(runs);
   return resp;
 }
 
@@ -356,6 +410,7 @@ BatchResult ShardCoordinator::ExecuteBatch(const std::vector<Query>& batch) {
   if (batch.empty()) return result;
 
   const IoStats io_before = io_stats();
+  const BackendRefineCounters refine_before = refine_counters();
   const auto start = std::chrono::steady_clock::now();
 
   std::vector<std::future<QueryResponse>> futures;
@@ -372,13 +427,28 @@ BatchResult ShardCoordinator::ExecuteBatch(const std::vector<Query>& batch) {
           .count();
   result.stats =
       AggregateBatchStats(result.responses, wall, io_stats() - io_before);
+  const BackendRefineCounters refine_after = refine_counters();
+  result.stats.refine_rounds = refine_after.rounds - refine_before.rounds;
+  result.stats.refine_batched_queries =
+      refine_after.requests - refine_before.requests;
   return result;
 }
 
 IoStats ShardCoordinator::io_stats() const {
   IoStats total;
-  for (const QueryService* shard : shards_) {
-    total += shard->tree().pool()->stats();
+  for (ShardBackend* backend : backends_) {
+    ShardBackend::StatsResult stats = backend->FetchStats();
+    if (stats.error.ok()) total += stats.io;
+  }
+  return total;
+}
+
+BackendRefineCounters ShardCoordinator::refine_counters() const {
+  BackendRefineCounters total;
+  for (const ShardBackend* backend : backends_) {
+    const BackendRefineCounters c = backend->refine_counters();
+    total.rounds += c.rounds;
+    total.requests += c.requests;
   }
   return total;
 }

@@ -1,11 +1,14 @@
 #ifndef GAUSS_SERVICE_SHARD_COORDINATOR_H_
 #define GAUSS_SERVICE_SHARD_COORDINATOR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "net/shard_backend.h"
 #include "service/query.h"
 #include "service/query_service.h"
 #include "service/request_queue.h"
@@ -17,12 +20,14 @@ namespace gauss {
 // ============================ ShardCoordinator ==============================
 //
 // The front door of a sharded GaussDb: one Submit()/ExecuteBatch() surface
-// over N per-shard QueryServices, each serving one Gauss-tree holding a
-// hash-partition of the gallery. A small pool of coordinator threads
-// executes each admitted query end-to-end by scatter-gathering shard-local
-// traversal steps onto the shards' own worker pools (QueryService::
-// SubmitWork), so page I/O and density evaluation always run on the shard
-// that owns the data.
+// over N shards, each serving one Gauss-tree holding a hash-partition of the
+// gallery. The coordinator talks to its shards exclusively through the
+// ShardBackend seam (net/shard_backend.h) — a shard may be an in-process
+// QueryService (InProcessBackend, what GaussDb::Serve wires) or a remote
+// gauss_shardd reached over the binary wire protocol (RpcBackend, what
+// GaussDb::ServeRemote wires). The merge mathematics below is transport-
+// agnostic, and the loopback differential in tests/shard_equivalence_test.cc
+// proves both transports byte-identical.
 //
 // Why sharding is not just a union of per-shard answers: the identification
 // probability P(v|q) is the object's density normalized by a denominator
@@ -44,9 +49,8 @@ namespace gauss {
 //    local lists by density and truncating to k is exact. Probabilities are
 //    then certified against the combined denominator; while the combined
 //    interval is wider than the requested accuracy, every non-exhausted
-//    shard is asked to halve its denominator gap (MliqTraversal::
-//    RefineDenominator) — geometric convergence, and the reported id set
-//    never changes during refinement.
+//    shard is asked to halve its denominator gap — geometric convergence,
+//    and the reported id set never changes during refinement.
 //
 //  * TIQ. Each shard's surviving candidates are a superset of its globally
 //    qualifying objects (a shard-local denominator under-estimates the
@@ -59,21 +63,29 @@ namespace gauss {
 //    Figure 5 contract (no false dismissals; straddling candidates are
 //    reported) without extra rounds.
 //
+// Refinement batching: each refinement round submits one RefineSpec per
+// still-unconverged shard through ShardBackend::Refine. Concurrent queries'
+// rounds coalesce in the backend's RefineChannel, so a round costs one wire
+// frame (or one shard-worker closure) per shard no matter how many queries
+// ride in it. ExecuteBatch reports the win as ServiceStats::refine_rounds /
+// refine_batched_queries.
+//
 // Admission control happens only here, never at the shards: the coordinator
 // queue sheds deadline-carrying queries when full and expires queued ones
-// exactly like QueryService, while shard-level sub-steps use the blocking
-// path — so a shed or expired query is counted once in the merged
-// ServiceStats, not once per shard.
+// exactly like QueryService — so a shed or expired query is counted once in
+// the merged ServiceStats, not once per shard. Over RPC, a query's remaining
+// deadline budget also travels with it and bounds the socket wait, so a
+// too-slow shard yields a typed timeout, not a stall.
 //
-// Responses: QueryResponse::stats sums traversal work over all shards and
-// rounds; denominator_lo/hi are the combined bounds in the coordinator's
-// global scale. ExecuteBatch merges IoStats across the shard services'
-// caches (io_stats() likewise).
+// Failure model: a backend failure (connection lost, timeout, protocol
+// error) fails the *query* with QueryResponse::Status::kShardError and the
+// typed NetError — never a hang, never a crash — and the remaining shards'
+// traversal state is released. In-process backends cannot fail.
 //
 // Shutdown: the destructor closes the queue, drains every admitted query
-// (in-flight scatter-gathers complete against the still-live shard
-// services), and joins the coordinator threads. The shard QueryServices
-// must outlive the coordinator.
+// (in-flight scatter-gathers complete, or fail typed if their shard died),
+// and joins the coordinator threads. The backends (and any QueryServices
+// under them) must outlive the coordinator.
 // ============================================================================
 
 struct ShardCoordinatorOptions {
@@ -86,10 +98,15 @@ struct ShardCoordinatorOptions {
 
 class ShardCoordinator {
  public:
-  // `shards[s]` serves shard s's tree and must outlive the coordinator.
-  // At least one shard; every shard tree must share one dimensionality.
-  ShardCoordinator(std::vector<QueryService*> shards,
+  // `backends[s]` fronts shard s and must outlive the coordinator. At least
+  // one shard; every shard must share one dimensionality.
+  ShardCoordinator(std::vector<ShardBackend*> backends,
                    ShardCoordinatorOptions options = {});
+
+  // Convenience over in-process shards: wraps each QueryService in an owned
+  // InProcessBackend. Semantics identical to the pre-backend coordinator.
+  explicit ShardCoordinator(std::vector<QueryService*> shards,
+                            ShardCoordinatorOptions options = {});
 
   ShardCoordinator(const ShardCoordinator&) = delete;
   ShardCoordinator& operator=(const ShardCoordinator&) = delete;
@@ -103,22 +120,59 @@ class ShardCoordinator {
   std::future<QueryResponse> Submit(Query query);
 
   // Batch submission: submit-and-gather over Submit() with merged
-  // ServiceStats (latency percentiles over executed queries, shed/expired
-  // counted once, IoStats summed over the shard caches). Thread-safe.
+  // ServiceStats (latency percentiles over executed queries; shed, expired
+  // and shard-error queries counted once; IoStats and refinement-round
+  // counters summed over the shard backends). Thread-safe.
   BatchResult ExecuteBatch(const std::vector<Query>& batch);
 
-  // Sum of the shard caches' I/O counters.
+  // Sum of the shard caches' I/O counters (shards whose backend fails to
+  // report are skipped).
   IoStats io_stats() const;
 
-  size_t num_shards() const { return shards_.size(); }
+  // Sum of the backends' refinement batching counters.
+  BackendRefineCounters refine_counters() const;
+
+  size_t num_shards() const { return backends_.size(); }
+  size_t dim() const { return dim_; }
 
  private:
+  // One shard's live traversal during a query: its backend-side handle and
+  // the latest partial state (Start fills it; refinement rounds overwrite
+  // bounds and cumulative work counters in place).
+  struct ShardRun {
+    uint64_t id = 0;
+    ShardPartial partial;
+  };
+
+  struct StartOutcome {
+    NetError error;  // first shard failure; runs are partial if set
+    std::vector<ShardRun> runs;
+  };
+
+  struct RoundOutcome {
+    bool progressed = false;
+    NetError error;
+  };
+
+  void Init(ShardCoordinatorOptions options);
   void CoordinatorLoop();
   QueryResponse ExecuteSharded(const Query& query);
   QueryResponse ExecuteMliq(const Query& query);
   QueryResponse ExecuteTiq(const Query& query);
 
-  std::vector<QueryService*> shards_;
+  // Round 1 on every shard: allocate handles, Start the traversals, gather
+  // all partials (gathers everything even on failure, so no future leaks).
+  StartOutcome StartAll(const Query& query);
+  // One refinement round: every shard that can still tighten its denominator
+  // halves its gap. Updates `runs` in place.
+  RoundOutcome RefineRound(std::vector<ShardRun>& runs);
+  // Frees backend-side traversal state (fire-and-forget).
+  void ReleaseAll(const std::vector<ShardRun>& runs);
+
+  std::vector<std::unique_ptr<ShardBackend>> owned_backends_;
+  std::vector<ShardBackend*> backends_;
+  size_t dim_ = 0;
+  std::atomic<uint64_t> next_traversal_id_{1};
   RequestQueue queue_;
   std::vector<std::thread> workers_;
 };

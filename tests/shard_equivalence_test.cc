@@ -19,10 +19,15 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <future>
+#include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -31,6 +36,8 @@
 #include "common/random.h"
 #include "data/generators.h"
 #include "data/workload.h"
+#include "net/net_error.h"
+#include "net/shard_server.h"
 #include "pfv/pfv_file.h"
 #include "scan/seq_scan.h"
 #include "service_test_util.h"
@@ -684,6 +691,249 @@ TEST(ShardEquivalenceTest, ReopenedShardedFileAcceptsMoreInserts) {
     EXPECT_EQ(total, first.size() + second.size());
   }
   std::remove(path.c_str());
+}
+
+// ----------------------- loopback RPC differential ---------------------------
+//
+// The distributed transport (src/net/) must be invisible to correctness: a
+// ServeRemote() session whose shards sit behind real ShardServers on loopback
+// TCP sockets has to produce byte-identical answers to the in-process
+// coordinator over the very same shard services. Running both sessions
+// against one database turns any wire-format, rebasing, or refinement-
+// batching divergence into a bit mismatch here.
+
+// One sharded database served twice: in-process, and through per-shard
+// ShardServers plus a ServeRemote() session dialing 127.0.0.1. Member order
+// is load-bearing — destruction runs remote session (hangs up), then the
+// servers it spoke to, then the local session owning the shard services.
+class LoopbackStack {
+ public:
+  LoopbackStack(const PfvDataset& dataset, size_t num_shards) {
+    GaussDbOptions options;
+    options.shards.num_shards = num_shards;
+    db_.emplace(GaussDb::CreateInMemory(dataset.dim(), options));
+    db_->Build(dataset);
+    local_.emplace(
+        db_->Serve({.num_workers = 2 * num_shards, .coordinator_threads = 2}));
+    std::vector<std::string> endpoints;
+    for (size_t s = 0; s < local_->num_shards(); ++s) {
+      NetError error;
+      std::unique_ptr<ShardServer> server =
+          ShardServer::Listen(local_->shard_service(s), {}, &error);
+      if (server == nullptr) {
+        ADD_FAILURE() << "ShardServer::Listen: " << error.ToString();
+        return;
+      }
+      endpoints.push_back("127.0.0.1:" + std::to_string(server->port()));
+      servers_.push_back(std::move(server));
+    }
+    ServeResult connected = GaussDb::ServeRemote(endpoints);
+    if (!connected.ok()) {
+      ADD_FAILURE() << "ServeRemote: " << connected.error().ToString();
+      return;
+    }
+    remote_.emplace(std::move(connected).value());
+  }
+
+  bool ok() const { return remote_.has_value(); }
+  Session& local() { return *local_; }
+  Session& remote() { return *remote_; }
+  void ShutdownServers() {
+    for (std::unique_ptr<ShardServer>& server : servers_) server->Shutdown();
+  }
+  void ShutdownServer(size_t s) { servers_[s]->Shutdown(); }
+
+ private:
+  std::optional<GaussDb> db_;
+  std::optional<Session> local_;
+  std::vector<std::unique_ptr<ShardServer>> servers_;
+  std::optional<Session> remote_;
+};
+
+void ExpectBitwiseEqualDoubles(double got, double want) {
+  EXPECT_EQ(std::memcmp(&got, &want, sizeof(double)), 0);
+}
+
+// Acceptance criterion for the transport: every shard count 1-8, the full
+// variant batch (both TIQ exact_membership modes, refinement-forcing tight
+// accuracies) comes back byte-identical over RPC — items, denominator
+// bounds, and the seq-scan oracle's id sets all agree with the in-process
+// coordinator.
+TEST(ShardEquivalenceTest, LoopbackRpcMatchesInProcessAcrossShardCounts) {
+  const PfvDataset dataset = MakeDataset(500, 3, 6, /*seed=*/1212);
+  const Reference ref(dataset, /*probes=*/5, /*seed=*/1213);
+  for (size_t shards = 1; shards <= 8; ++shards) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    LoopbackStack stack(dataset, shards);
+    ASSERT_TRUE(stack.ok());
+    const BatchResult local = stack.local().ExecuteBatch(ref.batch());
+    const BatchResult remote = stack.remote().ExecuteBatch(ref.batch());
+    ASSERT_EQ(remote.responses.size(), ref.batch().size());
+    ASSERT_EQ(local.responses.size(), ref.batch().size());
+    for (size_t i = 0; i < remote.responses.size(); ++i) {
+      SCOPED_TRACE("query " + std::to_string(i));
+      const Query& query = ref.batch()[i];
+      const QueryResponse& got = remote.responses[i];
+      const QueryResponse& want = local.responses[i];
+      ASSERT_EQ(got.status, QueryResponse::Status::kOk) << got.error.ToString();
+      ASSERT_EQ(want.status, QueryResponse::Status::kOk);
+      EXPECT_EQ(got.kind, query.kind());
+      test::ExpectItemsBytesEqual(got.items, want.items);
+      // The combined Bayes-denominator interval survived the wire bit-exactly.
+      ExpectBitwiseEqualDoubles(got.stats.denominator_lo,
+                                want.stats.denominator_lo);
+      ExpectBitwiseEqualDoubles(got.stats.denominator_hi,
+                                want.stats.denominator_hi);
+      // Independent oracle: the exhaustive scan's id sets.
+      if (IsLazyTiq(query)) continue;
+      if (query.kind() == QueryKind::kTiq) {
+        EXPECT_EQ(Ids(got.items), Ids(ref.ScanTiq(i)));
+      } else {
+        EXPECT_EQ(Ids(got.items), Ids(ref.ScanMliq(i, query.k())));
+      }
+    }
+  }
+}
+
+// Refinement over the wire. A tight accuracy alone cannot force coordinator
+// rounds — every shard already refines to the query's accuracy against its
+// local bounds, and per-shard relative gaps at eps imply the combined gap is
+// at eps too. What does force rounds is exact membership with the threshold
+// sitting exactly at a candidate's true probability: the lazily-bounded
+// first pass cannot certify the candidate against a threshold inside its
+// interval, so the coordinator must issue batched kRefine rounds until the
+// interval clears (or the shards exhaust). The per-query refinement work is
+// deterministic — the same number of refine requests whether the shard is a
+// function call or a socket away. (Round counts measure coalescing, which
+// is timing-dependent; only their existence and rounds <= requests are
+// asserted.)
+TEST(ShardEquivalenceTest, LoopbackRpcRefinementRoundsAreBatchedAndCounted) {
+  const PfvDataset dataset = MakeDataset(1000, 3, 8, /*seed=*/1414);
+  LoopbackStack stack(dataset, /*num_shards=*/3);
+  ASSERT_TRUE(stack.ok());
+
+  // Refinement-forcing thresholds: each probe's top-2 true probabilities,
+  // certified to 1e-9 by the in-process session.
+  WorkloadConfig wconfig;
+  wconfig.query_count = 8;
+  wconfig.seed = 1415;
+  std::vector<Query> batch;
+  for (const IdentificationQuery& q : GenerateWorkload(dataset, wconfig)) {
+    const QueryResponse top =
+        stack.local().Submit(Query::Mliq(q.query, 2).Accuracy(1e-9)).get();
+    ASSERT_EQ(top.status, QueryResponse::Status::kOk);
+    for (const IdentificationResult& item : top.items) {
+      if (item.probability > 0.0 && item.probability < 1.0) {
+        batch.push_back(
+            Query::Tiq(q.query, item.probability).ExactMembership(true));
+      }
+    }
+  }
+  ASSERT_FALSE(batch.empty());
+
+  const BatchResult local = stack.local().ExecuteBatch(batch);
+  const BatchResult remote = stack.remote().ExecuteBatch(batch);
+  ASSERT_EQ(remote.responses.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    ASSERT_EQ(remote.responses[i].status, QueryResponse::Status::kOk)
+        << remote.responses[i].error.ToString();
+    test::ExpectItemsBytesEqual(remote.responses[i].items,
+                                local.responses[i].items);
+  }
+  EXPECT_GT(remote.stats.refine_rounds, 0u);
+  EXPECT_GE(remote.stats.refine_batched_queries, remote.stats.refine_rounds);
+  EXPECT_EQ(remote.stats.refine_batched_queries,
+            local.stats.refine_batched_queries);
+}
+
+// Deterministic fault injection, phase one: every shard server is shut down
+// between batches, so each query of the next batch must come back as a typed
+// kShardError (connection gone -> kPeerClosed) without hanging — and the
+// error is per-query, counted once each in the merged stats.
+TEST(ShardEquivalenceTest, ShardServerShutdownBetweenBatchesFailsTyped) {
+  const PfvDataset dataset = MakeDataset(300, 3, 4, /*seed=*/1515);
+  LoopbackStack stack(dataset, /*num_shards=*/2);
+  ASSERT_TRUE(stack.ok());
+
+  WorkloadConfig wconfig;
+  wconfig.query_count = 3;
+  wconfig.seed = 1516;
+  std::vector<Query> batch;
+  for (const IdentificationQuery& q : GenerateWorkload(dataset, wconfig)) {
+    batch.push_back(Query::Mliq(q.query, 3).Accuracy(kAccuracy));
+    batch.push_back(Query::Tiq(q.query, kThreshold).ExactMembership(true));
+  }
+
+  const BatchResult warm = stack.remote().ExecuteBatch(batch);
+  for (const QueryResponse& response : warm.responses) {
+    ASSERT_EQ(response.status, QueryResponse::Status::kOk)
+        << response.error.ToString();
+  }
+
+  stack.ShutdownServers();
+  const BatchResult cold = stack.remote().ExecuteBatch(batch);
+  ASSERT_EQ(cold.responses.size(), batch.size());
+  for (size_t i = 0; i < cold.responses.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    EXPECT_EQ(cold.responses[i].status, QueryResponse::Status::kShardError);
+    EXPECT_FALSE(cold.responses[i].error.ok());
+    EXPECT_EQ(cold.responses[i].error.code, NetErrorCode::kPeerClosed);
+    EXPECT_TRUE(cold.responses[i].items.empty());
+  }
+  EXPECT_EQ(cold.stats.shard_error_queries, batch.size());
+}
+
+// Phase two: a shard dies in the middle of a heavy in-flight batch. Every
+// outstanding future must still resolve — kOk if its scatter-gather finished
+// before the cut, typed kShardError otherwise, never a hang (the ctest
+// timeout is the watchdog) — and tearing the session down afterwards drains
+// cleanly with the server gone.
+TEST(ShardEquivalenceTest, ShardServerShutdownMidBatchResolvesEveryQuery) {
+  const PfvDataset dataset = MakeDataset(800, 4, 8, /*seed=*/1717);
+  LoopbackStack stack(dataset, /*num_shards=*/3);
+  ASSERT_TRUE(stack.ok());
+
+  WorkloadConfig wconfig;
+  wconfig.query_count = 20;
+  wconfig.seed = 1718;
+  std::vector<Query> batch;
+  for (const IdentificationQuery& q : GenerateWorkload(dataset, wconfig)) {
+    // Tight accuracy keeps refinement traffic on the wire while the plug is
+    // pulled, exercising the in-flight failure path, not just admission.
+    batch.push_back(Query::Mliq(q.query, 5).Accuracy(1e-9));
+    batch.push_back(
+        Query::Tiq(q.query, kThreshold).ExactMembership(true).Accuracy(1e-9));
+  }
+
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(batch.size());
+  for (const Query& query : batch) {
+    futures.push_back(stack.remote().Submit(query));
+  }
+  stack.ShutdownServer(0);
+
+  size_t ok = 0;
+  size_t shard_errors = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    const QueryResponse response = futures[i].get();
+    if (response.status == QueryResponse::Status::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(response.status, QueryResponse::Status::kShardError);
+      EXPECT_FALSE(response.error.ok());
+      ++shard_errors;
+    }
+  }
+  EXPECT_EQ(ok + shard_errors, batch.size());
+  // The remaining live shards must still answer fresh traffic is NOT a
+  // guarantee (the coordinator needs every shard); what is guaranteed is a
+  // typed, prompt error — not a hang.
+  const QueryResponse after =
+      stack.remote().Submit(Query::Mliq(batch[0].pfv(), 1)).get();
+  EXPECT_EQ(after.status, QueryResponse::Status::kShardError);
+  EXPECT_FALSE(after.error.ok());
 }
 
 }  // namespace

@@ -86,7 +86,7 @@ TEST_F(ShardServingTest, FrontDoorShedsAndExpiresDeterministically) {
   auto tree1 = GaussTree::Open(&pool1, metas_[1]);
   QueryService shard0(*tree0, {.num_workers = 1, .queue_capacity = 8});
   QueryService shard1(*tree1, {.num_workers = 1, .queue_capacity = 8});
-  ShardCoordinator coordinator({&shard0, &shard1},
+  ShardCoordinator coordinator(std::vector<QueryService*>{&shard0, &shard1},
                                {.num_threads = 1, .queue_capacity = 2});
 
   gated.CloseGate();
@@ -191,7 +191,7 @@ TEST_F(ShardServingTest, MergedStatsCountAdmissionOutcomesOnce) {
   auto tree1 = GaussTree::Open(&pool1, metas_[1]);
   QueryService shard0(*tree0, {.num_workers = 1, .queue_capacity = 8});
   QueryService shard1(*tree1, {.num_workers = 1, .queue_capacity = 8});
-  ShardCoordinator coordinator({&shard0, &shard1},
+  ShardCoordinator coordinator(std::vector<QueryService*>{&shard0, &shard1},
                                {.num_threads = 2, .queue_capacity = 8});
 
   std::vector<Query> batch;
