@@ -1,0 +1,142 @@
+"""Unit tests for the baseline regenerator (bench/update_baseline.py).
+
+The regenerated baseline is what the CI guard gates every merge against, so
+the updater's collapse/merge semantics are tested code too. Run with either
+
+  python -m pytest bench/test_update_baseline.py         # CI
+  python -m unittest bench.test_update_baseline          # stdlib-only
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_regression
+import update_baseline
+
+
+def cell(name, pages=10.0, p99=100.0, bench="sweep_x", scale=1.0, **extra):
+    record = {"bench": bench, "scale": scale, "cell": name,
+              "pages_per_query": pages, "p99_us": p99}
+    record.update(extra)
+    return record
+
+
+class UpdateBaselineTestCase(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write_jsonl(self, name, records):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            for record in records:
+                f.write(json.dumps(record) + "\n")
+        return path
+
+    def run_update(self, current, baseline=None, *extra_args):
+        current_path = self.write_jsonl("current.json", current)
+        baseline_path = (self.write_jsonl("baseline.json", baseline)
+                         if baseline is not None
+                         else os.path.join(self._dir.name, "baseline.json"))
+        argv = ["--current", current_path, "--baseline", baseline_path]
+        argv.extend(extra_args)
+        rc = update_baseline.main(argv)
+        return rc, baseline_path
+
+    def read_cells(self, path):
+        return check_regression.load_cells(path)
+
+
+class CollapseTest(UpdateBaselineTestCase):
+    def test_fresh_baseline_is_written_sorted(self):
+        rc, path = self.run_update([cell("b"), cell("a")])
+        self.assertEqual(rc, 0)
+        with open(path, encoding="utf-8") as f:
+            names = [json.loads(line)["cell"] for line in f]
+        self.assertEqual(names, ["a", "b"])
+
+    def test_minimum_p99_across_runs_is_recorded(self):
+        # Two appended smoke runs: the baseline must keep the guard's view —
+        # the minimum p99 — not the last line's value.
+        rc, path = self.run_update(
+            [cell("a", p99=1000.0), cell("a", p99=101.0, pages=12.0)])
+        self.assertEqual(rc, 0)
+        record = self.read_cells(path)[("sweep_x", 1.0, "a")]
+        self.assertEqual(record["p99_us"], 101.0)
+        self.assertEqual(record["pages_per_query"], 12.0)
+
+    def test_deterministic_metrics_keep_last_occurrence(self):
+        rc, path = self.run_update(
+            [cell("a", pages=500.0), cell("a", pages=100.0)])
+        self.assertEqual(rc, 0)
+        record = self.read_cells(path)[("sweep_x", 1.0, "a")]
+        self.assertEqual(record["pages_per_query"], 100.0)
+
+    def test_guard_passes_against_freshly_written_baseline(self):
+        # The round trip that matters: regenerate, then run the guard with
+        # the same current file — zero regressions by construction.
+        current = [cell("a", pages=33.3, p99=912.5), cell("b")]
+        rc, path = self.run_update(current)
+        self.assertEqual(rc, 0)
+        current_path = self.write_jsonl("current2.json", current)
+        self.assertEqual(check_regression.main(
+            ["--current", current_path, "--baseline", path]), 0)
+
+
+class MergeTest(UpdateBaselineTestCase):
+    def test_stale_baseline_cells_are_kept_by_default(self):
+        # A cell the current run never produced must survive — silently
+        # dropping it would drop the guard's coverage check too.
+        rc, path = self.run_update([cell("a", pages=1.0)],
+                                   [cell("a", pages=9.0), cell("old")])
+        self.assertEqual(rc, 0)
+        cells = self.read_cells(path)
+        self.assertIn(("sweep_x", 1.0, "old"), cells)
+        self.assertEqual(cells[("sweep_x", 1.0, "a")]["pages_per_query"], 1.0)
+
+    def test_prune_drops_stale_cells(self):
+        rc, path = self.run_update([cell("a")], [cell("a"), cell("old")],
+                                   "--prune")
+        self.assertEqual(rc, 0)
+        self.assertNotIn(("sweep_x", 1.0, "old"), self.read_cells(path))
+
+    def test_cells_keyed_by_bench_scale_and_cell(self):
+        # The same cell name at another scale is a different measurement —
+        # it must neither overwrite nor be pruned implicitly.
+        rc, path = self.run_update([cell("a", scale=0.02, pages=3.0)],
+                                   [cell("a", scale=1.0, pages=30.0)])
+        self.assertEqual(rc, 0)
+        cells = self.read_cells(path)
+        self.assertEqual(cells[("sweep_x", 0.02, "a")]["pages_per_query"], 3.0)
+        self.assertEqual(cells[("sweep_x", 1.0, "a")]["pages_per_query"], 30.0)
+
+
+class GuardRailsTest(UpdateBaselineTestCase):
+    def test_empty_current_refuses_to_write(self):
+        baseline = self.write_jsonl("baseline.json", [cell("a")])
+        current = self.write_jsonl("current.json", [])
+        with self.assertRaises(SystemExit):
+            update_baseline.main(["--current", current,
+                                  "--baseline", baseline])
+        # The old baseline survives untouched.
+        self.assertIn(("sweep_x", 1.0, "a"),
+                      check_regression.load_cells(baseline))
+
+    def test_malformed_current_line_is_an_error(self):
+        baseline = os.path.join(self._dir.name, "baseline.json")
+        current = os.path.join(self._dir.name, "broken.json")
+        with open(current, "w", encoding="utf-8") as f:
+            f.write('{"bench": "x", truncated\n')
+        with self.assertRaises(SystemExit):
+            update_baseline.main(["--current", current,
+                                  "--baseline", baseline])
+        self.assertFalse(os.path.exists(baseline))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Regenerates the committed serving-bench baseline from a fresh run.
+
+Collapses a JSON-lines bench file ($GAUSS_BENCH_JSON, appended across
+repeated smoke runs) with exactly the semantics of the CI guard
+(bench/check_regression.py shares its load_cells): cells keyed by
+(bench, scale, cell), last line wins for deterministic metrics, minimum
+observed p99_us wins for timing — so the baseline records precisely what
+the guard would have compared against. The collapsed cells are merged over
+the existing baseline and written back sorted, one JSON object per line,
+for reviewable diffs.
+
+Cells present only in the old baseline are KEPT by default — dropping a
+cell silently would also drop the guard's coverage check for it — and each
+is reported; pass --prune to drop them deliberately (e.g. after deleting a
+bench or renaming its cells).
+
+Typical regeneration (from the repo root, after a ci-preset build):
+
+  rm -f build/BENCH_serving.json
+  ctest --test-dir build -R '_smoke$'
+  ctest --test-dir build -R '_smoke$'   # twice: feeds the min-p99 handling
+  python3 bench/update_baseline.py --current build/BENCH_serving.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from check_regression import load_cells
+
+
+def main(argv=None):
+    """Rewrites the baseline; `argv` defaults to sys.argv[1:] (injectable
+    for the unit tests in bench/test_update_baseline.py). Returns the
+    process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True,
+                        help="BENCH_serving.json emitted by the fresh run(s)")
+    parser.add_argument("--baseline",
+                        default=os.path.join(
+                            os.path.dirname(os.path.abspath(__file__)),
+                            "BENCH_serving.baseline.json"),
+                        help="baseline file to rewrite "
+                             "(default: bench/BENCH_serving.baseline.json)")
+    parser.add_argument("--prune", action="store_true",
+                        help="drop baseline cells absent from the current "
+                             "run instead of keeping them")
+    args = parser.parse_args(argv)
+
+    current = load_cells(args.current)
+    if not current:
+        raise SystemExit(f"{args.current}: no cells — refusing to write an "
+                         f"empty baseline")
+    baseline = load_cells(args.baseline) if os.path.exists(args.baseline) \
+        else {}
+
+    merged = {} if args.prune else dict(baseline)
+    merged.update(current)
+
+    for key in sorted(set(baseline) - set(current)):
+        action = "pruned" if args.prune else \
+            "kept from old baseline (absent in current run; --prune to drop)"
+        print(f"  {action}: {key[0]}[scale={key[1]}] {key[2]}")
+
+    with open(args.baseline, "w", encoding="utf-8") as f:
+        for key in sorted(merged):
+            f.write(json.dumps(merged[key]) + "\n")
+    print(f"wrote {len(merged)} cells to {args.baseline} "
+          f"({len(current)} from the current run)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

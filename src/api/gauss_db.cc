@@ -1,5 +1,6 @@
 #include "api/gauss_db.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -508,6 +509,30 @@ OpenResult GaussDb::OpenDirectory(const std::string& path,
                                "created with " +
                    std::to_string(page_size) + ", the device is opened with " +
                    std::to_string(options.page_size));
+  }
+
+  // A writer that crashed between creating MANIFEST.tmp.<pid> and renaming
+  // it over MANIFEST leaves the tmp file behind forever (the pid suffix
+  // means no later writer reuses the name). They are garbage by
+  // construction — the rename either happened (the data lives in MANIFEST)
+  // or the manifest write never completed (the previous manifest, just
+  // validated above, is authoritative) — so sweep them here rather than let
+  // them accumulate. Unlink races with a live writer are benign: losing a
+  // tmp file before its rename only makes that writer's rename fail, and it
+  // retries by rewriting identical bytes on the next Finalize().
+  if (DIR* dir = ::opendir(path.c_str())) {
+    const std::string stale_prefix = std::string(kDirManifestName) + ".tmp.";
+    std::vector<std::string> stale;
+    while (const struct dirent* entry = ::readdir(dir)) {
+      if (std::strncmp(entry->d_name, stale_prefix.c_str(),
+                       stale_prefix.size()) == 0) {
+        stale.push_back(path + "/" + entry->d_name);
+      }
+    }
+    ::closedir(dir);
+    for (const std::string& stale_path : stale) {
+      ::unlink(stale_path.c_str());  // best-effort; it is garbage either way
+    }
   }
 
   GaussDb db;

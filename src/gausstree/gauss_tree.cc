@@ -98,6 +98,7 @@ void GaussTree::Finalize() {
   store_.Finalize();
   WriteMetaPage();
   pool_->FlushAll();
+  store_.PinRoot(root_);
 }
 
 GaussTree::HeaderInfo GaussTree::InspectHeader(const void* page_bytes,
@@ -153,6 +154,7 @@ std::unique_ptr<GaussTree> GaussTree::Open(PageCache* pool,
     }
   }
   tree->store_.OpenFinalized(std::move(pages));
+  tree->store_.PinRoot(meta.root);
   return tree;
 }
 

@@ -28,6 +28,11 @@ MliqTraversal::MliqTraversal(const GaussTree& tree, const Pfv& q, size_t k,
   if (tree_.store().finalized()) prefetch_depth_ = options_.prefetch_depth;
 
   log_ref_ = internal::ComputeLogRef(tree_, q_);
+  // Rebase the coordinator's absolute floor into this traversal's scale.
+  // exp(-inf - log_ref) == 0 disables cleanly; an overflow to +inf means
+  // this whole shard is certified below the global k-th density and phase 1
+  // stops at the root.
+  density_floor_ = std::exp(options_.density_floor_log - log_ref_);
   // Seed with the root as a pseudo active node (bounds trivially [0, 1]
   // scaled; exact values are irrelevant because it is expanded first).
   tracker_.Push(ActiveNode{tree_.root(), static_cast<uint32_t>(tree_.size()),
@@ -83,11 +88,17 @@ void MliqTraversal::Run() {
   // remaining upper bounds are zero as well.
   while (!tracker_.Empty()) {
     const double top_upper = tracker_.Top().upper;
-    if (items_.size() == k_ &&
+    const bool local_done =
+        items_.size() == k_ &&
         (top_upper <= KthDensity() &&
-         (KthDensity() > 0.0 || top_upper == 0.0))) {
-      break;
-    }
+         (KthDensity() > 0.0 || top_upper == 0.0));
+    // Sketch floor (density_floor_log): at least k objects somewhere in the
+    // fleet are certified at or above the floor, so a subtree strictly
+    // below it cannot hold a global winner — even before k local
+    // candidates exist. Strict <: an object tying the floor exactly must
+    // still be surfaced for the coordinator's merge.
+    const bool floor_done = density_floor_ > 0.0 && top_upper < density_floor_;
+    if (local_done || floor_done) break;
     Expand(tracker_.Pop());
   }
 
@@ -101,6 +112,12 @@ void MliqTraversal::Run() {
       if (lo > 0.0 && (hi - lo) <= eps * lo) break;
       Expand(tracker_.Pop());
     }
+  }
+
+  // Absolute gap target (a shard coordinator's mass-proportional budget):
+  // tighten until the scaled gap fits, independent of the relative test.
+  if (options_.denominator_target_gap >= 0.0) {
+    RefineDenominator(options_.denominator_target_gap);
   }
 }
 

@@ -2,6 +2,7 @@
 #define GAUSS_GAUSSTREE_MLIQ_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "gausstree/gauss_tree.h"
@@ -40,6 +41,21 @@ struct MliqOptions {
   // byte-identical at every depth. Ignored on a non-finalized tree (nodes
   // live in memory; there are no pages to read ahead).
   size_t prefetch_depth = 0;
+  // Absolute target for the scaled denominator gap (denominator_hi -
+  // denominator_lo), applied after the refine_probabilities phase; < 0
+  // disables. A shard coordinator sets this per shard so each shard refines
+  // only as far as its share of the *combined* denominator interval
+  // warrants, instead of every shard paying for a full local certification.
+  double denominator_target_gap = -1.0;
+  // Absolute log-density floor certified to be met or beaten by at least k
+  // objects somewhere (a shard coordinator derives it from its per-shard
+  // sketches: hull lower bounds are per-object guarantees, so accumulating
+  // entry counts down the sorted bounds until they reach k certifies the
+  // k-th best global density from above the floor). Phase 1 may then stop
+  // as soon as no unexpanded subtree can strictly beat the floor — a shard
+  // holding none of the global winners stops after a root glance instead of
+  // certifying a full local top-k. -inf (default) disables.
+  double density_floor_log = -std::numeric_limits<double>::infinity();
 };
 
 using MliqStats = TraversalStats;
@@ -139,6 +155,9 @@ class MliqTraversal {
   const MliqOptions options_;
   const SigmaPolicy policy_;
   double log_ref_ = 0.0;
+  // options_.density_floor_log rebased into this traversal's scale (0 when
+  // the floor is unset or underflows: floors only ever prune when > 0).
+  double density_floor_ = 0.0;
 
   internal::DenominatorTracker tracker_;
   internal::QueryCounters counters_;

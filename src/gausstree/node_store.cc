@@ -38,6 +38,10 @@ void GtNodeStore::Load(PageId id, GtNode* scratch) const {
     *scratch = *it->second;  // copy: callers own their view
     return;
   }
+  if (pinned_ != nullptr && id == pinned_id_) {
+    *scratch = *pinned_;  // pinned root: no pool fetch
+    return;
+  }
   const PageRef page = pool_->Fetch(id);
   *scratch = GtNode::Deserialize(page.data(), dim_, id);
 }
@@ -66,8 +70,18 @@ void GtNodeStore::OpenFinalized(std::vector<PageId> pages) {
   finalized_ = true;
 }
 
+void GtNodeStore::PinRoot(PageId id) {
+  GAUSS_CHECK_MSG(finalized_, "PinRoot requires query mode");
+  const PageRef page = pool_->Fetch(id);
+  pinned_ =
+      std::make_unique<GtNode>(GtNode::Deserialize(page.data(), dim_, id));
+  pinned_id_ = id;
+}
+
 void GtNodeStore::Definalize() {
   if (!finalized_) return;
+  pinned_.reset();
+  pinned_id_ = kInvalidPageId;
   for (PageId id : all_pages_) {
     const PageRef page = pool_->Fetch(id);
     auto node =

@@ -48,6 +48,15 @@ class GtNodeStore {
   // Loads every node back into memory and switches to build mode.
   void Definalize();
 
+  // Pins one node — the root — in memory for the finalized lifetime:
+  // Load() serves it by copy without touching the pool. Every traversal
+  // starts at the root twice (the reference-scale computation, then the
+  // first expansion), so an unpinned root costs two logical reads per query
+  // per tree — the dominant fixed I/O tax of a sharded database, paid N
+  // times per query. One page of memory, one read at pin time.
+  // Definalize() drops the pin (build mode mutates nodes in place).
+  void PinRoot(PageId id);
+
   // Switches an empty store into query mode over an existing on-device tree
   // whose node pages are `pages` (the root-reachable set). Used by
   // GaussTree::Open.
@@ -65,6 +74,8 @@ class GtNodeStore {
   std::unordered_map<PageId, std::unique_ptr<GtNode>> nodes_;
   size_t finalized_count_ = 0;
   std::vector<PageId> all_pages_;
+  PageId pinned_id_ = kInvalidPageId;
+  std::unique_ptr<GtNode> pinned_;
 };
 
 }  // namespace gauss

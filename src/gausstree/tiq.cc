@@ -32,7 +32,11 @@ TiqTraversal::TiqTraversal(const GaussTree& tree, const Pfv& q,
 }
 
 double TiqTraversal::ProbHi(double scaled) const {
-  const double den = tracker_.DenominatorLo();
+  // The local partial denominator and the coordinator-provided combined
+  // floor are both true lower bounds of the denominator the final
+  // probability divides by; prune with whichever is tighter.
+  const double den =
+      std::max(tracker_.DenominatorLo(), options_.denominator_floor);
   return den > 0.0 ? std::min(1.0, scaled / den) : 1.0;
 }
 
@@ -113,6 +117,12 @@ void TiqTraversal::Run() {
       Expand(tracker_.Pop());
       Sweep();
     }
+  }
+
+  // Absolute gap target (a shard coordinator's mass-proportional budget):
+  // tighten until the scaled gap fits, independent of the relative test.
+  if (options_.denominator_target_gap >= 0.0) {
+    RefineDenominator(options_.denominator_target_gap);
   }
 }
 

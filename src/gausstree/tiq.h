@@ -34,6 +34,19 @@ struct TiqOptions {
   // contract: 0 = off / inherit the serving knob, answers byte-identical at
   // every depth, ignored on a non-finalized tree).
   size_t prefetch_depth = 0;
+  // Absolute target for the scaled denominator gap after the
+  // refine_probabilities phase; < 0 disables. See
+  // MliqOptions::denominator_target_gap.
+  double denominator_target_gap = -1.0;
+  // External lower bound on the *combined* denominator, expressed in this
+  // traversal's reference scale (a shard coordinator rebases its
+  // sketch-certified global bound by the shard's reference factor). The
+  // candidate and frontier pruning tests divide by the larger of this and
+  // the local bound: a shard's own partial denominator under-estimates the
+  // combined one by its mass share, so without the floor a light shard
+  // keeps (and digs for) ~1/share times too many candidates. Any value
+  // <= the true combined denominator is conservative; 0 (default) disables.
+  double denominator_floor = 0.0;
 };
 
 using TiqStats = TraversalStats;

@@ -29,6 +29,9 @@ enum class NetErrorCode : uint8_t {
   kPeerClosed = 5,
   // A socket syscall failed for any other reason (errno in the message).
   kIoError = 6,
+  // The query's own deadline had already passed before the request could be
+  // written — failed fast on the client, no frame ever hit the wire.
+  kDeadlineExceeded = 7,
 };
 
 inline const char* NetErrorCodeName(NetErrorCode code) {
@@ -47,6 +50,8 @@ inline const char* NetErrorCodeName(NetErrorCode code) {
       return "peer closed";
     case NetErrorCode::kIoError:
       return "io error";
+    case NetErrorCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown";
 }

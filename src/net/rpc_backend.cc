@@ -93,6 +93,9 @@ SocketDeadline RpcBackend::RequestDeadline(const Query* query) const {
     // Map the query's remaining budget (plus a little grace for the reply's
     // travel) onto the socket: the shard must answer within the budget or
     // the query fails typed, just as it would have been expired locally.
+    // An already-expired query never reaches here — Start() fails it fast
+    // with kDeadlineExceeded before encoding a frame — so the budget is
+    // genuinely remaining time, not a negative clamped to a degenerate 1ms.
     auto budget = std::chrono::duration_cast<std::chrono::milliseconds>(
                       query->deadline() - now) +
                   kDeadlineGrace;
@@ -120,6 +123,12 @@ void RpcBackend::Fail(Pending&& pending, const NetError& error) {
       StatsResult result;
       result.error = error;
       pending.stats.set_value(std::move(result));
+      break;
+    }
+    case MsgType::kSketchReply: {
+      SketchResult result;
+      result.error = error;
+      pending.sketch.set_value(std::move(result));
       break;
     }
     default:
@@ -168,8 +177,20 @@ std::future<ShardBackend::StartResult> RpcBackend::Start(uint64_t traversal,
                                                          const Query& query) {
   Pending pending;
   pending.expect = MsgType::kStartReply;
-  pending.deadline = RequestDeadline(&query);
   std::future<StartResult> future = pending.start.get_future();
+
+  // An expired query fails fast before any frame is written: a negative
+  // remaining budget is not a socket timeout, it is the deadline verdict the
+  // front door would have issued — keep that typed instead of burning a
+  // round trip on a request whose reply nobody can use.
+  if (query.has_deadline() &&
+      query.deadline() <= std::chrono::steady_clock::now()) {
+    Fail(std::move(pending),
+         {NetErrorCode::kDeadlineExceeded,
+          "query deadline elapsed before the request was sent"});
+    return future;
+  }
+  pending.deadline = RequestDeadline(&query);
 
   const uint64_t request_id = next_request_id_.fetch_add(1);
   std::vector<uint8_t> body;
@@ -221,6 +242,18 @@ ShardBackend::StatsResult RpcBackend::FetchStats() {
   const uint64_t request_id = next_request_id_.fetch_add(1);
   const std::vector<uint8_t> body;  // kStats has an empty body
   SendRequest(MsgType::kStats, request_id, body, std::move(pending));
+  return future.get();
+}
+
+ShardBackend::SketchResult RpcBackend::FetchSketch() {
+  Pending pending;
+  pending.expect = MsgType::kSketchReply;
+  pending.deadline = RequestDeadline(nullptr);
+  std::future<SketchResult> future = pending.sketch.get_future();
+
+  const uint64_t request_id = next_request_id_.fetch_add(1);
+  const std::vector<uint8_t> body;  // kFetchSketch has an empty body
+  SendRequest(MsgType::kFetchSketch, request_id, body, std::move(pending));
   return future.get();
 }
 
@@ -281,6 +314,13 @@ void RpcBackend::DispatchFrame(const Frame& frame) {
       result.error = DecodeStatsReply(frame.body.data(), frame.body.size(),
                                       &result.io, &result.service);
       entry.stats.set_value(std::move(result));
+      break;
+    }
+    case MsgType::kSketchReply: {
+      SketchResult result;
+      result.error = DecodeSketchReply(frame.body.data(), frame.body.size(),
+                                       &result.sketch);
+      entry.sketch.set_value(std::move(result));
       break;
     }
     default:

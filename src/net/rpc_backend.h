@@ -60,11 +60,12 @@ class RpcBackend : public ShardBackend {
   std::future<RefineResult> Refine(std::vector<RefineSpec> specs) override;
   void Release(const std::vector<uint64_t>& traversals) override;
   StatsResult FetchStats() override;
+  SketchResult FetchSketch() override;
   BackendRefineCounters refine_counters() const override;
 
  private:
   // One in-flight request: which reply frame it expects, when it expires,
-  // and the promise its future observes (exactly one of the three promises
+  // and the promise its future observes (exactly one of the four promises
   // is active, matching `expect`).
   struct Pending {
     MsgType expect = MsgType::kError;
@@ -73,6 +74,7 @@ class RpcBackend : public ShardBackend {
     std::promise<StartResult> start;
     std::promise<RefineResult> refine;
     std::promise<StatsResult> stats;
+    std::promise<SketchResult> sketch;
   };
 
   RpcBackend(TcpSocket sock, const RpcBackendOptions& options,

@@ -111,6 +111,38 @@ RefineUpdate UpdateFromTiq(const TiqTraversal& t) {
 
 }  // namespace
 
+ShardSketch BuildShardSketch(const GaussTree& tree) {
+  ShardSketch sketch;
+  sketch.tree_size = tree.size();
+  sketch.sigma_policy = tree.options().sigma_policy;
+  if (sketch.tree_size == 0) return sketch;
+
+  GtNode root;
+  tree.store().Load(tree.root(), &root);
+  sketch.root_bounds = root.ComputeBounds(tree.dim());
+  if (root.leaf()) {
+    // Degenerate per-object bounds: the hull of a point MBR is the exact
+    // joint density, so the sketch interval collapses to the true partial
+    // denominator for single-level shards.
+    sketch.entries.reserve(root.pfvs.size());
+    for (const Pfv& v : root.pfvs) {
+      ShardSketchEntry entry;
+      entry.count = 1;
+      entry.bounds.resize(tree.dim());
+      for (size_t d = 0; d < tree.dim(); ++d) {
+        entry.bounds[d] = {v.mu[d], v.mu[d], v.sigma[d], v.sigma[d]};
+      }
+      sketch.entries.push_back(std::move(entry));
+    }
+  } else {
+    sketch.entries.reserve(root.children.size());
+    for (const GtChildEntry& e : root.children) {
+      sketch.entries.push_back({e.count, e.bounds});
+    }
+  }
+  return sketch;
+}
+
 InProcessBackend::InProcessBackend(QueryService* service) : service_(service) {
   GAUSS_CHECK(service_ != nullptr);
   channel_ = std::make_unique<RefineChannel>(
@@ -226,6 +258,20 @@ void InProcessBackend::Release(const std::vector<uint64_t>& traversals) {
 ShardBackend::StatsResult InProcessBackend::FetchStats() {
   StatsResult result;
   result.io = service_->tree().pool()->stats();
+  return result;
+}
+
+ShardBackend::SketchResult InProcessBackend::FetchSketch() {
+  // The root page load runs on the shard's worker pool, same placement rule
+  // as Start/Refine.
+  SketchResult result;
+  SketchResult* result_ptr = &result;
+  service_
+      ->SubmitWork([this, result_ptr] {
+        result_ptr->sketch = BuildShardSketch(service_->tree());
+        return QueryResponse{};
+      })
+      .get();
   return result;
 }
 

@@ -30,13 +30,17 @@ namespace gauss {
 // the wire protocol in net/wire.h, served by net/shard_server.h /
 // examples/gauss_shardd). The coordinator's merge mathematics — rebase the
 // per-shard denominator intervals onto a common reference scale, sum them,
-// and drive halve-the-gap refinement until the combined interval certifies
-// the answer — is identical over both; the loopback differential section of
-// tests/shard_equivalence_test.cc proves the answers byte-identical.
+// and drive mass-proportional refinement rounds (water-filled absolute gap
+// targets; see service/shard_coordinator.h) until the combined interval
+// certifies the answer — is identical over both; the loopback differential
+// section of tests/shard_equivalence_test.cc proves the answers
+// byte-identical.
 //
 // Protocol, per query:
 //   1. Start(traversal, query) runs the shard-local traversal (MLIQ top-k /
-//      TIQ candidate discovery + local refinement) and returns the shard's
+//      TIQ candidate discovery; under the mass-proportional policy the
+//      coordinator suppresses shard-local relative refinement and plants an
+//      absolute denominator gap target instead) and returns the shard's
 //      partial answer: reference scale, denominator interval, items. The
 //      traversal stays resumable behind the caller-chosen `traversal`
 //      handle.
@@ -101,6 +105,33 @@ struct BackendRefineCounters {
   uint64_t requests = 0;
 };
 
+// One top-level subtree of a shard's tree in the coarse denominator sketch:
+// its object count and parameter-space MBR (dim() DimBounds). Leaf roots
+// synthesize one entry per stored pfv with degenerate bounds.
+struct ShardSketchEntry {
+  uint32_t count = 0;
+  std::vector<DimBounds> bounds;
+};
+
+// Query-independent coarse description of one shard's tree, fetched once per
+// backend and cached by the coordinator. For any query the coordinator can
+// hull-bound each entry (at the shard's own sigma policy and reference
+// scale) and obtain per-shard denominator bounds one tree level tighter than
+// the trivial root-level [0, n] — tight enough to water-fill mass-
+// proportional refinement budgets before the first refinement round.
+struct ShardSketch {
+  uint64_t tree_size = 0;  // 0 = empty shard: no bounds, no entries
+  SigmaPolicy sigma_policy = SigmaPolicy::kConvolution;
+  std::vector<DimBounds> root_bounds;  // dim() entries; source of log_ref
+  std::vector<ShardSketchEntry> entries;
+};
+
+// Builds the sketch from a tree's root node (one page load). An inner root
+// yields one entry per child subtree; a leaf root yields one degenerate
+// entry per pfv; an empty tree yields an empty sketch. Runs wherever the
+// caller wants the page I/O placed (backends use the shard's worker pool).
+ShardSketch BuildShardSketch(const GaussTree& tree);
+
 class ShardBackend {
  public:
   struct StartResult {
@@ -119,6 +150,11 @@ class ShardBackend {
     NetError error;
     IoStats io;            // the shard cache's counters
     ServiceStats service;  // remote serving counters (RPC only; else zero)
+  };
+
+  struct SketchResult {
+    NetError error;
+    ShardSketch sketch;  // valid iff error.ok()
   };
 
   virtual ~ShardBackend() = default;
@@ -142,6 +178,12 @@ class ShardBackend {
 
   // Fetches the shard's I/O counters (and, remotely, serving counters).
   virtual StatsResult FetchStats() = 0;
+
+  // Fetches the shard's coarse denominator sketch (query-independent; the
+  // coordinator fetches once and caches). Blocking, like FetchStats. A
+  // failure is non-fatal to the caller: the sketch only seeds refinement
+  // budgets, it never affects answers.
+  virtual SketchResult FetchSketch() = 0;
 
   virtual BackendRefineCounters refine_counters() const = 0;
 };
@@ -208,6 +250,7 @@ class InProcessBackend : public ShardBackend {
   std::future<RefineResult> Refine(std::vector<RefineSpec> specs) override;
   void Release(const std::vector<uint64_t>& traversals) override;
   StatsResult FetchStats() override;
+  SketchResult FetchSketch() override;
   BackendRefineCounters refine_counters() const override;
 
   QueryService* service() const { return service_; }

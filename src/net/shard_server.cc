@@ -235,6 +235,16 @@ void ShardServer::HandleConnection(const std::shared_ptr<Connection>& conn) {
         HandleStats(conn, frame.request_id);
         break;
       }
+      case MsgType::kFetchSketch: {
+        if (!frame.body.empty()) {
+          SendError(conn, frame.request_id,
+                    {NetErrorCode::kProtocolError, "sketch body not empty"});
+          open = false;
+          break;
+        }
+        HandleFetchSketch(conn, frame.request_id);
+        break;
+      }
       default:
         SendError(conn, frame.request_id,
                   {NetErrorCode::kProtocolError, "unexpected message type"});
@@ -356,6 +366,23 @@ void ShardServer::HandleStats(const std::shared_ptr<Connection>& conn,
   std::vector<uint8_t> body;
   EncodeStatsReply(io, stats(), &body);
   SendReply(conn, MsgType::kStatsReply, request_id, body);
+}
+
+void ShardServer::HandleFetchSketch(const std::shared_ptr<Connection>& conn,
+                                    uint64_t request_id) {
+  // The root page load runs on the shard's worker pool, same I/O placement
+  // rule as kStart/kRefine.
+  ShardSketch sketch;
+  ShardSketch* sketch_ptr = &sketch;
+  service_
+      ->SubmitWork([this, sketch_ptr] {
+        *sketch_ptr = BuildShardSketch(service_->tree());
+        return QueryResponse{};
+      })
+      .get();
+  std::vector<uint8_t> body;
+  EncodeSketchReply(sketch, service_->tree().dim(), &body);
+  SendReply(conn, MsgType::kSketchReply, request_id, body);
 }
 
 }  // namespace gauss

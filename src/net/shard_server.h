@@ -97,6 +97,8 @@ class ShardServer {
                     uint64_t request_id, const std::vector<RefineSpec>& specs);
   void HandleStats(const std::shared_ptr<Connection>& conn,
                    uint64_t request_id);
+  void HandleFetchSketch(const std::shared_ptr<Connection>& conn,
+                         uint64_t request_id);
   void SendReply(const std::shared_ptr<Connection>& conn, MsgType type,
                  uint64_t request_id, const std::vector<uint8_t>& body);
   void SendError(const std::shared_ptr<Connection>& conn, uint64_t request_id,

@@ -144,6 +144,8 @@ void EncodeQuery(const Query& query, std::vector<uint8_t>* body) {
     writer.U8(options.refine_probabilities ? 1 : 0);
     writer.F64(options.probability_accuracy);
     writer.U64(options.prefetch_depth);
+    writer.F64(options.denominator_target_gap);
+    writer.F64(options.density_floor_log);
   } else {
     const TiqOptions& options = query.tiq_options();
     writer.F64(query.threshold());
@@ -151,6 +153,8 @@ void EncodeQuery(const Query& query, std::vector<uint8_t>* body) {
     writer.U8(options.refine_probabilities ? 1 : 0);
     writer.F64(options.probability_accuracy);
     writer.U64(options.prefetch_depth);
+    writer.F64(options.denominator_target_gap);
+    writer.F64(options.denominator_floor);
   }
   // Deadlines travel as the remaining budget at encode time; the receiver
   // re-anchors on its own steady clock.
@@ -194,6 +198,8 @@ NetError DecodeQuery(WireReader& reader, std::optional<Query>* out) {
     reader.F64(&options.probability_accuracy);
     uint64_t prefetch_depth = 0;
     reader.U64(&prefetch_depth);
+    reader.F64(&options.denominator_target_gap);
+    reader.F64(&options.density_floor_log);
     if (!reader.ok()) return ProtocolError("truncated mliq parameters");
     options.refine_probabilities = refine != 0;
     options.prefetch_depth = static_cast<size_t>(prefetch_depth);
@@ -208,6 +214,8 @@ NetError DecodeQuery(WireReader& reader, std::optional<Query>* out) {
     reader.F64(&options.probability_accuracy);
     uint64_t prefetch_depth = 0;
     reader.U64(&prefetch_depth);
+    reader.F64(&options.denominator_target_gap);
+    reader.F64(&options.denominator_floor);
     if (!reader.ok()) return ProtocolError("truncated tiq parameters");
     options.exact_membership = exact != 0;
     options.refine_probabilities = refine != 0;
@@ -466,6 +474,81 @@ NetError DecodeStatsReply(const uint8_t* data, size_t size, IoStats* io,
   return Finish(reader, "stats-reply");
 }
 
+// ---------------------------------- sketch ----------------------------------
+
+namespace {
+
+void EncodeDimBounds(const DimBounds& b, WireWriter& writer) {
+  writer.F64(b.mu_lo);
+  writer.F64(b.mu_hi);
+  writer.F64(b.sigma_lo);
+  writer.F64(b.sigma_hi);
+}
+
+void DecodeDimBounds(WireReader& reader, DimBounds* b) {
+  reader.F64(&b->mu_lo);
+  reader.F64(&b->mu_hi);
+  reader.F64(&b->sigma_lo);
+  reader.F64(&b->sigma_hi);
+}
+
+}  // namespace
+
+void EncodeSketchReply(const ShardSketch& sketch, size_t dim,
+                       std::vector<uint8_t>* body) {
+  WireWriter writer(body);
+  writer.U64(sketch.tree_size);
+  writer.U8(static_cast<uint8_t>(sketch.sigma_policy));
+  writer.U32(sketch.tree_size > 0 ? static_cast<uint32_t>(dim) : 0);
+  if (sketch.tree_size > 0) {
+    for (const DimBounds& b : sketch.root_bounds) EncodeDimBounds(b, writer);
+    writer.U32(static_cast<uint32_t>(sketch.entries.size()));
+    for (const ShardSketchEntry& entry : sketch.entries) {
+      writer.U32(entry.count);
+      for (const DimBounds& b : entry.bounds) EncodeDimBounds(b, writer);
+    }
+  }
+}
+
+NetError DecodeSketchReply(const uint8_t* data, size_t size,
+                           ShardSketch* out) {
+  WireReader reader(data, size);
+  uint8_t policy = 0;
+  uint32_t dim = 0;
+  reader.U64(&out->tree_size);
+  reader.U8(&policy);
+  reader.U32(&dim);
+  if (!reader.ok()) return ProtocolError("truncated sketch header");
+  if (policy > static_cast<uint8_t>(SigmaPolicy::kAdditive)) {
+    return ProtocolError("unknown sigma policy");
+  }
+  out->sigma_policy = static_cast<SigmaPolicy>(policy);
+  out->root_bounds.clear();
+  out->entries.clear();
+  if (out->tree_size == 0) return Finish(reader, "sketch-reply");
+  if (dim == 0) return ProtocolError("sketch dimensionality is zero");
+  const size_t bounds_bytes = static_cast<size_t>(dim) * 4 * sizeof(double);
+  if (!PlausibleCount(reader, dim, 4 * sizeof(double))) {
+    return ProtocolError("sketch dimensionality exceeds body");
+  }
+  out->root_bounds.resize(dim);
+  for (DimBounds& b : out->root_bounds) DecodeDimBounds(reader, &b);
+  uint32_t entry_count = 0;
+  if (!reader.U32(&entry_count)) {
+    return ProtocolError("truncated sketch entry count");
+  }
+  if (!PlausibleCount(reader, entry_count, 4 + bounds_bytes)) {
+    return ProtocolError("sketch entry count exceeds body");
+  }
+  out->entries.resize(entry_count);
+  for (ShardSketchEntry& entry : out->entries) {
+    reader.U32(&entry.count);
+    entry.bounds.resize(dim);
+    for (DimBounds& b : entry.bounds) DecodeDimBounds(reader, &b);
+  }
+  return Finish(reader, "sketch-reply");
+}
+
 // ---------------------------------- error -----------------------------------
 
 void EncodeError(const NetError& error, std::vector<uint8_t>* body) {
@@ -482,7 +565,7 @@ NetError DecodeError(const uint8_t* data, size_t size, NetError* out) {
   reader.U8(&code);
   reader.U32(&length);
   if (!reader.ok()) return ProtocolError("truncated error body");
-  if (code > static_cast<uint8_t>(NetErrorCode::kIoError)) {
+  if (code > static_cast<uint8_t>(NetErrorCode::kDeadlineExceeded)) {
     return ProtocolError("unknown error code");
   }
   if (length != reader.remaining()) {

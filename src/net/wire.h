@@ -41,20 +41,24 @@ namespace gauss {
 // ============================================================================
 
 inline constexpr uint64_t kWireMagic = 0x4754424a47415553ull;  // "GAUSSJBTG"
-inline constexpr uint32_t kWireVersion = 1;
+// v2: Query bodies carry denominator_target_gap; kFetchSketch/kSketchReply
+// added (kError renumbered 10 -> 12 to keep it the last tag).
+inline constexpr uint32_t kWireVersion = 2;
 inline constexpr size_t kMaxFramePayload = 1u << 24;  // 16 MiB
 
 enum class MsgType : uint8_t {
-  kHello = 1,        // client -> server: magic + version
-  kHelloAck = 2,     // server -> client: magic + version + dim + tree size
-  kStart = 3,        // client -> server: traversal handle + Query descriptor
-  kStartReply = 4,   // server -> client: ShardPartial
-  kRefine = 5,       // client -> server: batched RefineSpecs
-  kRefineReply = 6,  // server -> client: RefineUpdates (positional)
-  kRelease = 7,      // client -> server: traversal handles (no reply)
-  kStats = 8,        // client -> server: empty body
-  kStatsReply = 9,   // server -> client: IoStats + ServiceStats
-  kError = 10,       // server -> client: NetError replacing a reply
+  kHello = 1,         // client -> server: magic + version
+  kHelloAck = 2,      // server -> client: magic + version + dim + tree size
+  kStart = 3,         // client -> server: traversal handle + Query descriptor
+  kStartReply = 4,    // server -> client: ShardPartial
+  kRefine = 5,        // client -> server: batched RefineSpecs
+  kRefineReply = 6,   // server -> client: RefineUpdates (positional)
+  kRelease = 7,       // client -> server: traversal handles (no reply)
+  kStats = 8,         // client -> server: empty body
+  kStatsReply = 9,    // server -> client: IoStats + ServiceStats
+  kFetchSketch = 10,  // client -> server: empty body
+  kSketchReply = 11,  // server -> client: ShardSketch
+  kError = 12,        // server -> client: NetError replacing a reply
 };
 
 // --------------------------- primitive accessors ----------------------------
@@ -232,6 +236,13 @@ void EncodeStatsReply(const IoStats& io, const ServiceStats& service,
                       std::vector<uint8_t>* body);
 NetError DecodeStatsReply(const uint8_t* data, size_t size, IoStats* io,
                           ServiceStats* service);
+
+// kFetchSketch travels with an empty body; the reply is the shard's coarse
+// denominator sketch. `dim` rides explicitly so the decoder can validate
+// every entry's bounds count against it.
+void EncodeSketchReply(const ShardSketch& sketch, size_t dim,
+                       std::vector<uint8_t>* body);
+NetError DecodeSketchReply(const uint8_t* data, size_t size, ShardSketch* out);
 
 void EncodeError(const NetError& error, std::vector<uint8_t>* body);
 NetError DecodeError(const uint8_t* data, size_t size, NetError* out);

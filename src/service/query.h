@@ -122,6 +122,47 @@ class Query {
     return std::move(this->PrefetchDepth(depth));
   }
 
+  // Absolute target for the traversal's scaled denominator gap, applied
+  // after the (possibly disabled) relative refinement phase; < 0 disables
+  // (see MliqOptions::denominator_target_gap). A shard coordinator sets this
+  // per shard to make refinement cost proportional to the shard's share of
+  // the combined denominator interval.
+  Query& DenominatorTargetGap(double gap) & {
+    if (auto* m = std::get_if<MliqParams>(&params_)) {
+      m->options.denominator_target_gap = gap;
+    } else {
+      std::get<TiqParams>(params_).options.denominator_target_gap = gap;
+    }
+    return *this;
+  }
+  Query&& DenominatorTargetGap(double gap) && {
+    return std::move(this->DenominatorTargetGap(gap));
+  }
+
+  // MLIQ only: absolute log-density floor certified to be met by >= k
+  // objects fleet-wide; phase 1 stops once no subtree can strictly beat it
+  // (see MliqOptions::density_floor_log). Set by a shard coordinator from
+  // its per-shard sketches; -inf (the default) disables.
+  Query& DensityFloorLog(double floor_log) & {
+    std::get<MliqParams>(params_).options.density_floor_log = floor_log;
+    return *this;
+  }
+  Query&& DensityFloorLog(double floor_log) && {
+    return std::move(this->DensityFloorLog(floor_log));
+  }
+
+  // TIQ only: external lower bound on the combined denominator in the
+  // shard's reference scale (see TiqOptions::denominator_floor). Set by a
+  // shard coordinator from its per-shard sketches; 0 (the default)
+  // disables.
+  Query& DenominatorFloor(double floor) & {
+    std::get<TiqParams>(params_).options.denominator_floor = floor;
+    return *this;
+  }
+  Query&& DenominatorFloor(double floor) && {
+    return std::move(this->DenominatorFloor(floor));
+  }
+
   // Execution-start deadline (admission control; see class comment).
   Query& Deadline(QueryDeadline deadline) & {
     deadline_ = deadline;

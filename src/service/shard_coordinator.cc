@@ -7,12 +7,25 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "math/hull.h"
 
 namespace gauss {
 
 namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Absolute floor on the combined scaled-denominator gap. A relative test
+// alone can never certify a query whose combined lower bound is zero (every
+// lower hull underflowed — e.g. a probe far from all gallery objects), so a
+// gap at or below this floor certifies unconditionally: the reported
+// intervals are honest error bars either way.
+constexpr double kGapFloor = 1e-12;
+
+// Backstop on coordinator refinement rounds. Under normal operation a query
+// certifies in one round (positive lower bound) or a handful of halvings;
+// the cap only bites when floating-point pathologies would otherwise spin.
+constexpr size_t kMaxRefineRounds = 64;
 
 // A shard-local scored object rebased onto the coordinator's global scale.
 struct GlobalCandidate {
@@ -23,9 +36,38 @@ struct GlobalCandidate {
 QueryResponse ShardErrorResponse(QueryKind kind, const NetError& error) {
   QueryResponse resp;
   resp.kind = kind;
+  // A shard reporting that the query's own deadline elapsed before its
+  // request could even be written is the query running out of budget, not a
+  // shard malfunction: report it exactly like the front door would.
+  if (error.code == NetErrorCode::kDeadlineExceeded) {
+    resp.status = QueryResponse::Status::kDeadlineExceeded;
+    return resp;
+  }
   resp.status = QueryResponse::Status::kShardError;
   resp.error = error;
   return resp;
+}
+
+// Water-filling allocator: the level tau such that capping every shard's
+// (global-scale) gap at tau leaves a combined gap of exactly `budget`:
+// sum_s min(g_s, tau) = budget. Shards already below the level need no work
+// at all; the rest refine down to it — cost proportional to contribution.
+// Sorts `gaps` ascending in place (pair order: gap then shard index, so the
+// allocation is deterministic across transports and platforms). Returns
+// +infinity when the summed gap is already within budget (nobody refines).
+double WaterFillLevel(std::vector<std::pair<double, size_t>>* gaps,
+                      double budget) {
+  std::sort(gaps->begin(), gaps->end());
+  const size_t m = gaps->size();
+  double below = 0.0;  // sum of gaps under the candidate level
+  for (size_t i = 0; i < m; ++i) {
+    // If tau lands at or under gaps[i], the i smaller shards keep their full
+    // gaps and the m-i others are capped at tau.
+    const double candidate = (budget - below) / static_cast<double>(m - i);
+    if (candidate <= (*gaps)[i].first) return candidate;
+    below += (*gaps)[i].first;
+  }
+  return std::numeric_limits<double>::infinity();
 }
 
 }  // namespace
@@ -120,6 +162,28 @@ void ShardCoordinator::Init(ShardCoordinatorOptions options) {
     GAUSS_CHECK_MSG(backend->dim() == dim_,
                     "all shards must share one dimensionality");
   }
+  refinement_ = options.refinement;
+  if (refinement_ == RefinementPolicy::kMassProportional) {
+    // Cache one coarse denominator sketch per shard so Start queries can
+    // carry water-filled initial gap targets. All-or-nothing: a single
+    // failed or malformed fetch disables sketch planning entirely, keeping
+    // target computation deterministic (a per-shard mix of "had a sketch"
+    // and "didn't" would make the refinement path depend on transient I/O).
+    sketches_.reserve(backends_.size());
+    have_sketches_ = true;
+    for (ShardBackend* backend : backends_) {
+      ShardBackend::SketchResult result = backend->FetchSketch();
+      const bool usable =
+          result.error.ok() && (result.sketch.tree_size == 0 ||
+                                result.sketch.root_bounds.size() == dim_);
+      if (!usable) {
+        have_sketches_ = false;
+        sketches_.clear();
+        break;
+      }
+      sketches_.push_back(std::move(result.sketch));
+    }
+  }
   size_t threads = options.num_threads;
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
@@ -186,13 +250,19 @@ QueryResponse ShardCoordinator::ExecuteSharded(const Query& query) {
 ShardCoordinator::StartOutcome ShardCoordinator::StartAll(const Query& query) {
   StartOutcome out;
   out.runs.resize(backends_.size());
+  // Per-shard query copies (when planned) must outlive the gather below,
+  // exactly like `query` itself: backends hold references until their Start
+  // futures are ready.
+  std::vector<Query> shard_queries;
+  const bool per_shard = PlanShardQueries(query, &shard_queries);
   std::vector<std::future<ShardBackend::StartResult>> futures;
   futures.reserve(backends_.size());
   for (size_t s = 0; s < backends_.size(); ++s) {
     out.runs[s].id = next_traversal_id_.fetch_add(1);
-    futures.push_back(backends_[s]->Start(out.runs[s].id, query));
+    futures.push_back(backends_[s]->Start(
+        out.runs[s].id, per_shard ? shard_queries[s] : query));
   }
-  // Gather everything even after a failure: `query` must stay alive until
+  // Gather everything even after a failure: the query must stay alive until
   // every future is ready, and a straggler shard may still hold state worth
   // releasing.
   for (size_t s = 0; s < backends_.size(); ++s) {
@@ -206,21 +276,185 @@ ShardCoordinator::StartOutcome ShardCoordinator::StartAll(const Query& query) {
   return out;
 }
 
+bool ShardCoordinator::PlanShardQueries(const Query& query,
+                                        std::vector<Query>* out) const {
+  if (refinement_ != RefinementPolicy::kMassProportional) return false;
+  const bool refining = query.kind() == QueryKind::kMliq
+                            ? query.mliq_options().refine_probabilities
+                            : query.tiq_options().refine_probabilities;
+  // A non-refining query (lazy TIQ, exact-membership-only TIQ, bare MLIQ
+  // identification) still benefits from the sketch floors; without sketches
+  // there is nothing to plan for it.
+  if (!refining && !have_sketches_) return false;
+  SketchPlan plan;
+  if (have_sketches_) plan = PlanFromSketches(query);
+  if (!refining && !plan.valid) return false;
+  out->reserve(backends_.size());
+  for (size_t s = 0; s < backends_.size(); ++s) {
+    Query q = query;
+    if (refining) {
+      // Suppress the shard-local relative certification — refining every
+      // shard to a relative epsilon against its own bounds costs ~the same
+      // I/O per shard no matter how little mass it holds. The coordinator
+      // certifies against the combined interval instead, and the absolute
+      // gap target seeds each shard with its mass-proportional share.
+      q.RefineProbabilities(false).DenominatorTargetGap(
+          plan.valid ? plan.targets[s] : -1.0);
+    }
+    if (plan.valid) {
+      if (query.kind() == QueryKind::kMliq) {
+        q.DensityFloorLog(plan.density_floor_log);
+      } else {
+        q.DenominatorFloor(plan.den_floors[s]);
+      }
+    }
+    out->push_back(std::move(q));
+  }
+  return true;
+}
+
+ShardCoordinator::SketchPlan ShardCoordinator::PlanFromSketches(
+    const Query& query) const {
+  SketchPlan plan;
+  plan.targets.assign(backends_.size(), -1.0);
+  plan.den_floors.assign(backends_.size(), 0.0);
+  plan.density_floor_log = kNegInf;
+  const Pfv& q = query.pfv();
+
+  // Coarse per-shard denominator bounds from the cached sketches: hull
+  // integrals of each root entry against the query, in the shard's own
+  // reference scale — the same arithmetic the shard's round 1 performs, so
+  // the coarse interval always contains the shard's round-1 interval.
+  struct Coarse {
+    double lo = 0.0, hi = 0.0, log_ref = kNegInf;
+  };
+  std::vector<Coarse> coarse(sketches_.size());
+  // (per-object log-density lower bound, objects certified at it) over every
+  // entry of every shard — the raw material of the MLIQ k-th density floor.
+  std::vector<std::pair<double, uint64_t>> entry_floors;
+  double log_ref_g = kNegInf;
+  for (size_t s = 0; s < sketches_.size(); ++s) {
+    const ShardSketch& sk = sketches_[s];
+    if (sk.tree_size == 0) continue;
+    Coarse& c = coarse[s];
+    c.log_ref = JointLogUpperHull(sk.root_bounds.data(), q.mu.data(),
+                                  q.sigma.data(), dim_, sk.sigma_policy);
+    for (const ShardSketchEntry& e : sk.entries) {
+      const double lo_log = JointLogLowerHull(
+          e.bounds.data(), q.mu.data(), q.sigma.data(), dim_, sk.sigma_policy);
+      const double hi_log = JointLogUpperHull(
+          e.bounds.data(), q.mu.data(), q.sigma.data(), dim_, sk.sigma_policy);
+      c.lo += e.count * std::exp(lo_log - c.log_ref);
+      c.hi += e.count * std::exp(hi_log - c.log_ref);
+      entry_floors.push_back({lo_log, e.count});
+    }
+    if (c.lo > c.hi) c.lo = c.hi;  // same rounding guard as MakeActiveNode
+    log_ref_g = std::max(log_ref_g, c.log_ref);
+  }
+  if (log_ref_g == kNegInf) return plan;  // every shard empty
+  plan.valid = true;
+
+  double coarse_lo_g = 0.0, coarse_hi_g = 0.0;
+  std::vector<double> factor(sketches_.size(), 0.0);
+  std::vector<std::pair<double, size_t>> gaps;
+  for (size_t s = 0; s < sketches_.size(); ++s) {
+    if (sketches_[s].tree_size == 0) continue;
+    factor[s] = std::exp(coarse[s].log_ref - log_ref_g);
+    coarse_lo_g += coarse[s].lo * factor[s];
+    coarse_hi_g += coarse[s].hi * factor[s];
+    gaps.push_back({(coarse[s].hi - coarse[s].lo) * factor[s], s});
+  }
+
+  if (query.kind() == QueryKind::kMliq) {
+    // k-th global density floor: hull lower bounds are per-object
+    // guarantees, so walking the entries best-first and accumulating their
+    // counts until they reach k certifies that >= k objects sit at or above
+    // the last bound taken. A shard whose frontier falls strictly below the
+    // floor cannot hold a global winner and may stop phase 1 early.
+    std::sort(entry_floors.begin(), entry_floors.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    uint64_t covered = 0;
+    for (const auto& [lo_log, count] : entry_floors) {
+      covered += count;
+      if (covered >= query.k()) {
+        plan.density_floor_log = lo_log;
+        break;
+      }
+    }
+  } else {
+    // Combined-denominator floor for TIQ pruning, rebased into each shard's
+    // own scale (factor underflowing to 0 means the shard's best possible
+    // density is negligible at global scale — an infinite floor prunes its
+    // whole candidate set, which is exactly right).
+    for (size_t s = 0; s < sketches_.size(); ++s) {
+      if (sketches_[s].tree_size == 0) continue;
+      plan.den_floors[s] = factor[s] > 0.0
+                               ? coarse_lo_g / factor[s]
+                               : std::numeric_limits<double>::infinity();
+    }
+  }
+
+  const bool refining = query.kind() == QueryKind::kMliq
+                            ? query.mliq_options().refine_probabilities
+                            : query.tiq_options().refine_probabilities;
+  if (!refining) return plan;
+  const double eps = query.kind() == QueryKind::kMliq
+                         ? query.mliq_options().probability_accuracy
+                         : query.tiq_options().probability_accuracy;
+  // Budget against the coarse UPPER bound: eps * hi >= eps * lo_final, so a
+  // sketch can only under-refine — the coordinator's first round cleans up
+  // cheaply — never waste I/O over-refining a light shard.
+  const double budget = std::max(eps * coarse_hi_g, kGapFloor);
+  const double level = WaterFillLevel(&gaps, budget);
+  if (!std::isfinite(level)) return plan;  // coarse gap already within budget
+  // Every non-empty shard gets its target — a shard whose coarse gap is
+  // already below the level reaches it with zero extra work (its actual
+  // round-1 gap is at most the coarse one).
+  for (const auto& [gap, s] : gaps) {
+    (void)gap;
+    plan.targets[s] = level / factor[s];
+  }
+  return plan;
+}
+
 ShardCoordinator::RoundOutcome ShardCoordinator::RefineRound(
-    std::vector<ShardRun>& runs) {
+    std::vector<ShardRun>& runs, const std::vector<double>& factor,
+    double budget) {
   RoundOutcome out;
   std::vector<size_t> shard_of;
   std::vector<std::future<ShardBackend::RefineResult>> futures;
-  for (size_t s = 0; s < runs.size(); ++s) {
-    const ShardPartial& p = runs[s].partial;
-    const double gap = p.denominator_hi - p.denominator_lo;
-    if (p.exhausted || gap <= 0.0) continue;
-    // Halve the shard's local gap: geometric convergence of the combined
-    // gap across rounds, computed from the transported bounds so RPC and
-    // in-process shards receive bit-identical targets.
-    const double target = 0.5 * gap;
-    shard_of.push_back(s);
-    futures.push_back(backends_[s]->Refine({{runs[s].id, target}}));
+  if (refinement_ == RefinementPolicy::kMassProportional) {
+    // Water-fill the budget (an absolute combined-scale gap the round may
+    // leave behind) over the shards' rebased gaps. Exhausted shards carry a
+    // zero gap (their denominator is exact) and drop out naturally.
+    std::vector<std::pair<double, size_t>> gaps;
+    for (size_t s = 0; s < runs.size(); ++s) {
+      const ShardPartial& p = runs[s].partial;
+      const double gap = (p.denominator_hi - p.denominator_lo) * factor[s];
+      if (p.exhausted || gap <= 0.0) continue;
+      gaps.push_back({gap, s});
+    }
+    const double level = WaterFillLevel(&gaps, budget);
+    for (const auto& [gap, s] : gaps) {
+      // Already below the water level: this shard's whole gap fits inside
+      // the budget. Skip it outright — no frame, no I/O.
+      if (gap <= level) continue;
+      shard_of.push_back(s);
+      // Targets derive from *transported* doubles (raw IEEE-754 on the
+      // wire), so RPC and in-process shards receive bit-identical targets.
+      futures.push_back(
+          backends_[s]->Refine({{runs[s].id, level / factor[s]}}));
+    }
+  } else {
+    for (size_t s = 0; s < runs.size(); ++s) {
+      const ShardPartial& p = runs[s].partial;
+      const double gap = p.denominator_hi - p.denominator_lo;
+      if (p.exhausted || gap <= 0.0) continue;
+      // Legacy uniform policy: halve the shard's local gap — geometric
+      // convergence of the combined gap, but every shard pays every round.
+      futures.push_back(backends_[s]->Refine({{runs[s].id, 0.5 * gap}}));
+      shard_of.push_back(s);
+    }
   }
   for (size_t i = 0; i < futures.size(); ++i) {
     ShardBackend::RefineResult result = futures[i].get();
@@ -266,12 +500,24 @@ QueryResponse ShardCoordinator::ExecuteMliq(const Query& query) {
 
     // The merged top-k is already final after round 1 (see header): only the
     // probability certification can require more work. Shards refine until
-    // the combined interval meets the requested accuracy.
+    // the combined interval meets the requested accuracy — or the absolute
+    // gap floor, which is the only exit when the combined lower bound is
+    // zero (a relative test can never certify lo == 0).
     if (options.refine_probabilities) {
       const double eps = options.probability_accuracy;
-      while (!(global_lo > 0.0 &&
-               (global_hi - global_lo) <= eps * global_lo)) {
-        const RoundOutcome round = RefineRound(runs);
+      const auto certified = [&] {
+        const double gap = global_hi - global_lo;
+        return gap <= kGapFloor || (global_lo > 0.0 && gap <= eps * global_lo);
+      };
+      size_t rounds = 0;
+      while (!certified() && rounds++ < kMaxRefineRounds) {
+        // With a positive lower bound, leaving eps * lo of gap certifies in
+        // this one round (lo only grows). With lo == 0, halve the gap until
+        // mass appears or the floor fires.
+        const double gap = global_hi - global_lo;
+        const double budget =
+            std::max(global_lo > 0.0 ? eps * global_lo : 0.5 * gap, kGapFloor);
+        const RoundOutcome round = RefineRound(runs, scale.factor, budget);
         if (!round.error.ok()) {
           ReleaseAll(runs);
           return ShardErrorResponse(QueryKind::kMliq, round.error);
@@ -349,24 +595,40 @@ QueryResponse ShardCoordinator::ExecuteTiq(const Query& query) {
 
     // Exact membership needs every candidate's interval off the threshold;
     // probability reporting needs the combined interval at the requested
-    // accuracy. Either failing triggers another shard refinement round.
-    const auto needs_refinement = [&] {
-      if (options.refine_probabilities &&
-          !(global_lo > 0.0 && (global_hi - global_lo) <=
-                                   options.probability_accuracy * global_lo)) {
-        return true;
-      }
-      if (options.exact_membership) {
-        for (const GlobalCandidate& c : cands) {
-          const double hi = prob_hi(c.scaled_global);
-          const double lo = prob_lo(c.scaled_global);
-          if (lo < threshold && hi >= threshold) return true;
-        }
+    // accuracy (or the absolute gap floor — the only exit when the combined
+    // lower bound is zero). Either failing triggers another refinement
+    // round, with the round's budget set by the tighter of the two demands.
+    const auto accuracy_certified = [&] {
+      const double gap = global_hi - global_lo;
+      return gap <= kGapFloor ||
+             (global_lo > 0.0 &&
+              gap <= options.probability_accuracy * global_lo);
+    };
+    const auto membership_undecided = [&] {
+      if (!options.exact_membership) return false;
+      for (const GlobalCandidate& c : cands) {
+        const double hi = prob_hi(c.scaled_global);
+        const double lo = prob_lo(c.scaled_global);
+        if (lo < threshold && hi >= threshold) return true;
       }
       return false;
     };
-    while (needs_refinement()) {
-      const RoundOutcome round = RefineRound(runs);
+    size_t rounds = 0;
+    while (((options.refine_probabilities && !accuracy_certified()) ||
+            membership_undecided()) &&
+           rounds++ < kMaxRefineRounds) {
+      const double gap = global_hi - global_lo;
+      double budget = std::numeric_limits<double>::infinity();
+      if (options.refine_probabilities && !accuracy_certified()) {
+        budget = global_lo > 0.0 ? options.probability_accuracy * global_lo
+                                 : 0.5 * gap;
+      }
+      // Membership has no closed-form budget (it depends on where candidate
+      // intervals straddle the threshold): halve until every straddle
+      // resolves.
+      if (membership_undecided()) budget = std::min(budget, 0.5 * gap);
+      budget = std::max(budget, kGapFloor);
+      const RoundOutcome round = RefineRound(runs, scale.factor, budget);
       if (!round.error.ok()) {
         ReleaseAll(runs);
         return ShardErrorResponse(QueryKind::kTiq, round.error);

@@ -48,9 +48,9 @@ namespace gauss {
 //    winners beat every unexpanded object of that shard), so merging the
 //    local lists by density and truncating to k is exact. Probabilities are
 //    then certified against the combined denominator; while the combined
-//    interval is wider than the requested accuracy, every non-exhausted
-//    shard is asked to halve its denominator gap — geometric convergence,
-//    and the reported id set never changes during refinement.
+//    interval is wider than the requested accuracy, the coordinator issues
+//    mass-proportional refinement rounds (see below) until it certifies.
+//    The reported id set never changes during refinement.
 //
 //  * TIQ. Each shard's surviving candidates are a superset of its globally
 //    qualifying objects (a shard-local denominator under-estimates the
@@ -62,6 +62,39 @@ namespace gauss {
 //    equals the single-tree algorithm's. Lazy mode keeps the paper's
 //    Figure 5 contract (no false dismissals; straddling candidates are
 //    reported) without extra rounds.
+//
+// Refinement budgets (RefinementPolicy::kMassProportional, the default):
+// refinement cost is made proportional to contribution. Per-shard Start
+// queries suppress the shard-local relative certification (the coordinator
+// certifies against the *combined* interval instead — refining every shard
+// to a relative epsilon against its own bounds costs roughly the same I/O
+// per shard regardless of how little mass the shard holds). Each round the
+// coordinator water-fills a combined-gap budget over the per-shard
+// global-scale gaps: shards whose gap already sits below the water level
+// are skipped outright (no frame, no I/O), the rest refine down to the
+// level. With a positive combined lower bound the budget is eps * lo, which
+// certifies in a single round; with a zero lower bound the gap halves per
+// round until mass appears or an absolute gap floor terminates the query
+// (a relative test alone can never certify lo == 0). A bounded round cap
+// backstops pathological non-progress. When every shard reports a coarse
+// denominator sketch (ShardBackend::FetchSketch, cached here at
+// construction), the Start queries already carry water-filled initial gap
+// targets computed from hull bounds of the sketch, so round 1 starts from a
+// tight combined interval instead of root-level bounds. The sketches also
+// certify *pruning floors* shipped with every Start: for MLIQ, a log-density
+// met by >= k objects fleet-wide (a shard stops identifying once no local
+// subtree can strictly beat it); for TIQ, a lower bound on the combined
+// denominator rebased into each shard's scale (shard-local upper-bound
+// filtering divides by it instead of the ~N-times-smaller local bound).
+// Both are conservative bounds, so answers stay byte-identical — only
+// pages-per-query moves.
+// RefinementPolicy::kUniformHalving keeps the legacy behaviour — every
+// non-exhausted shard halves its local gap each round — as a comparison
+// baseline.
+//
+// All targets are computed at the coordinator from *transported* doubles
+// (raw IEEE-754 over the wire), so RPC and in-process shards receive
+// bit-identical targets and produce byte-identical answers.
 //
 // Refinement batching: each refinement round submits one RefineSpec per
 // still-unconverged shard through ShardBackend::Refine. Concurrent queries'
@@ -88,12 +121,24 @@ namespace gauss {
 // under them) must outlive the coordinator.
 // ============================================================================
 
+// How the coordinator spends refinement I/O across shards (class comment).
+enum class RefinementPolicy : uint8_t {
+  // Water-fill a combined-interval budget over the shards' global-scale
+  // gaps: heavy shards refine, light shards are skipped. The default.
+  kMassProportional = 0,
+  // Legacy: every non-exhausted shard halves its local gap each round.
+  // Kept as a measurable baseline (tests/shard_equivalence_test.cc).
+  kUniformHalving = 1,
+};
+
 struct ShardCoordinatorOptions {
   // Threads executing the per-query merge + refinement logic. Each blocks in
   // gather while shard workers traverse, so a few go a long way.
   size_t num_threads = 2;
   // Bound of the front-door admission queue.
   size_t queue_capacity = 1024;
+  // Refinement budget allocation (see class comment).
+  RefinementPolicy refinement = RefinementPolicy::kMassProportional;
 };
 
 class ShardCoordinator {
@@ -163,14 +208,49 @@ class ShardCoordinator {
   // Round 1 on every shard: allocate handles, Start the traversals, gather
   // all partials (gathers everything even on failure, so no future leaks).
   StartOutcome StartAll(const Query& query);
-  // One refinement round: every shard that can still tighten its denominator
-  // halves its gap. Updates `runs` in place.
-  RoundOutcome RefineRound(std::vector<ShardRun>& runs);
+  // Everything the cached sketches certify about one query before any shard
+  // runs: per-shard initial gap targets (refining queries), per-shard
+  // combined-denominator floors (TIQ pruning), and the global k-th density
+  // floor (MLIQ phase-1 pruning). `valid` is false when no sketch covers a
+  // non-empty shard.
+  struct SketchPlan {
+    bool valid = false;
+    // Per-shard local-scale absolute gap targets; -1 = none.
+    std::vector<double> targets;
+    // Per-shard local-scale lower bounds on the *combined* denominator
+    // (TiqOptions::denominator_floor); 0 = none.
+    std::vector<double> den_floors;
+    // Log-density certified to be met by >= k objects fleet-wide
+    // (MliqOptions::density_floor_log); -inf = none.
+    double density_floor_log = 0.0;
+  };
+  // Under kMassProportional: fills `out` with one per-shard copy of `query`
+  // carrying the sketch-derived floors, and — for probability-refining
+  // queries — suppressing shard-local certification in favor of the
+  // coordinator's budgets. Returns false (out untouched) when the shards
+  // should just run `query` as-is.
+  bool PlanShardQueries(const Query& query, std::vector<Query>* out) const;
+  // Evaluates the cached sketches against one query (hull integrals, the
+  // same arithmetic the shards' round 1 performs). No-op plan without
+  // sketches.
+  SketchPlan PlanFromSketches(const Query& query) const;
+  // One refinement round. kMassProportional: water-fill `budget` (an
+  // absolute combined-scale gap) over the shards' rebased gaps (factor[s] =
+  // shard->global rebase, <= 1) and skip shards already below the level.
+  // kUniformHalving ignores budget/factor and halves every non-exhausted
+  // shard's local gap. Updates `runs` in place.
+  RoundOutcome RefineRound(std::vector<ShardRun>& runs,
+                           const std::vector<double>& factor, double budget);
   // Frees backend-side traversal state (fire-and-forget).
   void ReleaseAll(const std::vector<ShardRun>& runs);
 
   std::vector<std::unique_ptr<ShardBackend>> owned_backends_;
   std::vector<ShardBackend*> backends_;
+  RefinementPolicy refinement_ = RefinementPolicy::kMassProportional;
+  // Per-shard coarse denominator sketches, fetched once at construction.
+  // All-or-nothing (have_sketches_), so planning is deterministic.
+  std::vector<ShardSketch> sketches_;
+  bool have_sketches_ = false;
   size_t dim_ = 0;
   std::atomic<uint64_t> next_traversal_id_{1};
   RequestQueue queue_;

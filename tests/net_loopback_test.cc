@@ -407,5 +407,34 @@ TEST(NetLoopbackTest, PerQueryDeadlineMapsToSocketTimeout) {
   EXPECT_LT(elapsed, std::chrono::seconds(5));
 }
 
+TEST(NetLoopbackTest, ExpiredDeadlineFailsFastBeforeAnyFrameIsWritten) {
+  // A query whose deadline has already passed must fail kDeadlineExceeded on
+  // the client without a frame ever hitting the wire — previously the
+  // negative remaining budget was clamped to a 1 ms socket timeout, burning
+  // a round trip (and a server-side traversal) on a query that was already
+  // dead. The server's start counters prove no request arrived.
+  ServedShard shard;
+  auto rpc = MustConnect(shard.port());
+  ASSERT_TRUE(rpc != nullptr);
+
+  const auto before = std::chrono::steady_clock::now();
+  ShardBackend::StartResult expired =
+      rpc->Start(1, Query::Mliq(shard.Probe(), 1)
+                        .Deadline(before - std::chrono::milliseconds(10)))
+          .get();
+  EXPECT_EQ(expired.error.code, NetErrorCode::kDeadlineExceeded);
+  // Fail-fast, not a 1 ms-timeout round trip that happened to lose.
+  EXPECT_LT(std::chrono::steady_clock::now() - before,
+            std::chrono::seconds(1));
+  EXPECT_EQ(shard.server()->stats().total_queries(), 0u);
+
+  // The connection is untouched: live traffic still flows on it.
+  ShardBackend::StartResult alive =
+      rpc->Start(2, Query::Mliq(shard.Probe(), 1)).get();
+  EXPECT_TRUE(alive.error.ok()) << alive.error.ToString();
+  EXPECT_EQ(shard.server()->stats().total_queries(), 1u);
+  rpc->Release({2});
+}
+
 }  // namespace
 }  // namespace gauss

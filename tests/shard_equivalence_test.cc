@@ -33,6 +33,7 @@
 #include <gtest/gtest.h>
 
 #include "api/gauss_db.h"
+#include "api/partitioner.h"
 #include "common/random.h"
 #include "data/generators.h"
 #include "data/workload.h"
@@ -662,6 +663,41 @@ TEST(ShardEquivalenceTest, OpenDirectoryReportsTypedManifestErrors) {
   RemoveDirectoryLayout(dir, kShards);
 }
 
+// A writer that crashes between creating MANIFEST.tmp.<pid> and renaming it
+// over MANIFEST strands the tmp file forever (the pid suffix means no later
+// writer reuses the name). OpenDirectory() sweeps stale tmp files after
+// validating the real manifest — and touches nothing else in the directory.
+TEST(ShardEquivalenceTest, OpenDirectoryCollectsStaleManifestTmpFiles) {
+  constexpr size_t kShards = 3;
+  const std::string dir = ::testing::TempDir() + "/gauss_db_dir_stale_tmp";
+  {
+    GaussDbOptions options;
+    options.shards.num_shards = kShards;
+    GaussDb db = GaussDb::CreateOnDirectory(dir, 3, options);
+    db.Build(MakeDataset(200, 3, 4, /*seed=*/212));
+  }
+  // Two crashed writers (distinct pids) plus an unrelated file the sweep
+  // must leave alone.
+  const std::vector<std::string> stale = {dir + "/MANIFEST.tmp.1234",
+                                          dir + "/MANIFEST.tmp.99999"};
+  const std::string unrelated = dir + "/NOTES.txt";
+  for (const std::string& p : stale) {
+    std::ofstream(p) << "half-written manifest";
+  }
+  std::ofstream(unrelated) << "keep me";
+
+  const OpenResult result = GaussDb::OpenDirectory(dir);
+  ASSERT_TRUE(result.ok());
+  for (const std::string& p : stale) {
+    EXPECT_NE(::access(p.c_str(), F_OK), 0) << p << " should have been swept";
+  }
+  EXPECT_EQ(::access(unrelated.c_str(), F_OK), 0);
+  EXPECT_EQ(::access((dir + "/MANIFEST").c_str(), F_OK), 0);
+
+  std::remove(unrelated.c_str());
+  RemoveDirectoryLayout(dir, kShards);
+}
+
 // Reopened sharded databases keep routing Insert() to the right shard: the
 // partitioner is a pure function of the object id.
 TEST(ShardEquivalenceTest, ReopenedShardedFileAcceptsMoreInserts) {
@@ -795,18 +831,17 @@ TEST(ShardEquivalenceTest, LoopbackRpcMatchesInProcessAcrossShardCounts) {
   }
 }
 
-// Refinement over the wire. A tight accuracy alone cannot force coordinator
-// rounds — every shard already refines to the query's accuracy against its
-// local bounds, and per-shard relative gaps at eps imply the combined gap is
-// at eps too. What does force rounds is exact membership with the threshold
-// sitting exactly at a candidate's true probability: the lazily-bounded
-// first pass cannot certify the candidate against a threshold inside its
-// interval, so the coordinator must issue batched kRefine rounds until the
-// interval clears (or the shards exhaust). The per-query refinement work is
-// deterministic — the same number of refine requests whether the shard is a
-// function call or a socket away. (Round counts measure coalescing, which
-// is timing-dependent; only their existence and rounds <= requests are
-// asserted.)
+// Refinement over the wire. Under mass-proportional budgets the coordinator
+// owns certification (per-shard Start queries suppress the shard-local
+// relative test), so accuracy-refining queries drive coordinator rounds; and
+// exact membership with the threshold sitting exactly at a candidate's true
+// probability forces further rounds — the first pass cannot certify a
+// candidate against a threshold inside its interval, so batched kRefine
+// rounds continue until the interval clears (or the shards exhaust). The
+// per-query refinement work is deterministic — the same number of refine
+// requests whether the shard is a function call or a socket away. (Round
+// counts measure coalescing, which is timing-dependent; only their
+// existence and rounds <= requests are asserted.)
 TEST(ShardEquivalenceTest, LoopbackRpcRefinementRoundsAreBatchedAndCounted) {
   const PfvDataset dataset = MakeDataset(1000, 3, 8, /*seed=*/1414);
   LoopbackStack stack(dataset, /*num_shards=*/3);
@@ -934,6 +969,187 @@ TEST(ShardEquivalenceTest, ShardServerShutdownMidBatchResolvesEveryQuery) {
       stack.remote().Submit(Query::Mliq(batch[0].pfv(), 1)).get();
   EXPECT_EQ(after.status, QueryResponse::Status::kShardError);
   EXPECT_FALSE(after.error.ok());
+}
+
+// ================= mass-proportional refinement budgets =====================
+//
+// The sharding I/O tax: refining every shard to a relative epsilon against
+// its own denominator bounds costs roughly the same I/O per shard no matter
+// how little combined-denominator mass the shard holds. The coordinator's
+// mass-proportional policy suppresses the shard-local certification and
+// water-fills a combined-interval budget across shards instead — and the
+// tests below pin both its correctness (byte-identity, oracle id sets) and
+// the win itself (strictly fewer pages than the uniform-halving baseline on
+// a skewed partition).
+
+// A dataset whose ids are picked so that ~`heavy_fraction` of the objects
+// land on shard 0 of a 2-shard Partitioner with `hash_seed`: hash routing
+// balances loads on real id distributions, so skew is simulated by choosing
+// ids from the preimages of the two shards. The light shard's objects are
+// additionally displaced away from the gallery's core — far enough that
+// they carry a vanishing share of any near-core probe's denominator mass,
+// but near enough that their exact densities stay strictly positive (no
+// underflow; the combined lower bound must remain certifiable). This is the
+// shape that exposes the sharding I/O tax: a shard whose hull-bound RATIOS
+// at the probe are loose (distance inflates the upper/lower hull spread)
+// but whose absolute contribution is negligible.
+PfvDataset SkewedDataset(size_t size, size_t dim, uint64_t hash_seed,
+                         double heavy_fraction) {
+  const PfvDataset base = MakeDataset(size, dim, 8, /*seed=*/2222);
+  const Partitioner router(/*num_shards=*/2, hash_seed);
+  const size_t heavy = static_cast<size_t>(heavy_fraction * size);
+  std::vector<uint64_t> heavy_ids, light_ids;
+  for (uint64_t id = 0; heavy_ids.size() < heavy || light_ids.size() < size - heavy;
+       ++id) {
+    if (router.ShardOf(id) == 0) {
+      if (heavy_ids.size() < heavy) heavy_ids.push_back(id);
+    } else if (light_ids.size() < size - heavy) {
+      light_ids.push_back(id);
+    }
+  }
+  PfvDataset skewed(dim);
+  for (size_t i = 0; i < size; ++i) {
+    Pfv pfv = base[i];
+    pfv.id = i < heavy ? heavy_ids[i] : light_ids[i - heavy];
+    if (i >= heavy) {
+      // ~1.5 units at sigma >= 0.05 keeps log-density deficits well inside
+      // exp() range: the light shard is remote, not impossible.
+      for (double& mu : pfv.mu) mu += 1.5;
+    }
+    skewed.Add(pfv);
+  }
+  return skewed;
+}
+
+// On a 90/10 partition, the mass-proportional coordinator must (a) answer
+// byte-identically to the session's default coordinator and match the
+// single-tree reference and seq-scan oracle, and (b) read strictly fewer
+// pages per query than the uniform-halving baseline over the very same
+// shard services — the light shard stops paying full refinement freight.
+TEST(ShardEquivalenceTest, SkewedPartitionProportionalBudgetsBeatUniform) {
+  constexpr size_t kSize = 3000;
+  constexpr uint64_t kSeed = 0xabcdef12345ull;
+  const PfvDataset dataset = SkewedDataset(kSize, 3, kSeed, /*heavy=*/0.9);
+  const Reference ref(dataset, /*probes=*/6, /*seed=*/2223);
+
+  GaussDbOptions options;
+  options.shards.num_shards = 2;
+  options.shards.hash_seed = kSeed;
+  GaussDb db = GaussDb::CreateInMemory(dataset.dim(), options);
+  db.Build(dataset);
+  Session session = db.Serve({.num_workers = 4, .coordinator_threads = 2});
+  ASSERT_EQ(session.num_shards(), 2u);
+  // The chosen ids really did skew the partition.
+  EXPECT_GE(session.shard_tree(0).size(), (kSize * 85) / 100);
+
+  const BatchResult via_session = session.ExecuteBatch(ref.batch());
+
+  std::vector<QueryService*> services = {session.shard_service(0),
+                                         session.shard_service(1)};
+  ShardCoordinatorOptions proportional_options;
+  proportional_options.refinement = RefinementPolicy::kMassProportional;
+  ShardCoordinator proportional(services, proportional_options);
+  const BatchResult prop = proportional.ExecuteBatch(ref.batch());
+
+  ShardCoordinatorOptions uniform_options;
+  uniform_options.refinement = RefinementPolicy::kUniformHalving;
+  ShardCoordinator uniform(services, uniform_options);
+  const BatchResult unif = uniform.ExecuteBatch(ref.batch());
+
+  ASSERT_EQ(prop.responses.size(), ref.batch().size());
+  ASSERT_EQ(unif.responses.size(), ref.batch().size());
+  for (size_t i = 0; i < ref.batch().size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    const Query& query = ref.batch()[i];
+    ASSERT_EQ(prop.responses[i].status, QueryResponse::Status::kOk);
+    ASSERT_EQ(unif.responses[i].status, QueryResponse::Status::kOk);
+    // The session's default coordinator IS the mass-proportional policy.
+    test::ExpectItemsBytesEqual(prop.responses[i].items,
+                                via_session.responses[i].items);
+    // Both policies answer correctly — only the I/O spent may differ.
+    if (IsLazyTiq(query)) {
+      ExpectLazyTiqContract(prop.responses[i].items, ref.ScanTiq(i));
+      ExpectLazyTiqContract(unif.responses[i].items, ref.ScanTiq(i));
+      continue;
+    }
+    ExpectEquivalent(prop.responses[i].items,
+                     ref.single_tree().responses[i].items,
+                     RefinesProbabilities(query));
+    ExpectEquivalent(unif.responses[i].items,
+                     ref.single_tree().responses[i].items,
+                     RefinesProbabilities(query));
+    if (query.kind() == QueryKind::kTiq) {
+      EXPECT_EQ(Ids(prop.responses[i].items), Ids(ref.ScanTiq(i)));
+    } else {
+      EXPECT_EQ(Ids(prop.responses[i].items),
+                Ids(ref.ScanMliq(i, query.k())));
+    }
+  }
+
+  // The tentpole: proportional budgets must beat uniform halving on pages.
+  // The standard variants certify off the identification traversal alone
+  // (kAccuracy = 1e-4 is met before any refinement round fires), so the
+  // I/O comparison runs a batch tight enough that the denominator MUST be
+  // refined — that is where the light shard's freight shows up. Under
+  // uniform halving the light shard certifies against its own small lower
+  // bound (relative eps, ~full refinement depth regardless of mass); under
+  // proportional budgets its absolute target is set by the combined
+  // interval, which the heavy shard dominates, so the light shard stops
+  // early. (Logical reads — cache-state independent, so sequential runs
+  // over the same services compare fairly.)
+  constexpr double kTightAccuracy = 1e-6;
+  std::vector<Query> tight;
+  for (const Query& query : ref.batch()) {
+    if (query.kind() != QueryKind::kMliq) continue;
+    if (!query.mliq_options().refine_probabilities) continue;
+    tight.push_back(Query::Mliq(query.pfv(), 3).Accuracy(kTightAccuracy));
+    tight.push_back(Query::Tiq(query.pfv(), kThreshold)
+                        .ExactMembership(true)
+                        .Accuracy(kTightAccuracy));
+  }
+  ASSERT_FALSE(tight.empty());
+  const BatchResult prop_tight = proportional.ExecuteBatch(tight);
+  const BatchResult unif_tight = uniform.ExecuteBatch(tight);
+  for (size_t i = 0; i < tight.size(); ++i) {
+    SCOPED_TRACE("tight query " + std::to_string(i));
+    ASSERT_EQ(prop_tight.responses[i].status, QueryResponse::Status::kOk);
+    ASSERT_EQ(unif_tight.responses[i].status, QueryResponse::Status::kOk);
+    // At 1e-10 both policies certify hard intervals: same identities.
+    EXPECT_EQ(Ids(prop_tight.responses[i].items),
+              Ids(unif_tight.responses[i].items));
+  }
+  EXPECT_LT(prop_tight.stats.pages_per_query(),
+            unif_tight.stats.pages_per_query())
+      << "mass-proportional refinement reads no fewer pages than the "
+         "uniform-halving baseline on a 90/10 partition";
+}
+
+// A probe so far from the gallery that every exact object density
+// underflows to zero in the root-hull reference scale leaves the combined
+// denominator lower bound at zero — the relative certification test
+// (gap <= eps * lo) is then unreachable, and the coordinator used to refine
+// until every shard had exhausted its whole tree: a full scan. The absolute
+// gap floor must terminate refinement instead: kOk, honest bounds, and
+// strictly less work than evaluating the entire gallery.
+TEST(ShardEquivalenceTest, ZeroLowerBoundQueryTerminatesWithoutFullScan) {
+  const PfvDataset dataset = MakeDataset(2000, 3, 8, /*seed=*/3434);
+  GaussDbOptions options;
+  options.shards.num_shards = 3;
+  GaussDb db = GaussDb::CreateInMemory(dataset.dim(), options);
+  db.Build(dataset);
+  Session session = db.Serve({.num_workers = 6, .coordinator_threads = 2});
+
+  const Pfv probe(777, std::vector<double>(dataset.dim(), 1.0e5),
+                  std::vector<double>(dataset.dim(), 0.05));
+  const QueryResponse resp =
+      session.Submit(Query::Mliq(probe, 3).Accuracy(1e-4)).get();
+  ASSERT_EQ(resp.status, QueryResponse::Status::kOk);
+  // The interval is honest (lo <= hi, lo pinned at zero by underflow) ...
+  EXPECT_EQ(resp.stats.denominator_lo, 0.0);
+  EXPECT_LE(resp.stats.denominator_lo, resp.stats.denominator_hi);
+  // ... and certification did NOT fall back to evaluating the whole gallery
+  // in pursuit of a relative test that can never fire at lo == 0.
+  EXPECT_LT(resp.stats.objects_evaluated, dataset.size());
 }
 
 }  // namespace

@@ -327,10 +327,12 @@ TEST_F(StreamingTest, PrefetchDepthSweepIsByteIdenticalWithUnchangedAccesses) {
 }
 
 // Deterministic prefetch accounting, pinned through the shared
-// GatedPageCache: a worker blocked at the gate has issued no hints yet
-// (hints only flow from node expansions, which sit behind the gated Fetch);
-// once released, the run issues hints, and after a quiesce + Clear every
-// issued prefetch has resolved to exactly one hit or wasted count.
+// GatedPageCache: a worker blocked at the gate has issued at most the root
+// expansion's hints (the root is pinned in memory, so its expansion — and
+// its read-ahead — happens before the first gated Fetch; every deeper
+// expansion sits behind the gate); once released, the run issues the rest,
+// and after a quiesce + Clear every issued prefetch has resolved to exactly
+// one hit or wasted count.
 TEST_F(StreamingTest, GatedPrefetchAccountingResolvesEveryIssue) {
   // Capacity well below the tree's page count (see the sweep test above).
   ShardedBufferPool pool(&device_, 16, /*num_shards=*/4);
@@ -347,8 +349,9 @@ TEST_F(StreamingTest, GatedPrefetchAccountingResolvesEveryIssue) {
   gated.CloseGate();
   auto future = service.Submit(Query::Mliq(workload_[0].query, 3));
   SpinUntil([&] { return gated.waiting() == 1; });
-  // Pinned before the first expansion: no hint can have been issued.
-  EXPECT_EQ(pool.stats().prefetch_issued, 0u);
+  // Blocked on the first non-root fetch: only the pinned root's expansion
+  // can have hinted so far, and it hints at most prefetch_depth pages.
+  EXPECT_LE(pool.stats().prefetch_issued, 8u);
 
   gated.OpenGate();
   const QueryResponse resp = future.get();

@@ -210,6 +210,8 @@ TEST(WireMessages, StartRoundTripsMliqBitExactly) {
   options.probability_accuracy = 3.25e-4;
   options.refine_probabilities = false;
   options.prefetch_depth = 9;
+  options.denominator_target_gap = kNastyDoubles[7];  // smallest normal
+  options.density_floor_log = -kNastyDoubles[6];      // largest-magnitude log
   const Query query = Query::Mliq(probe, /*k=*/5, options);
 
   std::vector<uint8_t> body;
@@ -230,6 +232,12 @@ TEST(WireMessages, StartRoundTripsMliqBitExactly) {
   ExpectBitsEqual(start.query->mliq_options().probability_accuracy, 3.25e-4);
   EXPECT_FALSE(start.query->mliq_options().refine_probabilities);
   EXPECT_EQ(start.query->mliq_options().prefetch_depth, 9u);
+  // The coordinator's mass-proportional budget must survive bit-exactly —
+  // byte-identical RPC/in-process answers hinge on identical targets.
+  ExpectBitsEqual(start.query->mliq_options().denominator_target_gap,
+                  kNastyDoubles[7]);
+  ExpectBitsEqual(start.query->mliq_options().density_floor_log,
+                  -kNastyDoubles[6]);
   EXPECT_FALSE(start.query->has_deadline());
 
   SweepMalformedBodies(body, [](const uint8_t* data, size_t size) {
@@ -244,6 +252,8 @@ TEST(WireMessages, StartRoundTripsTiqAndDeadlineBudget) {
   options.exact_membership = false;
   options.refine_probabilities = true;
   options.probability_accuracy = 1e-2;
+  options.denominator_target_gap = 6.5e-7;
+  options.denominator_floor = 1.0 + 0x1p-52;  // off-by-one-ulp detector
   const Query query = Query::Tiq(probe, /*threshold=*/0.2, options)
                           .DeadlineAfter(std::chrono::milliseconds(500));
 
@@ -257,6 +267,9 @@ TEST(WireMessages, StartRoundTripsTiqAndDeadlineBudget) {
   ExpectBitsEqual(start.query->threshold(), 0.2);
   EXPECT_FALSE(start.query->tiq_options().exact_membership);
   EXPECT_TRUE(start.query->tiq_options().refine_probabilities);
+  ExpectBitsEqual(start.query->tiq_options().denominator_target_gap, 6.5e-7);
+  ExpectBitsEqual(start.query->tiq_options().denominator_floor,
+                  1.0 + 0x1p-52);
   // The deadline travels as a relative budget and re-anchors on the
   // receiver's clock: still present, due within the original 500 ms.
   ASSERT_TRUE(start.query->has_deadline());
@@ -455,6 +468,116 @@ TEST(WireMessages, StatsReplyRoundTripsEveryCounter) {
     ServiceStats service_out;
     return DecodeStatsReply(data, size, &io_out, &service_out);
   });
+}
+
+// ----------------------------- sketch reply ---------------------------------
+
+TEST(WireMessages, SketchReplyRoundTripsBitExactly) {
+  ShardSketch sketch;
+  sketch.tree_size = 1234;
+  sketch.sigma_policy = SigmaPolicy::kAdditive;
+  sketch.root_bounds = {{kNastyDoubles[1], kNastyDoubles[6], 0.25, 2.0},
+                        {-1.5, 1.5, kNastyDoubles[2], kNastyDoubles[6]}};
+  sketch.entries.push_back(
+      {400, {{0.0, 0.5, 0.1, 0.2}, {kNastyDoubles[7], 0.0, 0.1, 0.1}}});
+  sketch.entries.push_back(
+      {834, {{-2.0, -1.0, 0.5, 0.5}, {3.0, 4.0, 0.25, 1.0}}});
+
+  std::vector<uint8_t> body;
+  EncodeSketchReply(sketch, /*dim=*/2, &body);
+
+  ShardSketch out;
+  ASSERT_TRUE(DecodeSketchReply(body.data(), body.size(), &out).ok());
+  EXPECT_EQ(out.tree_size, 1234u);
+  EXPECT_EQ(out.sigma_policy, SigmaPolicy::kAdditive);
+  ASSERT_EQ(out.root_bounds.size(), 2u);
+  ASSERT_EQ(out.entries.size(), 2u);
+  for (size_t d = 0; d < 2; ++d) {
+    ExpectBitsEqual(out.root_bounds[d].mu_lo, sketch.root_bounds[d].mu_lo);
+    ExpectBitsEqual(out.root_bounds[d].mu_hi, sketch.root_bounds[d].mu_hi);
+    ExpectBitsEqual(out.root_bounds[d].sigma_lo,
+                    sketch.root_bounds[d].sigma_lo);
+    ExpectBitsEqual(out.root_bounds[d].sigma_hi,
+                    sketch.root_bounds[d].sigma_hi);
+  }
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(out.entries[i].count, sketch.entries[i].count);
+    ASSERT_EQ(out.entries[i].bounds.size(), 2u);
+    for (size_t d = 0; d < 2; ++d) {
+      ExpectBitsEqual(out.entries[i].bounds[d].mu_lo,
+                      sketch.entries[i].bounds[d].mu_lo);
+      ExpectBitsEqual(out.entries[i].bounds[d].sigma_hi,
+                      sketch.entries[i].bounds[d].sigma_hi);
+    }
+  }
+
+  SweepMalformedBodies(body, [](const uint8_t* data, size_t size) {
+    ShardSketch s;
+    return DecodeSketchReply(data, size, &s);
+  });
+}
+
+TEST(WireMessages, SketchReplyRoundTripsEmptyShard) {
+  ShardSketch empty;  // tree_size 0: no bounds, no entries travel
+  std::vector<uint8_t> body;
+  EncodeSketchReply(empty, /*dim=*/5, &body);
+  ShardSketch out;
+  out.entries.push_back({1, {}});  // must be cleared by the decoder
+  ASSERT_TRUE(DecodeSketchReply(body.data(), body.size(), &out).ok());
+  EXPECT_EQ(out.tree_size, 0u);
+  EXPECT_TRUE(out.root_bounds.empty());
+  EXPECT_TRUE(out.entries.empty());
+}
+
+TEST(WireMessages, SketchReplyRejectsHostileCountsAndPolicy) {
+  // Hostile dimensionality: a 4 GiB-implying dim with an empty remainder.
+  {
+    std::vector<uint8_t> body;
+    WireWriter writer(&body);
+    writer.U64(10);          // tree_size
+    writer.U8(0);            // policy
+    writer.U32(0x3fffffffu); // dim: a lie
+    ShardSketch out;
+    EXPECT_EQ(DecodeSketchReply(body.data(), body.size(), &out).code,
+              NetErrorCode::kProtocolError);
+  }
+  // Hostile entry count.
+  {
+    std::vector<uint8_t> body;
+    WireWriter writer(&body);
+    writer.U64(10);
+    writer.U8(0);
+    writer.U32(1);  // dim 1
+    for (int i = 0; i < 4; ++i) writer.F64(0.5);  // root bounds
+    writer.U32(0x7fffffffu);  // entry count: a lie
+    ShardSketch out;
+    EXPECT_EQ(DecodeSketchReply(body.data(), body.size(), &out).code,
+              NetErrorCode::kProtocolError);
+  }
+  // Unknown sigma policy.
+  {
+    ShardSketch sketch;
+    sketch.tree_size = 1;
+    sketch.root_bounds = {{0.0, 1.0, 0.1, 0.2}};
+    sketch.entries.push_back({1, {{0.0, 1.0, 0.1, 0.2}}});
+    std::vector<uint8_t> body;
+    EncodeSketchReply(sketch, /*dim=*/1, &body);
+    body[8] = 0x7f;  // the policy byte sits right after tree_size
+    ShardSketch out;
+    EXPECT_EQ(DecodeSketchReply(body.data(), body.size(), &out).code,
+              NetErrorCode::kProtocolError);
+  }
+  // A non-empty tree claiming zero dimensions is malformed, not "no bounds".
+  {
+    std::vector<uint8_t> body;
+    WireWriter writer(&body);
+    writer.U64(10);
+    writer.U8(0);
+    writer.U32(0);  // dim 0 with tree_size > 0
+    ShardSketch out;
+    EXPECT_EQ(DecodeSketchReply(body.data(), body.size(), &out).code,
+              NetErrorCode::kProtocolError);
+  }
 }
 
 // -------------------------------- error -------------------------------------
