@@ -24,6 +24,8 @@
 // line for bench/check_regression.py (the CI bench-regression guard).
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -220,6 +222,175 @@ void Run() {
                "pages/query depth-invariant (prefetch hints are not "
                "accesses)\n";
   std::remove(path.c_str());
+
+  // ---- Mixed insert + query (live ingest) -------------------------------
+  // The same gallery served with GaussDbOptions::ingest: one thread enrolls
+  // a stream of new objects at full speed (kDeltaFull backpressure retried)
+  // while a query thread keeps running the MLIQ workload — with background
+  // merges rebuilding the base mid-stream. Reports enrollment throughput
+  // and the query-side p99 under concurrent enrollment; exits non-zero if
+  // an insert or query fails typed, or the final object count is off.
+  PrintBanner(std::cout, "Live ingest: enroll while serving (3-MLIQ traffic)");
+  GaussDbOptions live_options;
+  live_options.ingest.enabled = true;
+  live_options.ingest.delta_capacity = 1 << 14;
+  live_options.ingest.merge_threshold = 1 << 12;
+  GaussDb live_db = GaussDb::CreateInMemory(config.dim, live_options);
+  live_db.Build(dataset);
+  ServeOptions live_serve;
+  live_serve.num_workers = 4;
+  live_serve.cache_pages = 1 << 15;
+  live_serve.queue_capacity = 512;
+  Session live = live_db.Serve(live_serve);
+
+  const size_t enroll_count = std::max<size_t>(512, dataset.size() / 10);
+  ClusteredDatasetConfig extra_config = config;
+  extra_config.size = enroll_count;
+  extra_config.seed = config.seed + 1;
+  const PfvDataset extra_raw = GenerateClusteredDataset(extra_config);
+
+  std::atomic<bool> enrolling{true};
+  std::atomic<bool> failed{false};
+  std::vector<double> insert_us;
+  insert_us.reserve(enroll_count);
+  double enroll_seconds = 0.0;
+
+  std::thread enroller([&] {
+    const auto begin = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < extra_raw.size(); ++i) {
+      Pfv pfv = extra_raw[i];
+      pfv.id = 10000000 + i;  // disjoint from the base gallery's ids
+      const auto t0 = std::chrono::steady_clock::now();
+      for (;;) {
+        const InsertResult result = live_db.Insert(pfv);
+        if (result.ok()) break;
+        if (result.outcome != InsertOutcome::kDeltaFull) {
+          std::cout << "ERROR: insert failed: "
+                    << InsertOutcomeName(result.outcome) << " "
+                    << result.message << "\n";
+          failed.store(true);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      insert_us.push_back(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    enroll_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - begin)
+                         .count();
+    enrolling.store(false);
+  });
+
+  // Query traffic riding the enrollment window; the last batch completed
+  // while enrollment was still running provides the under-load stats.
+  const std::vector<Query> live_batch = make_batch(256);
+  ServiceStats under_load;
+  size_t concurrent_batches = 0;
+  while (enrolling.load() && !failed.load()) {
+    const BatchResult result = live.ExecuteBatch(live_batch);
+    for (const QueryResponse& response : result.responses) {
+      if (response.status != QueryResponse::Status::kOk) {
+        std::cout << "ERROR: query failed under enrollment\n";
+        failed.store(true);
+        break;
+      }
+    }
+    if (enrolling.load()) {
+      under_load = result.stats;
+      ++concurrent_batches;
+    }
+  }
+  enroller.join();
+  if (failed.load()) std::exit(1);
+  size_t sustain_accepted = 0;
+  if (concurrent_batches == 0) {
+    // The timed burst above can finish before one batch completes (enrolling
+    // is orders of magnitude faster than querying). Re-measure one batch
+    // with a sustaining enroller running for its entire duration, so the
+    // "query under enroll" cell is always an under-insert-load sample.
+    std::atomic<bool> batch_done{false};
+    std::thread sustainer([&] {
+      for (size_t i = 0; !batch_done.load(); ++i) {
+        Pfv pfv = extra_raw[i % extra_raw.size()];
+        pfv.id = 20000000 + i;  // disjoint from base and burst ids
+        const InsertResult result = live_db.Insert(pfv);
+        if (result.ok()) {
+          ++sustain_accepted;
+        } else if (result.outcome == InsertOutcome::kDeltaFull) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        } else {
+          std::cout << "ERROR: sustained insert failed: "
+                    << InsertOutcomeName(result.outcome) << "\n";
+          failed.store(true);
+          return;
+        }
+      }
+    });
+    const BatchResult result = live.ExecuteBatch(live_batch);
+    batch_done.store(true);
+    sustainer.join();
+    if (failed.load()) std::exit(1);
+    for (const QueryResponse& response : result.responses) {
+      if (response.status != QueryResponse::Status::kOk) {
+        std::cout << "ERROR: query failed under sustained enrollment\n";
+        std::exit(1);
+      }
+    }
+    under_load = result.stats;
+    ++concurrent_batches;
+  }
+
+  // Drain the delta and verify nothing was lost across the epoch swaps.
+  live_db.MergeIngest();
+  const IngestStats ingest_stats = live_db.ingest_stats();
+  if (live_db.size() != dataset.size() + enroll_count + sustain_accepted) {
+    std::cout << "ERROR: live ingest lost objects: " << live_db.size()
+              << " != " << dataset.size() + enroll_count + sustain_accepted
+              << "\n";
+    std::exit(1);
+  }
+
+  std::sort(insert_us.begin(), insert_us.end());
+  const double insert_p99 =
+      insert_us.empty()
+          ? 0.0
+          : insert_us[static_cast<size_t>(
+                static_cast<double>(insert_us.size() - 1) * 0.99)];
+  const double enroll_qps =
+      enroll_seconds > 0.0 ? static_cast<double>(enroll_count) / enroll_seconds
+                           : 0.0;
+
+  Table itable({"metric", "value"});
+  itable.AddRow({"enrollments", Table::Int(enroll_count)});
+  itable.AddRow({"ingest qps", Table::Num(enroll_qps)});
+  itable.AddRow({"insert p99 us", Table::Num(insert_p99)});
+  itable.AddRow({"query qps under enroll", Table::Num(under_load.qps)});
+  itable.AddRow({"query p99 us under enroll",
+                 Table::Num(under_load.latency.p99_us)});
+  itable.AddRow({"concurrent batches", Table::Int(concurrent_batches)});
+  itable.AddRow({"merges completed", Table::Int(ingest_stats.merges_completed)});
+  itable.Print(std::cout);
+  std::cout << "final size verified: base + every accepted enrollment\n";
+
+  BenchCellMetrics enroll_metrics;
+  enroll_metrics.bench = "sweep_concurrency";
+  enroll_metrics.scale = scale;
+  enroll_metrics.cell = "ingest,enroll";
+  enroll_metrics.qps = enroll_qps;
+  enroll_metrics.p99_us = insert_p99;
+  AppendBenchJson(enroll_metrics);
+
+  BenchCellMetrics mixed_metrics;
+  mixed_metrics.bench = "sweep_concurrency";
+  mixed_metrics.scale = scale;
+  mixed_metrics.cell = "ingest,query_under_enroll";
+  mixed_metrics.qps = under_load.qps;
+  mixed_metrics.p99_us = under_load.latency.p99_us;
+  mixed_metrics.pages_per_query = under_load.pages_per_query();
+  AppendBenchJson(mixed_metrics);
 }
 
 }  // namespace

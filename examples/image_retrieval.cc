@@ -81,5 +81,14 @@ int main() {
               100.0 * nn_hits / n);
   std::printf("  sequential file          : %zu pages/query\n",
               file.page_count());
+
+  // This catalog is static: once Serve() finalized it, the pages are
+  // immutable, and a late Insert() comes back as a typed refusal instead of
+  // aborting the process. Catalogs that must grow while serving enable
+  // GaussDbOptions::ingest (see examples/face_identification.cc).
+  const InsertResult late = db.Insert(data.dataset[0]);
+  std::printf("\nlate Insert() on the static catalog: refused typed as "
+              "\"%s\"\n  (%s)\n",
+              InsertOutcomeName(late.outcome), late.message.c_str());
   return 0;
 }

@@ -35,6 +35,18 @@
 //   hostA$ gauss_shardd --file=GALLERY/shard-0000.gauss --port=7001
 //   ...
 //   front$ query_server --connect=hostA:7001,hostB:7001,...
+//
+// Pass --enroll-rate=N to enroll new persons *while serving*: the session is
+// opened with live ingest enabled (GaussDbOptions::ingest locally, the
+// IngestOptions argument of ServeRemote() for --connect) and a walk-up
+// enrollment desk inserts N new persons per second through Session::Insert()
+// concurrently with the probe clients above. Inserts land in an in-memory
+// delta that serves immediately — no rebuild, no pause in query traffic —
+// and (locally) a background merge folds the delta into the base tree once
+// it passes the merge threshold. kDeltaFull is backpressure, not an error:
+// the desk retries after a beat. After the load drains, the demo probes the
+// freshly enrolled faces to show they are queryable the moment Insert()
+// returns.
 
 #include <atomic>
 #include <chrono>
@@ -75,9 +87,10 @@ int main(int argc, char** argv) {
   using namespace gauss;
   Rng rng(7);
 
-  size_t num_shards = 0;  // 0 = unsharded single tree
-  std::string directory;  // non-empty = multi-device directory layout
-  std::string connect;    // non-empty = remote shards (gauss_shardd hosts)
+  size_t num_shards = 0;   // 0 = unsharded single tree
+  std::string directory;   // non-empty = multi-device directory layout
+  std::string connect;     // non-empty = remote shards (gauss_shardd hosts)
+  size_t enroll_rate = 0;  // >0 = enroll N persons/s while serving
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       num_shards = static_cast<size_t>(std::atoll(argv[i] + 9));
@@ -85,10 +98,12 @@ int main(int argc, char** argv) {
       directory = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
       connect = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--enroll-rate=", 14) == 0) {
+      enroll_rate = static_cast<size_t>(std::atoll(argv[i] + 14));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--shards=N] [--dir=PATH] "
-                   "[--connect=host:port,...]\n",
+                   "[--connect=host:port,...] [--enroll-rate=N]\n",
                    argv[0]);
       return 1;
     }
@@ -114,6 +129,14 @@ int main(int argc, char** argv) {
   serve.num_workers = 4;
   serve.cache_pages = 1 << 12;
 
+  // Walk-up enrollment desk: live ingest is opt-in, and the same
+  // IngestOptions shape configures it for every deployment mode.
+  IngestOptions ingest;
+  ingest.enabled = enroll_rate > 0;
+  ingest.delta_capacity = 1 << 14;
+  ingest.merge_threshold = 1 << 10;
+  ingest.merge_policy = MergePolicy::kBackground;
+
   // ---- Offline: enroll the gallery (or reattach/connect to one). ---------
   std::optional<GaussDb> db;
   std::optional<Session> session;
@@ -137,7 +160,7 @@ int main(int argc, char** argv) {
       }
       start = comma + 1;
     }
-    ServeResult remote = GaussDb::ServeRemote(endpoints, serve);
+    ServeResult remote = GaussDb::ServeRemote(endpoints, serve, ingest);
     if (!remote.ok()) {
       std::fprintf(stderr, "cannot connect to remote shards: %s\n",
                    remote.error().message.c_str());
@@ -150,6 +173,7 @@ int main(int argc, char** argv) {
   } else {
     GaussDbOptions db_options;
     db_options.shards.num_shards = num_shards;  // 0 keeps the single tree
+    db_options.ingest = ingest;  // live enrollment iff --enroll-rate given
     const bool reattach = [&] {
       if (directory.empty()) return false;
       std::FILE* manifest = std::fopen((directory + "/MANIFEST").c_str(), "rb");
@@ -301,10 +325,55 @@ int main(int argc, char** argv) {
     }
   };
 
+  // The enrollment desk: while the probe clients above hammer the session,
+  // enroll brand-new persons at --enroll-rate per second. Insert() returns a
+  // typed InsertResult — kRoutedToDelta is success (the person serves from
+  // the in-memory delta immediately), kDeltaFull is backpressure while a
+  // merge drains the delta (retry after a beat), anything else is a bug in
+  // this demo. The desk keeps each enrollee's true face so we can probe
+  // them afterwards.
+  std::atomic<bool> serving_done{false};
+  std::vector<std::vector<double>> enrolled_faces;
+  std::vector<uint64_t> enrolled_ids;
+  auto enrollment_desk = [&] {
+    Rng desk_rng(555);
+    const auto interval =
+        std::chrono::nanoseconds(uint64_t{1000000000} / enroll_rate);
+    auto next_slot = std::chrono::steady_clock::now();
+    uint64_t next_id = 1000000;  // well past the offline gallery's ids
+    while (!serving_done.load(std::memory_order_relaxed)) {
+      std::vector<double> face(kFeatures);
+      for (double& f : face) f = desk_rng.NextDouble();
+      const std::vector<double> sigma = FeatureSigmas(desk_rng);
+      std::vector<double> observed(kFeatures);
+      for (size_t f = 0; f < kFeatures; ++f) {
+        observed[f] = desk_rng.Gaussian(face[f], sigma[f]);
+      }
+      InsertResult enrolled = session->Insert(Pfv(next_id, observed, sigma));
+      while (enrolled.outcome == InsertOutcome::kDeltaFull &&
+             !serving_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        enrolled = session->Insert(Pfv(next_id, observed, sigma));
+      }
+      if (!enrolled.ok()) break;  // kDeltaFull at shutdown, or a demo bug
+      enrolled_faces.push_back(std::move(face));
+      enrolled_ids.push_back(next_id);
+      ++next_id;
+      next_slot += interval;
+      std::this_thread::sleep_until(next_slot);
+    }
+  };
+
   std::vector<std::thread> clients;
   for (size_t c = 0; c < kClients; ++c) clients.emplace_back(client, c);
   clients.emplace_back(streaming_client);
+  std::optional<std::thread> desk;
+  if (enroll_rate > 0) desk.emplace(enrollment_desk);
   for (auto& t : clients) t.join();
+  if (desk) {
+    serving_done.store(true, std::memory_order_relaxed);
+    desk->join();
+  }
 
   std::printf("\nserved %zu batched probes from %zu clients\n",
               probes_total.load(), kClients);
@@ -318,6 +387,39 @@ int main(int argc, char** argv) {
   std::printf("streaming gate: %zu answered in budget, %zu shed/expired "
               "(deadline 50 ms)\n",
               streamed_ok.load(), streamed_rejected.load());
+  if (enroll_rate > 0) {
+    // Every person enrolled during the load must be identifiable right now,
+    // whether they still sit in the delta or were merged into the base by a
+    // background merge mid-run.
+    Rng verify_rng(777);
+    size_t found = 0;
+    for (size_t i = 0; i < enrolled_ids.size(); ++i) {
+      const std::vector<double> sigma = FeatureSigmas(verify_rng);
+      std::vector<double> observed(kFeatures);
+      for (size_t f = 0; f < kFeatures; ++f) {
+        observed[f] = verify_rng.Gaussian(enrolled_faces[i][f], sigma[f]);
+      }
+      const QueryResponse resp =
+          session->Submit(Query::Mliq(Pfv(980000 + i, observed, sigma), 1))
+              .get();
+      if (resp.status == QueryResponse::Status::kOk && !resp.items.empty() &&
+          resp.items[0].id == enrolled_ids[i]) {
+        ++found;
+      }
+    }
+    const IngestStats ingest_stats = session->ingest_stats();
+    std::printf(
+        "enrollment desk: %zu persons enrolled live at %zu/s; %zu/%zu "
+        "identified post-enrollment\n",
+        enrolled_ids.size(), enroll_rate, found, enrolled_ids.size());
+    std::printf(
+        "live ingest: epoch %llu, %llu merge(s) completed, %zu still in the "
+        "delta, %llu inserts accepted\n",
+        static_cast<unsigned long long>(ingest_stats.epoch),
+        static_cast<unsigned long long>(ingest_stats.merges_completed),
+        ingest_stats.delta_size,
+        static_cast<unsigned long long>(ingest_stats.inserts_accepted));
+  }
   const IoStats io = session->io_stats();  // summed over per-shard caches
   std::printf("cache(s): %llu logical / %llu physical reads across %zu "
               "serving pool(s)\n",

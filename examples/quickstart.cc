@@ -23,9 +23,20 @@ int main() {
   const Pfv o3(3, {1.8, 4.2}, {0.80, 0.15});  // bad rotation, good illum.
 
   // The identification database: GaussDb owns the storage stack (device,
-  // caches, Gauss-tree) behind three calls.
+  // caches, Gauss-tree) behind three calls. Insert() reports a typed
+  // InsertResult — here each observation lands in the build tree.
   GaussDb db = GaussDb::CreateInMemory(/*dim=*/2);
-  for (const Pfv& v : {o1, o2, o3}) db.Insert(v);
+  for (const Pfv& v : {o1, o2, o3}) {
+    const InsertResult added = db.Insert(v);
+    if (!added.ok()) {
+      std::fprintf(stderr, "enrollment failed (%s): %s\n",
+                   InsertOutcomeName(added.outcome), added.message.c_str());
+      return 1;
+    }
+  }
+  // Build -> serve. After this the pages are immutable: Insert() would come
+  // back as InsertOutcome::kFinalized. (To keep enrolling *while* serving,
+  // set GaussDbOptions::ingest.enabled — examples/query_server.cc does.)
   Session session = db.Serve();
 
   // A flat pfv file for the conventional sequential-scan baseline.

@@ -18,6 +18,7 @@
 #include <thread>
 #include <utility>
 
+#include "api/live_ingest.h"
 #include "common/macros.h"
 #include "net/rpc_backend.h"
 
@@ -149,6 +150,75 @@ const char* OpenErrorCodeName(OpenErrorCode code) {
     case OpenErrorCode::kCorruptManifest: return "corrupt_manifest";
     case OpenErrorCode::kMissingShardFile: return "missing_shard_file";
     case OpenErrorCode::kShardCountMismatch: return "shard_count_mismatch";
+  }
+  return "unknown";
+}
+
+std::future<QueryResponse> Session::Submit(Query query) {
+  if (ingest_ != nullptr) return ingest_->Submit(std::move(query));
+  return coordinator_ ? coordinator_->Submit(std::move(query))
+                      : stacks_[0].service->Submit(std::move(query));
+}
+
+BatchResult Session::ExecuteBatch(const std::vector<Query>& batch) {
+  if (ingest_ != nullptr) return ingest_->ExecuteBatch(batch);
+  return coordinator_ ? coordinator_->ExecuteBatch(batch)
+                      : stacks_[0].service->ExecuteBatch(batch);
+}
+
+InsertResult Session::Insert(const Pfv& pfv) {
+  if (ingest_ != nullptr) return ingest_->Insert(pfv);
+  return {InsertOutcome::kFinalized,
+          "static session: the serving pages are immutable (enable "
+          "GaussDbOptions::ingest for live ingest)"};
+}
+
+IngestStats Session::ingest_stats() const {
+  return ingest_ != nullptr ? ingest_->stats() : IngestStats{};
+}
+
+IoStats Session::io_stats() const {
+  if (ingest_ != nullptr) return ingest_->io_stats();
+  if (stacks_.empty() && coordinator_ != nullptr) {
+    return coordinator_->io_stats();
+  }
+  IoStats total;
+  for (const ShardServingStack& stack : stacks_) total += stack.pool->stats();
+  return total;
+}
+
+size_t Session::num_shards() const {
+  if (ingest_ != nullptr) return ingest_->num_shards();
+  return coordinator_ ? coordinator_->num_shards() : stacks_.size();
+}
+
+bool Session::sharded() const {
+  if (ingest_ != nullptr) return ingest_->sharded();
+  return coordinator_ != nullptr;
+}
+
+bool Session::remote() const {
+  if (ingest_ != nullptr) return ingest_->remote();
+  return coordinator_ != nullptr && stacks_.empty();
+}
+
+size_t Session::num_workers() const {
+  if (ingest_ != nullptr) return ingest_->num_workers();
+  size_t total = 0;
+  for (const ShardServingStack& stack : stacks_) {
+    total += stack.service->num_workers();
+  }
+  return total;
+}
+
+const char* InsertOutcomeName(InsertOutcome outcome) {
+  switch (outcome) {
+    case InsertOutcome::kRoutedToBuild: return "routed_to_build";
+    case InsertOutcome::kRoutedToDelta: return "routed_to_delta";
+    case InsertOutcome::kFinalized: return "finalized";
+    case InsertOutcome::kDeltaFull: return "delta_full";
+    case InsertOutcome::kDimensionMismatch: return "dimension_mismatch";
+    case InsertOutcome::kInvalidPfv: return "invalid_pfv";
   }
   return "unknown";
 }
@@ -586,10 +656,13 @@ OpenResult GaussDb::OpenDirectory(const std::string& path,
 }
 
 size_t GaussDb::size() const {
-  if (trees_.empty()) return size_;
-  size_t total = 0;
-  for (const auto& tree : trees_) total += tree->size();
-  return total;
+  if (!trees_.empty()) {
+    size_t total = 0;
+    for (const auto& tree : trees_) total += tree->size();
+    return total;
+  }
+  if (ingest_ != nullptr) return ingest_->size();
+  return size_;
 }
 
 bool GaussDb::finalized() const {
@@ -616,13 +689,36 @@ void GaussDb::Build(const PfvDataset& dataset) {
   Finalize();
 }
 
-void GaussDb::Insert(const Pfv& pfv) {
-  GAUSS_CHECK_MSG(!trees_.empty(),
-                  "Insert after Serve(): build phase is over");
-  GaussTree* tree =
-      trees_[sharded_ ? partitioner_.ShardOf(pfv.id) : 0].get();
-  if (tree->store().finalized()) tree->Definalize();
-  tree->Insert(pfv);
+InsertResult GaussDb::Insert(const Pfv& pfv) {
+  if (pfv.dim() != dim_) {
+    return {InsertOutcome::kDimensionMismatch,
+            "pfv dimensionality " + std::to_string(pfv.dim()) +
+                " != database dimensionality " + std::to_string(dim_)};
+  }
+  if (!pfv.Valid()) {
+    return {InsertOutcome::kInvalidPfv,
+            "invalid pfv: mu/sigma lengths differ or sigma <= 0"};
+  }
+  if (!trees_.empty()) {
+    GaussTree* tree =
+        trees_[sharded_ ? partitioner_.ShardOf(pfv.id) : 0].get();
+    if (tree->store().finalized()) tree->Definalize();
+    tree->Insert(pfv);
+    return {InsertOutcome::kRoutedToBuild, std::string()};
+  }
+  if (ingest_ != nullptr) return ingest_->Insert(pfv);
+  return {InsertOutcome::kFinalized,
+          "Insert after Serve(): the serving pages are immutable (enable "
+          "GaussDbOptions::ingest for live ingest)"};
+}
+
+bool GaussDb::MergeIngest() {
+  if (ingest_ == nullptr) return false;
+  return ingest_->MergeNow();
+}
+
+IngestStats GaussDb::ingest_stats() const {
+  return ingest_ != nullptr ? ingest_->stats() : IngestStats{};
 }
 
 void GaussDb::Finalize() {
@@ -646,6 +742,25 @@ Session GaussDb::Serve(ServeOptions options) {
     build_pools_.clear();
   }
   GAUSS_CHECK_MSG(!shard_metas_.empty(), "Serve on an unbuilt GaussDb");
+
+  if (options_.ingest.enabled) {
+    // Live ingest: one engine per database, built from the first Serve()
+    // call's options; later calls share it (same epochs, same deltas).
+    if (ingest_ == nullptr) {
+      std::vector<LiveIngest::ShardSource> sources;
+      sources.reserve(shard_metas_.size());
+      for (size_t s = 0; s < shard_metas_.size(); ++s) {
+        sources.push_back(
+            LiveIngest::ShardSource{devices_[DeviceOf(s)].get(),
+                                    shard_metas_[s]});
+      }
+      ingest_ = std::make_shared<LiveIngest>(
+          std::move(sources), partitioner_, dim_, options_.tree,
+          options_.build_cache_pages, file_devices_, options,
+          options_.ingest);
+    }
+    return Session(ingest_);
+  }
 
   const size_t shards = shard_metas_.size();
   size_t total_workers = options.num_workers;
@@ -705,7 +820,7 @@ Session GaussDb::Serve(ServeOptions options) {
 }
 
 ServeResult GaussDb::ServeRemote(const std::vector<std::string>& endpoints,
-                                 ServeOptions options) {
+                                 ServeOptions options, IngestOptions ingest) {
   if (endpoints.empty()) {
     return NetError{NetErrorCode::kConnectFailed,
                     "ServeRemote needs >= 1 shard endpoint"};
@@ -753,6 +868,37 @@ ServeResult GaussDb::ServeRemote(const std::vector<std::string>& endpoints,
     }
     backend_ptrs.push_back(backend.get());
     backends.push_back(std::move(backend));
+  }
+
+  if (ingest.enabled) {
+    // The delta must evaluate densities under the same sigma policy as the
+    // remote shards; their sketches carry it. An all-empty fleet falls back
+    // to the default policy — with zero objects the policies agree anyway,
+    // but enrollments then assume the default.
+    SigmaPolicy policy = SigmaPolicy::kConvolution;
+    bool policy_known = false;
+    NetError sketch_error;
+    for (const auto& backend : backends) {
+      ShardBackend::SketchResult sketch = backend->FetchSketch();
+      if (!sketch.error.ok()) {
+        sketch_error = sketch.error;
+        continue;
+      }
+      if (sketch.sketch.tree_size > 0) {
+        policy = sketch.sketch.sigma_policy;
+        policy_known = true;
+        break;
+      }
+    }
+    if (!policy_known && !sketch_error.ok()) {
+      sketch_error.message =
+          "live ingest needs the shards' sigma policy, but no sketch was "
+          "readable: " + sketch_error.message;
+      return sketch_error;
+    }
+    auto live = std::make_shared<LiveIngest>(std::move(backends), dim, policy,
+                                             options, ingest);
+    return Session(std::move(live));
   }
 
   ShardCoordinatorOptions coordinator_options;

@@ -40,27 +40,58 @@ namespace gauss {
 //   // Batch: submit-and-gather over the same execution path.
 //   BatchResult result = session.ExecuteBatch(batch);
 //
-// GaussDb owns the storage stack and drives its lifecycle through the
-// paper's build-offline / serve-online shape:
+// GaussDb owns the storage stack and drives it through an explicit
+// lifecycle. The states and the transitions between them:
 //
-//   * Build phase — CreateInMemory()/CreateOnFile()/CreateOnDirectory() pick
+//   Building ──Serve()──> Serving(static)        (GaussDbOptions::ingest off)
+//   Building ──Serve()──> Serving(live ingest)   (GaussDbOptions::ingest on)
+//
+//   * Building — CreateInMemory()/CreateOnFile()/CreateOnDirectory() pick
 //     the page device(s) and attach single-threaded BufferPool(s) plus empty
-//     GaussTree(s). Build() bulk-loads (or Insert() incrementally), then
-//     Finalize() serializes the nodes to pages — explicit, or implied by
-//     Serve().
-//   * Serve phase — Serve() atomically switches the stack: it flushes and
-//     tears down the build pool(s), reattaches the finalized tree(s) via
+//     GaussTree(s). Build() bulk-loads; Insert() adds one object and returns
+//     InsertResult{kRoutedToBuild}. Finalize() serializes the nodes to pages
+//     — explicit, or implied by Serve().
+//   * Serving (static) — Serve() switches the stack: it flushes and tears
+//     down the build pool(s), reattaches the finalized tree(s) via
 //     GaussTree::Open() over latch-striped ShardedBufferPool(s), and starts
 //     QueryService worker pools. The returned Session owns that serving
-//     stack; queries go through Session::Submit()/ExecuteBatch().
+//     stack; queries go through Session::Submit()/ExecuteBatch(). The pages
+//     are immutable: Insert() now returns InsertResult{kFinalized} — a
+//     typed, recoverable rejection, never an abort (enrollment pipelines
+//     race serving cutover all the time; a lost race must be reportable).
+//   * Serving (live ingest) — with GaussDbOptions::ingest.enabled, Serve()
+//     instead builds an epoch-based serving stack that keeps absorbing
+//     Insert() while queries run (InsertResult{kRoutedToDelta}); see "Live
+//     ingest" below. GaussDb::Insert() and Session::Insert() are the same
+//     entry point in this state.
 //   * Reopen — OpenFile()/OpenDirectory() attach to a database persisted by
-//     an earlier Create*() + Finalize() run. Both return an OpenResult: a
-//     missing file, unrecognizable or truncated manifest/header, or a
-//     version/page-size/shard-layout mismatch is reported as a typed
-//     OpenError for the caller to handle (a serving fleet must degrade a
-//     bad replica, not abort). Corruption deeper than the headers — node
-//     pages of a structurally valid-looking tree — still fails loudly on
-//     first access, as does API misuse.
+//     an earlier Create*() + Finalize() run (state: Building, so more
+//     Insert()s are fine). Both return an OpenResult: a missing file,
+//     unrecognizable or truncated manifest/header, or a version/page-size/
+//     shard-layout mismatch is reported as a typed OpenError for the caller
+//     to handle (a serving fleet must degrade a bad replica, not abort).
+//     Corruption deeper than the headers — node pages of a structurally
+//     valid-looking tree — still fails loudly on first access, as does API
+//     misuse (serving an unbuilt database, out-of-range shard indexes).
+//
+// Live ingest (GaussDbOptions::ingest, src/gausstree/README.md): the gallery
+// keeps growing while MLIQ/TIQ traffic runs. Each serving epoch is an
+// immutable base image (the per-shard trees, served exactly as in the static
+// state) plus one small mutable DeltaTree per shard that absorbs Insert()s;
+// the delta registers as one more backend behind the ShardCoordinator and
+// reports *exact* degenerate denominator intervals, so combined answers
+// remain provably exact — a query admitted at time t sees precisely the
+// enrollments published before t. Queries snapshot the epoch at admission
+// (a shared_ptr copy — no stop-the-world, no reader latching); once the
+// buffered delta passes IngestOptions::merge_threshold, a background merge
+// thread (MergePolicy::kBackground; or MergeIngest() under kManual) rebuilds
+// the base through the existing bulk loader on fresh pages of the same
+// device(s), publishes a fresh epoch atomically, and retires the old one
+// after its last in-flight query drains. Session::ingest_stats() reports
+// delta size, epoch, merges completed, and merge backlog alongside
+// io_stats(). Superseded base pages are not reclaimed (the device grows by
+// one tree image per merge — an LSM-style space amplification; compaction
+// GC is future work).
 //
 // Sharding (GaussDbOptions::shards, ShardOptions::num_shards >= 1): the
 // gallery is hash-partitioned by object id (api/partitioner.h, optionally
@@ -115,9 +146,12 @@ namespace gauss {
 //
 // Lifetime rules: GaussDb owns the device(s); every Session borrows them, so
 // a Session must be destroyed before its GaussDb. Serve() may be called
-// multiple times — each call builds an independent serving stack (own cache
-// budget, own workers) over the same read-only pages, which is how several
-// differently-sized frontends can share one database.
+// multiple times — without ingest each call builds an independent serving
+// stack (own cache budget, own workers) over the same read-only pages,
+// which is how several differently-sized frontends can share one database.
+// With ingest enabled there is one live-ingest stack per database (inserts
+// must have a single routing authority); the first Serve() call's options
+// build it and later calls return additional Sessions sharing it.
 //
 // The low-level layers stay public and documented for callers that need
 // them: QueryMliq()/QueryTiq() over a GaussTree are the re-entrant query
@@ -143,6 +177,34 @@ struct ShardOptions {
   uint64_t hash_seed = 0;
 };
 
+// When the live-ingest merge runs (IngestOptions::merge_policy).
+enum class MergePolicy {
+  // A background thread rebuilds the base once the buffered delta reaches
+  // IngestOptions::merge_threshold. The default.
+  kBackground,
+  // Merges happen only on explicit GaussDb::MergeIngest() calls — for
+  // deterministic tests and callers that schedule compaction themselves.
+  kManual,
+};
+
+// Live-ingest configuration (GaussDbOptions::ingest): insert-while-serving
+// with epoch-based base/delta serving. Disabled by default — the static
+// build-then-serve flow is unchanged.
+struct IngestOptions {
+  // Master switch: with it off, Serve() builds the classic immutable stack
+  // and post-Serve Insert() returns InsertResult{kFinalized}.
+  bool enabled = false;
+  // Capacity of each per-shard delta buffer, in objects. A full delta
+  // rejects Insert() with kDeltaFull (typed backpressure) until a merge
+  // drains it, so this bounds both query-time delta scan cost and the
+  // worst-case merge batch.
+  size_t delta_capacity = 4096;
+  // Background policy only: total buffered objects (across shards) that
+  // trigger a merge.
+  size_t merge_threshold = 1024;
+  MergePolicy merge_policy = MergePolicy::kBackground;
+};
+
 // Build-phase configuration.
 struct GaussDbOptions {
   // Index construction parameters (sigma policy, split strategy, ...).
@@ -151,10 +213,59 @@ struct GaussDbOptions {
   uint32_t page_size = kDefaultPageSize;
   // Cache budget of the single-threaded build pool, in pages. When each
   // shard has its own device (CreateOnDirectory), the budget applies per
-  // shard pool.
+  // shard pool. Live-ingest merges rebuild through a pool of the same
+  // budget.
   size_t build_cache_pages = 1 << 14;
   // Gallery partitioning over multiple Gauss-trees.
   ShardOptions shards;
+  // Insert-while-serving (see the lifecycle overview above).
+  IngestOptions ingest;
+};
+
+// Where an Insert() landed — or why it was rejected. Rejections are typed
+// and recoverable, mirroring the OpenResult/ServeResult idiom: enrollment
+// racing a serving cutover is an operational condition, not API misuse, so
+// it must never take the process down.
+enum class InsertOutcome {
+  kRoutedToBuild,      // build phase: inserted into the shard's tree
+  kRoutedToDelta,      // live ingest: absorbed by the epoch's delta
+  kFinalized,          // serving without ingest: the pages are immutable
+  kDeltaFull,          // live ingest backpressure: delta at capacity, retry
+                       // after the merge drains it
+  kDimensionMismatch,  // pfv dimensionality != database dimensionality
+  kInvalidPfv,         // mismatched mu/sigma lengths or non-positive sigma
+};
+
+// Human-readable name of an InsertOutcome ("routed_to_delta", ...).
+const char* InsertOutcomeName(InsertOutcome outcome);
+
+struct InsertResult {
+  InsertOutcome outcome = InsertOutcome::kRoutedToBuild;
+  std::string message;  // what was wrong; empty on success
+
+  // True when the object is in the database (build tree or delta).
+  bool ok() const {
+    return outcome == InsertOutcome::kRoutedToBuild ||
+           outcome == InsertOutcome::kRoutedToDelta;
+  }
+  explicit operator bool() const { return ok(); }
+};
+
+// Live-ingest counters, exposed by Session::ingest_stats() alongside
+// io_stats(). All zero for sessions without live ingest.
+struct IngestStats {
+  // Objects currently buffered across the epoch's delta(s) — enrolled,
+  // serving, not yet merged into the base.
+  size_t delta_size = 0;
+  // Serving epoch id (1 = the image Serve() built; +1 per merge).
+  uint64_t epoch = 0;
+  uint64_t inserts_accepted = 0;
+  uint64_t merges_completed = 0;
+  // Buffered objects awaiting a merge that is due: under kBackground, the
+  // delta size once it passed merge_threshold (0 below it); under kManual
+  // and for remote front doors (which cannot rebuild remote bases), every
+  // buffered object counts.
+  size_t merge_backlog = 0;
 };
 
 // Serving-stack configuration for one GaussDb::Serve() call.
@@ -229,14 +340,21 @@ struct ShardServingStack {
   std::unique_ptr<QueryService> service;
 };
 
+// The live-ingest engine (api/live_ingest.h): epochs, delta routing, and
+// the merge thread. Shared between the GaussDb (insert/merge authority) and
+// every Session it serves.
+class LiveIngest;
+
 // A live serving stack over one finalized GaussDb. Unsharded: one
 // ShardServingStack, queries go straight to its QueryService. Sharded: one
 // stack per shard (each behind an owned InProcessBackend) plus a
 // ShardCoordinator front door that scatter-gathers every query. Remote
 // (GaussDb::ServeRemote): no local stacks at all — the owned backends are
-// RpcBackends onto gauss_shardd servers. Move-only; destroying it drains
-// outstanding queries and joins all workers. A local session must not
-// outlive the GaussDb it came from; a remote one has no GaussDb.
+// RpcBackends onto gauss_shardd servers. Live ingest (local or remote): the
+// session holds a share of the database's LiveIngest engine instead, whose
+// current epoch owns the stacks/backends/coordinator. Move-only; destroying
+// it drains outstanding queries and joins all workers. A local session must
+// not outlive the GaussDb it came from; a remote one has no GaussDb.
 class Session {
  public:
   Session(Session&&) = default;
@@ -252,47 +370,66 @@ class Session {
       coordinator_.reset();
       backends_.clear();
       stacks_.clear();
+      ingest_.reset();
       stacks_ = std::move(other.stacks_);
       backends_ = std::move(other.backends_);
       coordinator_ = std::move(other.coordinator_);
+      ingest_ = std::move(other.ingest_);
     }
     return *this;
   }
 
   // Streaming submission — see QueryService::Submit() /
-  // ShardCoordinator::Submit().
-  std::future<QueryResponse> Submit(Query query) {
-    return coordinator_ ? coordinator_->Submit(std::move(query))
-                        : stacks_[0].service->Submit(std::move(query));
-  }
+  // ShardCoordinator::Submit(). Live-ingest sessions snapshot the serving
+  // epoch at admission, so each query sees exactly the enrollments
+  // published before it.
+  std::future<QueryResponse> Submit(Query query);
 
   // Batch submission — see QueryService::ExecuteBatch() /
   // ShardCoordinator::ExecuteBatch().
-  BatchResult ExecuteBatch(const std::vector<Query>& batch) {
-    return coordinator_ ? coordinator_->ExecuteBatch(batch)
-                        : stacks_[0].service->ExecuteBatch(batch);
-  }
+  BatchResult ExecuteBatch(const std::vector<Query>& batch);
+
+  // Live enrollment against the serving front door: routes to the owning
+  // shard's delta (kRoutedToDelta) on a live-ingest session — local or
+  // remote — and reports kFinalized on a static one. Same typed results as
+  // GaussDb::Insert().
+  InsertResult Insert(const Pfv& pfv);
+
+  // Live-ingest counters (delta size, epoch, merges completed, merge
+  // backlog); all zero for static sessions. See IngestStats.
+  IngestStats ingest_stats() const;
+
+  // True when this session serves a live-ingest stack.
+  bool live_ingest() const { return ingest_ != nullptr; }
 
   // The reopened read-only tree (for the low-level QueryMliq/QueryTiq API
-  // and for structural inspection). Unsharded sessions only — a sharded
-  // session has one tree per shard; use shard_tree().
+  // and for structural inspection). Unsharded static sessions only — a
+  // sharded session has one tree per shard (use shard_tree()), and a
+  // live-ingest session's trees are epoch-owned and retire on merge.
   const GaussTree& tree() const {
     GAUSS_CHECK_MSG(coordinator_ == nullptr,
                     "sharded session: use shard_tree(shard)");
+    GAUSS_CHECK_MSG(ingest_ == nullptr,
+                    "live-ingest session: base trees are epoch-owned");
     return *stacks_[0].tree;
   }
 
-  // Per-shard tree of a (possibly unsharded, shard 0) session.
+  // Per-shard tree of a (possibly unsharded, shard 0) static session.
   const GaussTree& shard_tree(size_t shard) const {
+    GAUSS_CHECK_MSG(ingest_ == nullptr,
+                    "live-ingest session: base trees are epoch-owned");
     return *stacks_.at(shard).tree;
   }
 
   // The serving page cache (I/O statistics, Clear() for cold-start
-  // experiments while no queries are in flight). Unsharded sessions only —
-  // sharded sessions have one cache per shard; see io_stats().
+  // experiments while no queries are in flight). Unsharded static sessions
+  // only — sharded sessions have one cache per shard, live-ingest sessions
+  // epoch-owned ones; see io_stats().
   ShardedBufferPool& cache() {
     GAUSS_CHECK_MSG(coordinator_ == nullptr,
                     "sharded session: per-shard caches; use io_stats()");
+    GAUSS_CHECK_MSG(ingest_ == nullptr,
+                    "live-ingest session: caches are epoch-owned");
     return *stacks_[0].pool;
   }
 
@@ -302,42 +439,34 @@ class Session {
   // true under the directory layout, where the caches additionally sit on
   // different devices. Remote sessions report the remote shard caches'
   // counters (fetched over the wire; a dead shard contributes nothing).
-  IoStats io_stats() const {
-    if (stacks_.empty() && coordinator_ != nullptr) {
-      return coordinator_->io_stats();
-    }
-    IoStats total;
-    for (const ShardServingStack& stack : stacks_) total += stack.pool->stats();
-    return total;
-  }
+  // Live-ingest sessions report the current epoch's caches plus every
+  // retired epoch's accumulated counters.
+  IoStats io_stats() const;
 
-  size_t num_shards() const {
-    return coordinator_ ? coordinator_->num_shards() : stacks_.size();
-  }
-  bool sharded() const { return coordinator_ != nullptr; }
+  // Base shards: shard trees for local sessions, endpoints for remote ones
+  // (a live-ingest session's deltas are not counted — they hold no pages).
+  size_t num_shards() const;
+  bool sharded() const;
   // True for a GaussDb::ServeRemote() session (shards on other hosts; no
   // local serving stacks).
-  bool remote() const { return coordinator_ != nullptr && stacks_.empty(); }
+  bool remote() const;
 
   // The per-shard QueryService of a local session — what a gauss_shardd
   // process hands to its ShardServer, and what the loopback tests wrap in
-  // per-shard RPC servers. Local sessions only.
+  // per-shard RPC servers. Local static sessions only.
   QueryService* shard_service(size_t shard) {
+    GAUSS_CHECK_MSG(ingest_ == nullptr,
+                    "live-ingest session: services are epoch-owned");
     return stacks_.at(shard).service.get();
   }
 
-  // Shard-coordinator front door of a sharded session (nullptr otherwise).
+  // Shard-coordinator front door of a sharded static session (nullptr
+  // otherwise — a live-ingest session's coordinator is epoch-owned).
   ShardCoordinator* coordinator() { return coordinator_.get(); }
 
   // Total query-execution workers across all shards (coordinator threads
   // not included).
-  size_t num_workers() const {
-    size_t total = 0;
-    for (const ShardServingStack& stack : stacks_) {
-      total += stack.service->num_workers();
-    }
-    return total;
-  }
+  size_t num_workers() const;
 
  private:
   friend class GaussDb;
@@ -348,13 +477,18 @@ class Session {
         backends_(std::move(backends)),
         coordinator_(std::move(coordinator)) {}
 
+  explicit Session(std::shared_ptr<LiveIngest> ingest)
+      : ingest_(std::move(ingest)) {}
+
   // Destruction order (reverse of declaration): the coordinator drains its
   // in-flight scatter-gathers first, then the backends close (their refine
   // channels and RPC readers join), then each shard stack tears down
-  // service -> tree -> cache.
+  // service -> tree -> cache. ingest_ is only a share — the engine lives
+  // until the GaussDb (or the last remote Session) releases it.
   std::vector<ShardServingStack> stacks_;
   std::vector<std::unique_ptr<ShardBackend>> backends_;
   std::unique_ptr<ShardCoordinator> coordinator_;
+  std::shared_ptr<LiveIngest> ingest_;
 };
 
 // Success-or-typed-error result of GaussDb::ServeRemote(): connecting to a
@@ -438,10 +572,16 @@ class GaussDb {
   // partition the dataset first and bulk-load every shard tree.
   void Build(const PfvDataset& dataset);
 
-  // Incremental build: inserts one object (paper Section 5.3 insertion)
-  // into its (hash-routed) shard tree. Reopens a finalized tree for writing
-  // if necessary. Must not be called once Serve() has been used.
-  void Insert(const Pfv& pfv);
+  // Inserts one object. Build phase: paper Section 5.3 insertion into its
+  // (hash-routed) shard tree, reopening a finalized tree for writing if
+  // necessary (kRoutedToBuild). Serving with live ingest enabled
+  // (GaussDbOptions::ingest): appends to the owning shard's delta
+  // (kRoutedToDelta) — visible to every query admitted afterwards, with
+  // kDeltaFull backpressure when the delta is at capacity and a merge has
+  // not caught up. Serving without ingest: kFinalized. Never aborts on
+  // lifecycle state; malformed input reports kDimensionMismatch /
+  // kInvalidPfv.
+  InsertResult Insert(const Pfv& pfv);
 
   // Serializes the tree(s) to pages, writes the manifest when sharded (page
   // 0 of the single file, or the MANIFEST text file of a directory), and
@@ -454,9 +594,12 @@ class GaussDb {
   // QueryService stack. Sharded: one stack per shard behind a
   // ShardCoordinator — under the directory layout each stack's cache sits
   // on its shard's own device, so shard reads never queue behind another
-  // shard's device. May be called repeatedly for independent serving
-  // stacks; after the first call the build phase is over and Insert()
-  // aborts.
+  // shard's device. May be called repeatedly; after the first call the
+  // build phase is over (Insert() then reports kFinalized, or keeps
+  // routing to the delta under live ingest). With
+  // GaussDbOptions::ingest.enabled the first call builds the shared
+  // LiveIngest engine from its `options`; later calls return Sessions
+  // sharing that engine.
   Session Serve(ServeOptions options = {});
 
   // Connects a scatter-gather front door to shard servers on other hosts:
@@ -467,9 +610,25 @@ class GaussDb {
   // endpoint is unreachable (kConnectFailed/kTimeout), speaks a different
   // protocol version (kProtocolMismatch), or the shards disagree on
   // dimensionality (kProtocolMismatch). Only the rpc_*, coordinator_threads
-  // and queue_capacity fields of `options` apply.
+  // and queue_capacity fields of `options` apply. With `ingest.enabled`
+  // the returned Session accepts Insert(): enrollments land in a
+  // coordinator-side delta that is merged into every scatter-gather
+  // exactly (no wire-protocol change; the remote shard images stay
+  // immutable, so there is no background merge — the delta reports
+  // kDeltaFull at capacity).
   static ServeResult ServeRemote(const std::vector<std::string>& endpoints,
-                                 ServeOptions options = {});
+                                 ServeOptions options = {},
+                                 IngestOptions ingest = {});
+
+  // Rebuilds the base image from base + delta now (live ingest only;
+  // MergePolicy::kManual callers drive merging with this, kBackground
+  // callers may force one). Returns false when there was nothing to merge
+  // or the database is remote-less/ingest-less. Blocks until the new epoch
+  // serves.
+  bool MergeIngest();
+
+  // Live-ingest counters; zeros unless Serve() built an ingest engine.
+  IngestStats ingest_stats() const;
 
   size_t size() const;
   size_t dim() const { return dim_; }
@@ -540,6 +699,12 @@ class GaussDb {
 
   size_t dim_ = 0;
   size_t size_ = 0;  // cached once trees_ are torn down
+
+  // Live-ingest engine, built by the first Serve() call with
+  // options_.ingest.enabled and shared with every Session. Declared last:
+  // its destructor joins the merge thread and drains the current epoch's
+  // coordinator before the devices it reads from go away.
+  std::shared_ptr<LiveIngest> ingest_;
 };
 
 // Success-or-typed-error result of OpenFile()/OpenDirectory(). Callers that

@@ -1,0 +1,28 @@
+#include "gausstree/delta_tree.h"
+
+#include "common/macros.h"
+
+namespace gauss {
+
+DeltaTree::DeltaTree(size_t dim, size_t capacity)
+    : dim_(dim), capacity_(capacity), slots_(capacity) {
+  GAUSS_CHECK(capacity_ > 0);
+}
+
+bool DeltaTree::Append(const Pfv& pfv) {
+  GAUSS_CHECK(pfv.dim() == dim_);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const size_t n = size_.load(std::memory_order_relaxed);
+  if (n >= capacity_) return false;
+  slots_[n] = pfv;
+  size_.store(n + 1, std::memory_order_release);
+  return true;
+}
+
+std::vector<Pfv> DeltaTree::Snapshot(size_t from, size_t to) const {
+  GAUSS_CHECK(from <= to && to <= size());
+  return std::vector<Pfv>(slots_.begin() + static_cast<ptrdiff_t>(from),
+                          slots_.begin() + static_cast<ptrdiff_t>(to));
+}
+
+}  // namespace gauss

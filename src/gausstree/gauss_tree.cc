@@ -352,6 +352,22 @@ void GaussTree::BulkInsert(const PfvDataset& dataset) {
   for (const Pfv& pfv : dataset.objects()) Insert(pfv);
 }
 
+void GaussTree::CollectObjects(PfvDataset* out) const {
+  GAUSS_CHECK(out != nullptr && out->dim() == dim_);
+  std::deque<PageId> queue{root_};
+  GtNode node;
+  while (!queue.empty()) {
+    const PageId id = queue.front();
+    queue.pop_front();
+    store_.Load(id, &node);
+    if (node.leaf()) {
+      for (const Pfv& pfv : node.pfvs) out->Add(pfv);
+    } else {
+      for (const GtChildEntry& e : node.children) queue.push_back(e.child);
+    }
+  }
+}
+
 GaussTreeStats GaussTree::ComputeStats() const {
   GaussTreeStats stats;
   struct Item {

@@ -123,6 +123,13 @@ class GaussTree {
   const GtNodeStore& store() const { return store_; }
   PageCache* pool() const { return pool_; }
 
+  // Appends every stored object to `out` (leaf BFS order, deterministic).
+  // `out` must share the tree's dimensionality. Works in build or query
+  // mode; in query mode it reads through the pool, so it is safe to run
+  // concurrently with traversals — the live-ingest merge collects the old
+  // base image this way while the epoch is still serving.
+  void CollectObjects(PfvDataset* out) const;
+
   // Structural statistics (walks the whole tree; build or query mode).
   GaussTreeStats ComputeStats() const;
 

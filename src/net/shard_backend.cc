@@ -1,8 +1,13 @@
 #include "net/shard_backend.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
+#include "common/log_sum_exp.h"
 #include "common/macros.h"
+#include "gausstree/delta_tree.h"
 
 namespace gauss {
 
@@ -277,6 +282,169 @@ ShardBackend::SketchResult InProcessBackend::FetchSketch() {
 
 BackendRefineCounters InProcessBackend::refine_counters() const {
   return channel_->counters();
+}
+
+// ------------------------------- DeltaBackend -------------------------------
+
+DeltaBackend::DeltaBackend(std::shared_ptr<const DeltaTree> delta,
+                           SigmaPolicy policy)
+    : delta_(std::move(delta)), policy_(policy) {
+  GAUSS_CHECK(delta_ != nullptr);
+}
+
+size_t DeltaBackend::dim() const { return delta_->dim(); }
+
+std::future<ShardBackend::StartResult> DeltaBackend::Start(
+    uint64_t traversal, const Query& query) {
+  std::promise<StartResult> promise;
+  std::future<StartResult> future = promise.get_future();
+
+  StartResult result;
+  ShardPartial& partial = result.partial;
+  const size_t n = delta_->size();  // snapshot: the query's delta prefix
+  partial.tree_size = n;
+  if (n == 0) {
+    promise.set_value(std::move(result));
+    return future;
+  }
+
+  // Exact per-object joint log densities — the same arithmetic the tree
+  // traversals bottom out in, so the combined answer matches a tree holding
+  // these objects to the last bit of certified probability.
+  std::vector<double> log_density(n);
+  double log_ref = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    log_density[i] = PfvJointLogDensity(delta_->at(i), query.pfv(), policy_);
+    log_ref = std::max(log_ref, log_density[i]);
+  }
+  partial.log_ref = log_ref;
+
+  KahanSum denominator;
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = std::exp(log_density[i] - log_ref);
+    denominator.Add(scaled[i]);
+  }
+  partial.denominator_lo = denominator.Value();
+  partial.denominator_hi = denominator.Value();
+  partial.exhausted = true;
+  partial.objects_evaluated = n;
+
+  if (query.kind() == QueryKind::kMliq) {
+    // Local top-k at or above the certified fleet-wide density floor. A tie
+    // with the floor must still surface (the floor certifies >= k objects at
+    // or above it); surplus items are harmless — the coordinator's merge
+    // truncates to k.
+    const double floor_log = query.mliq_options().density_floor_log;
+    for (size_t i = 0; i < n; ++i) {
+      if (log_density[i] < floor_log) continue;
+      partial.items.push_back({delta_->at(i).id, scaled[i], log_density[i]});
+    }
+    std::stable_sort(partial.items.begin(), partial.items.end(),
+                     [](const ScoredObject& a, const ScoredObject& b) {
+                       return a.scaled_density > b.scaled_density;
+                     });
+    if (partial.items.size() > query.k()) partial.items.resize(query.k());
+  } else {
+    // Conservative local filter, identical to the tree shards': drop a
+    // candidate only when its probability upper bound under the larger of
+    // the exact local denominator and the certified combined floor falls
+    // strictly below the threshold. No false dismissals; the coordinator
+    // re-filters the union under combined bounds.
+    const double den_floor =
+        std::max(denominator.Value(), query.tiq_options().denominator_floor);
+    for (size_t i = 0; i < n; ++i) {
+      const double prob_hi =
+          den_floor > 0.0 ? std::min(1.0, scaled[i] / den_floor) : 1.0;
+      if (prob_hi < query.threshold()) continue;
+      partial.items.push_back({delta_->at(i).id, scaled[i], log_density[i]});
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    traversals_[traversal] = State{denominator.Value(), n};
+  }
+  promise.set_value(std::move(result));
+  return future;
+}
+
+std::future<ShardBackend::RefineResult> DeltaBackend::Refine(
+    std::vector<RefineSpec> specs) {
+  // Defensive: every refinement policy skips exhausted traversals, so this
+  // path is never exercised by the coordinator — but answering with the
+  // stored exact state keeps the backend honest if that ever changes.
+  std::promise<RefineResult> promise;
+  RefineResult result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.rounds;
+    counters_.requests += specs.size();
+    for (const RefineSpec& spec : specs) {
+      auto it = traversals_.find(spec.traversal);
+      GAUSS_CHECK_MSG(it != traversals_.end(), "Refine on an unknown traversal");
+      RefineUpdate update;
+      update.denominator_lo = it->second.denominator;
+      update.denominator_hi = it->second.denominator;
+      update.exhausted = true;
+      update.objects_evaluated = it->second.objects;
+      result.updates.push_back(update);
+    }
+  }
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+void DeltaBackend::Release(const std::vector<uint64_t>& traversals) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const uint64_t id : traversals) traversals_.erase(id);
+}
+
+ShardBackend::StatsResult DeltaBackend::FetchStats() {
+  return StatsResult{};  // in-memory: no pages, no I/O counters
+}
+
+ShardBackend::SketchResult DeltaBackend::FetchSketch() {
+  // Degenerate per-object entries, like BuildShardSketch's leaf-root case.
+  // In practice the coordinator fetches at epoch construction, when the
+  // delta is empty (objects enrolled later only *raise* the true combined
+  // denominator and the k-th best density, so the cached floors stay
+  // conservative for every later query).
+  SketchResult result;
+  const size_t n = delta_->size();
+  result.sketch.tree_size = n;
+  result.sketch.sigma_policy = policy_;
+  if (n == 0) return result;
+  result.sketch.root_bounds.assign(delta_->dim(), DimBounds{});
+  for (size_t d = 0; d < delta_->dim(); ++d) {
+    DimBounds& b = result.sketch.root_bounds[d];
+    b = {delta_->at(0).mu[d], delta_->at(0).mu[d], delta_->at(0).sigma[d],
+         delta_->at(0).sigma[d]};
+    for (size_t i = 1; i < n; ++i) {
+      const Pfv& v = delta_->at(i);
+      b.mu_lo = std::min(b.mu_lo, v.mu[d]);
+      b.mu_hi = std::max(b.mu_hi, v.mu[d]);
+      b.sigma_lo = std::min(b.sigma_lo, v.sigma[d]);
+      b.sigma_hi = std::max(b.sigma_hi, v.sigma[d]);
+    }
+  }
+  result.sketch.entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Pfv& v = delta_->at(i);
+    ShardSketchEntry entry;
+    entry.count = 1;
+    entry.bounds.resize(delta_->dim());
+    for (size_t d = 0; d < delta_->dim(); ++d) {
+      entry.bounds[d] = {v.mu[d], v.mu[d], v.sigma[d], v.sigma[d]};
+    }
+    result.sketch.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+BackendRefineCounters DeltaBackend::refine_counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
 }
 
 }  // namespace gauss

@@ -270,6 +270,61 @@ class InProcessBackend : public ShardBackend {
   std::unique_ptr<RefineChannel> channel_;
 };
 
+// =============================== DeltaBackend ===============================
+//
+// ShardBackend over a live-ingest DeltaTree (gausstree/delta_tree.h): the
+// seam that makes the mutable delta "one more shard" to the coordinator,
+// which keeps combined MLIQ/TIQ answers provably exact without teaching the
+// merge math anything new. Because the delta is a small in-memory buffer,
+// Start() evaluates every object's *exact* joint log density (the same
+// PfvJointLogDensity call the tree traversals bottom out in) on the calling
+// coordinator thread — no pages, no workers — and reports a degenerate
+// denominator interval (lo == hi, exhausted) in its own reference scale, so
+// refinement rounds always skip it. Item filtering honors the same pruning
+// floors the coordinator ships to tree shards: MLIQ keeps objects at or
+// above the certified density floor (a floor tie must still surface; extra
+// items are harmless, the coordinator truncates the merged list), TIQ drops
+// a candidate only when its probability upper bound under the larger of the
+// local denominator and the certified combined floor falls strictly below
+// the threshold (conservative: no false dismissals).
+//
+// The backend snapshots the delta's size at Start, so a query admitted at
+// epoch time t sees exactly the enrollments published before t — concurrent
+// Appends land in later snapshots, never mid-query.
+// ============================================================================
+class DeltaTree;
+
+class DeltaBackend : public ShardBackend {
+ public:
+  // `delta` is shared with the ingest path that appends to it; `policy`
+  // must match the base trees' sigma policy or combined densities would mix
+  // conventions.
+  DeltaBackend(std::shared_ptr<const DeltaTree> delta, SigmaPolicy policy);
+
+  size_t dim() const override;
+  std::future<StartResult> Start(uint64_t traversal,
+                                 const Query& query) override;
+  std::future<RefineResult> Refine(std::vector<RefineSpec> specs) override;
+  void Release(const std::vector<uint64_t>& traversals) override;
+  StatsResult FetchStats() override;
+  SketchResult FetchSketch() override;
+  BackendRefineCounters refine_counters() const override;
+
+ private:
+  // Exact state to echo if a refine round ever reaches us (it should not:
+  // exhausted traversals are skipped by every refinement policy).
+  struct State {
+    double denominator = 0.0;
+    uint64_t objects = 0;
+  };
+
+  std::shared_ptr<const DeltaTree> delta_;
+  SigmaPolicy policy_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, State> traversals_;  // guarded by mu_
+  BackendRefineCounters counters_;                  // guarded by mu_
+};
+
 }  // namespace gauss
 
 #endif  // GAUSS_NET_SHARD_BACKEND_H_

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <condition_variable>
 #include <cstring>
@@ -120,26 +121,60 @@ void PageDevice::DrainAsyncReads() {
 InMemoryPageDevice::InMemoryPageDevice(uint32_t page_size)
     : PageDevice(page_size) {}
 
-InMemoryPageDevice::~InMemoryPageDevice() { DrainAsyncReads(); }
+InMemoryPageDevice::~InMemoryPageDevice() {
+  DrainAsyncReads();
+  for (std::atomic<uint8_t*>& segment : segments_) {
+    delete[] segment.load(std::memory_order_relaxed);
+  }
+}
+
+// Segment s holds kFirstSegmentPages << s pages starting at page id
+// kFirstSegmentPages * ((1 << s) - 1).
+void InMemoryPageDevice::Locate(PageId id, size_t* segment,
+                                size_t* offset_pages) {
+  const size_t block = static_cast<size_t>(id) / kFirstSegmentPages + 1;
+  const size_t s = static_cast<size_t>(std::bit_width(block)) - 1;
+  *segment = s;
+  *offset_pages =
+      static_cast<size_t>(id) - kFirstSegmentPages * ((size_t{1} << s) - 1);
+}
+
+uint8_t* InMemoryPageDevice::PageAddress(PageId id) const {
+  size_t segment = 0, offset = 0;
+  Locate(id, &segment, &offset);
+  uint8_t* base = segments_[segment].load(std::memory_order_acquire);
+  GAUSS_CHECK(base != nullptr);
+  return base + offset * page_size();
+}
 
 PageId InMemoryPageDevice::Allocate() {
-  auto page = std::make_unique<uint8_t[]>(page_size());
-  std::memset(page.get(), 0, page_size());
-  pages_.push_back(std::move(page));
-  return static_cast<PageId>(pages_.size() - 1);
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  const size_t id = page_count_.load(std::memory_order_relaxed);
+  size_t segment = 0, offset = 0;
+  Locate(static_cast<PageId>(id), &segment, &offset);
+  GAUSS_CHECK(segment < kMaxSegments);
+  if (segments_[segment].load(std::memory_order_relaxed) == nullptr) {
+    const size_t pages = kFirstSegmentPages << segment;
+    uint8_t* base = new uint8_t[pages * page_size()]();
+    segments_[segment].store(base, std::memory_order_release);
+  }
+  page_count_.store(id + 1, std::memory_order_release);
+  return static_cast<PageId>(id);
 }
 
 void InMemoryPageDevice::Read(PageId id, void* out) const {
-  GAUSS_CHECK(id < pages_.size());
-  std::memcpy(out, pages_[id].get(), page_size());
+  GAUSS_CHECK(id < page_count_.load(std::memory_order_acquire));
+  std::memcpy(out, PageAddress(id), page_size());
 }
 
 void InMemoryPageDevice::Write(PageId id, const void* data) {
-  GAUSS_CHECK(id < pages_.size());
-  std::memcpy(pages_[id].get(), data, page_size());
+  GAUSS_CHECK(id < page_count_.load(std::memory_order_acquire));
+  std::memcpy(PageAddress(id), data, page_size());
 }
 
-size_t InMemoryPageDevice::PageCount() const { return pages_.size(); }
+size_t InMemoryPageDevice::PageCount() const {
+  return page_count_.load(std::memory_order_acquire);
+}
 
 // ---------------------------------------------------------- file-backed ----
 

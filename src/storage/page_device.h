@@ -1,6 +1,7 @@
 #ifndef GAUSS_STORAGE_PAGE_DEVICE_H_
 #define GAUSS_STORAGE_PAGE_DEVICE_H_
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -21,11 +22,16 @@ namespace gauss {
 // Thread-safety contract: `Read`/`ReadBatch` must be safe to call
 // concurrently with other reads — the ShardedBufferPool issues parallel
 // reads from different shards and the async prefetch engine reads from its
-// own thread. `Allocate`/`Write` need external serialization against
-// everything else (they only run during single-threaded build/finalize).
-// InMemoryPageDevice meets the contract naturally (concurrent reads are
-// plain memcpys from stable allocations); FilePageDevice uses positioned
-// pread/pwrite on a raw file descriptor, so reads never share seek state.
+// own thread. `Allocate` and `Write` may run concurrently with reads of
+// *already-allocated* pages: the live-ingest merge thread appends a fresh
+// tree image onto a device that the previous epoch is still serving reads
+// from. Writers themselves need external serialization against each other,
+// and a given page's bytes may not be written and read concurrently (the
+// merge commits a page only before any reader can learn its id).
+// FilePageDevice meets the contract with positioned pread/pwrite over a raw
+// descriptor plus an acquire/release page count; InMemoryPageDevice with a
+// fixed directory of geometrically-growing segments, so a published page's
+// address never moves while an append installs new segments.
 //
 // Asynchronous reads: ReadAsync() queues a read and returns immediately;
 // a device-owned background thread drains the queue in batches through
@@ -101,7 +107,21 @@ class InMemoryPageDevice : public PageDevice {
   size_t PageCount() const override;
 
  private:
-  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  // Pages live in segments of geometrically growing size (segment s holds
+  // kFirstSegmentPages << s pages), addressed through a fixed-capacity
+  // directory of atomic pointers. Appending installs a new segment with a
+  // release store; readers locate their page through an acquire load, so a
+  // page's address is stable from the moment its id is published — no
+  // vector regrowth ever races a concurrent Read.
+  static constexpr size_t kFirstSegmentPages = 64;
+  static constexpr size_t kMaxSegments = 48;
+
+  static void Locate(PageId id, size_t* segment, size_t* offset_pages);
+  uint8_t* PageAddress(PageId id) const;
+
+  std::mutex alloc_mu_;  // serializes Allocate's append
+  std::atomic<size_t> page_count_{0};
+  std::array<std::atomic<uint8_t*>, kMaxSegments> segments_{};
 };
 
 // File-backed device for persistence tests and on-disk operation. Built on
