@@ -16,12 +16,19 @@ when any cell regresses:
                        least scheduler-polluted one — run the smokes twice
                        in CI). Tune --tolerance-p99 for noisy shared runners
                        rather than deleting the gate.
+  * ns_per_entry     — lower is better; per-entry cost of the batch scoring
+                       kernels (micro_kernels smoke cells). A timing metric
+                       like p99_us: min-collapsed across appended runs and
+                       governed by the same --skip-p99 / --tolerance-p99
+                       switches, so the kernel-level gate rides the existing
+                       runner-local timing baseline in CI.
 
 Cells are keyed by (bench, scale, cell); re-runs append — the last line per
-key wins for deterministic metrics, the minimum for p99. A baseline cell
-missing from the current run fails too — silently losing bench coverage is
-itself a regression. Current-run cells absent from the baseline are
-reported as candidates for re-baselining but do not fail.
+key wins for deterministic metrics, the minimum for the timing metrics
+(p99_us, ns_per_entry). A baseline cell missing from the current run fails
+too — silently losing bench coverage is itself a regression. Current-run
+cells absent from the baseline are reported as candidates for re-baselining
+but do not fail.
 
 Regenerate the baseline (from the repo root, after a ci-preset build):
 
@@ -35,11 +42,18 @@ import json
 import sys
 
 
+# Metrics that measure wall time: min-collapsed across appended runs (the
+# best observation is the least scheduler-polluted one) and gated together
+# under --skip-p99 / --tolerance-p99.
+TIMING_METRICS = ("p99_us", "ns_per_entry")
+
+
 def load_cells(path):
     """Parses a JSON-lines bench file into {(bench, scale, cell): record}.
 
     Duplicate keys (the file is append-mode across runs): deterministic
-    metrics keep the last occurrence, p99_us keeps the minimum observed.
+    metrics keep the last occurrence, timing metrics keep the minimum
+    observed.
     """
     cells = {}
     with open(path, "r", encoding="utf-8") as f:
@@ -53,11 +67,12 @@ def load_cells(path):
                 raise SystemExit(f"{path}:{lineno}: bad JSON line: {e}")
             key = (record["bench"], record["scale"], record["cell"])
             if key in cells:
-                observed = [v for v in (record.get("p99_us"),
-                                        cells[key].get("p99_us"))
-                            if v is not None]
-                if observed:
-                    record["p99_us"] = min(observed)
+                for metric in TIMING_METRICS:
+                    observed = [v for v in (record.get(metric),
+                                            cells[key].get(metric))
+                                if v is not None]
+                    if observed:
+                        record[metric] = min(observed)
             cells[key] = record
     return cells
 
@@ -77,10 +92,13 @@ def main(argv=None):
                         help="allowed relative p99 growth (default 0.15)")
     parser.add_argument("--skip-p99", action="store_true",
                         help="gate only pages_per_query (machine-invariant); "
-                             "use when the baseline was recorded on different "
-                             "hardware, where absolute timings don't transfer")
+                             "skips every timing metric (p99_us, "
+                             "ns_per_entry) — use when the baseline was "
+                             "recorded on different hardware, where absolute "
+                             "timings don't transfer")
     parser.add_argument("--skip-pages", action="store_true",
-                        help="gate only p99 (for a runner-local timing baseline)")
+                        help="gate only the timing metrics (for a "
+                             "runner-local timing baseline)")
     args = parser.parse_args(argv)
 
     current = load_cells(args.current)
@@ -92,7 +110,8 @@ def main(argv=None):
     if not args.skip_pages:
         checks.append(("pages_per_query", args.tolerance_pages))
     if not args.skip_p99:
-        checks.append(("p99_us", args.tolerance_p99))
+        for metric in TIMING_METRICS:
+            checks.append((metric, args.tolerance_p99))
     if not checks:
         raise SystemExit("--skip-pages and --skip-p99 together gate nothing")
     failures = []

@@ -1,16 +1,39 @@
 // Ablation A7 (DESIGN.md): micro-kernels of the hot query path, measured
 // with google-benchmark — Gaussian density evaluation, the Lemma 2/3 hull
-// bounds, the hull integral, and node (de)serialization.
+// bounds, the hull integral, node (de)serialization, and the batch scoring
+// kernels (math/kernels.h) across every SIMD backend this CPU can run.
+//
+// Two modes:
+//   * default            — google-benchmark over all registered benches
+//                          (batch-kernel benches registered per runnable
+//                          backend at startup).
+//   * GAUSS_BENCH_JSON   — kernel regression cells: for every runnable
+//     set (smoke mode)     backend and kernel, (1) cross-check the output
+//                          bit-for-bit against the scalar reference — any
+//                          mismatch exits non-zero, which is what makes the
+//                          smoke a correctness gate, not just a timer — and
+//                          (2) append a {bench, cell, ns_per_entry} JSON
+//                          line for bench/check_regression.py.
 
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "common/random.h"
+#include "eval/report.h"
 #include "gausstree/node.h"
 #include "math/gaussian.h"
 #include "math/hull.h"
 #include "math/hull_integral.h"
+#include "math/kernels.h"
 
 namespace gauss {
 namespace {
@@ -136,7 +159,333 @@ void BM_LeafDeserialize(benchmark::State& state) {
 }
 BENCHMARK(BM_LeafDeserialize)->Arg(10)->Arg(27);
 
+// ------------------------------ batch kernels -------------------------------
+
+// SoA fixtures shaped like a finalized node's decode-time view: `n` entries
+// at node scale (a dim-8 8KiB leaf holds ~60 pfvs), stride padded to
+// kernels::kMaxLanes, and — when `edges` — a sprinkling of the values the
+// kernels route through their scalar special-case path (denormal/huge
+// sigmas, far-off means, NaN/inf), so the bit cross-check also covers the
+// block-abort machinery.
+struct JointFixture {
+  size_t n = 0, dim = 0, stride = 0;
+  std::vector<double> planes;  // dim mu planes then dim sigma planes
+  std::vector<double> mu_q, sigma_q;
+
+  kernels::JointBatchArgs Args() const {
+    kernels::JointBatchArgs args;
+    args.mu = planes.data();
+    args.sigma = planes.data() + dim * stride;
+    args.stride = stride;
+    args.n = n;
+    args.dim = dim;
+    args.mu_q = mu_q.data();
+    args.sigma_q = sigma_q.data();
+    return args;
+  }
+};
+
+struct HullFixture {
+  size_t n = 0, dim = 0, stride = 0;
+  std::vector<double> planes;  // mu_lo | mu_hi | sigma_lo | sigma_hi groups
+  std::vector<double> mu_q, sigma_q;
+
+  kernels::HullBatchArgs Args() const {
+    kernels::HullBatchArgs args;
+    args.mu_lo = planes.data();
+    args.mu_hi = planes.data() + dim * stride;
+    args.sigma_lo = planes.data() + 2 * dim * stride;
+    args.sigma_hi = planes.data() + 3 * dim * stride;
+    args.stride = stride;
+    args.n = n;
+    args.dim = dim;
+    args.mu_q = mu_q.data();
+    args.sigma_q = sigma_q.data();
+    return args;
+  }
+};
+
+void SprinkleEdges(Rng& rng, double* mu, double* sigma) {
+  switch (static_cast<int>(rng.Uniform(0, 6))) {
+    case 0: *sigma = 5e-324; break;                                 // denormal
+    case 1: *sigma = 1e300; break;
+    case 2: *mu = 1e9; break;                                       // huge |z|
+    case 3: *mu = std::numeric_limits<double>::quiet_NaN(); break;
+    case 4: *mu = std::numeric_limits<double>::infinity(); break;
+    default: break;  // leave the ordinary value
+  }
+}
+
+JointFixture MakeJointFixture(size_t n, size_t dim, bool edges) {
+  Rng rng(edges ? 11 : 5);
+  JointFixture f;
+  f.n = n;
+  f.dim = dim;
+  f.stride = kernels::PadEntries(n);
+  f.planes.assign(2 * dim * f.stride, 0.0);
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double mu = rng.Uniform(0, 1);
+      double sigma = rng.Uniform(0.01, 0.1);
+      if (edges && rng.Uniform(0, 1) < 0.2) SprinkleEdges(rng, &mu, &sigma);
+      f.planes[i * f.stride + j] = mu;
+      f.planes[(dim + i) * f.stride + j] = sigma;
+    }
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    f.mu_q.push_back(rng.Uniform(0, 1));
+    f.sigma_q.push_back(rng.Uniform(0.01, 0.1));
+  }
+  return f;
+}
+
+HullFixture MakeHullFixture(size_t n, size_t dim, bool edges) {
+  Rng rng(edges ? 13 : 7);
+  HullFixture f;
+  f.n = n;
+  f.dim = dim;
+  f.stride = kernels::PadEntries(n);
+  f.planes.assign(4 * dim * f.stride, 0.0);
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double lo = rng.Uniform(0, 1), hi = rng.Uniform(0, 1);
+      double slo = rng.Uniform(0.01, 0.05), shi = rng.Uniform(0.05, 0.1);
+      if (edges && rng.Uniform(0, 1) < 0.2) {
+        // Stay inside the hull domain invariant (kernels.h HullBatchArgs:
+        // mu_lo <= mu_hi, 0 < sigma_lo <= sigma_hi) — extreme, not invalid.
+        switch (static_cast<int>(rng.Uniform(0, 4))) {
+          case 0: slo = 5e-324; break;
+          case 1: shi = 1e300; break;
+          case 2: lo = -1e9; break;
+          default: hi = 1e9; break;
+        }
+      }
+      if (lo > hi) std::swap(lo, hi);
+      if (slo > shi) std::swap(slo, shi);
+      f.planes[i * f.stride + j] = lo;
+      f.planes[(dim + i) * f.stride + j] = hi;
+      f.planes[(2 * dim + i) * f.stride + j] = slo;
+      f.planes[(3 * dim + i) * f.stride + j] = shi;
+    }
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    f.mu_q.push_back(rng.Uniform(0, 1));
+    f.sigma_q.push_back(rng.Uniform(0.01, 0.1));
+  }
+  return f;
+}
+
+std::vector<double> MakeExpFixture(size_t n, bool edges) {
+  Rng rng(edges ? 17 : 9);
+  std::vector<double> log_in(n);
+  for (size_t j = 0; j < n; ++j) {
+    log_in[j] = rng.Uniform(-900, 10);
+    if (edges && rng.Uniform(0, 1) < 0.2) {
+      switch (static_cast<int>(rng.Uniform(0, 3))) {
+        case 0: log_in[j] = 800.0; break;  // overflow after the shift
+        case 1: log_in[j] = std::numeric_limits<double>::quiet_NaN(); break;
+        default: log_in[j] = -std::numeric_limits<double>::infinity(); break;
+      }
+    }
+  }
+  return log_in;
+}
+
+constexpr size_t kBatchEntries = 64;
+
+void BM_JointLogDensityBatch(benchmark::State& state,
+                             const kernels::KernelBackend* backend,
+                             size_t dim) {
+  const JointFixture f = MakeJointFixture(kBatchEntries, dim, false);
+  const kernels::JointBatchArgs args = f.Args();
+  std::vector<double> out(f.n);
+  for (auto _ : state) {
+    backend->joint_log_density(args, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * f.n));
+}
+
+void BM_HullBoundsBatch(benchmark::State& state,
+                        const kernels::KernelBackend* backend, size_t dim) {
+  const HullFixture f = MakeHullFixture(kBatchEntries, dim, false);
+  const kernels::HullBatchArgs args = f.Args();
+  std::vector<double> upper(f.n), lower(f.n);
+  for (auto _ : state) {
+    backend->hull_bounds(args, upper.data(), lower.data());
+    benchmark::DoNotOptimize(upper.data());
+    benchmark::DoNotOptimize(lower.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * f.n));
+}
+
+void RegisterBatchBenchmarks() {
+  for (const kernels::KernelBackend* backend : kernels::CompiledBackends()) {
+    if (!kernels::Runnable(*backend)) continue;
+    for (const size_t dim : {size_t{8}, size_t{27}}) {
+      const std::string suffix =
+          std::string("/") + backend->name + "/dim:" + std::to_string(dim);
+      benchmark::RegisterBenchmark(
+          ("BM_JointLogDensityBatch" + suffix).c_str(),
+          [backend, dim](benchmark::State& state) {
+            BM_JointLogDensityBatch(state, backend, dim);
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_HullBoundsBatch" + suffix).c_str(),
+          [backend, dim](benchmark::State& state) {
+            BM_HullBoundsBatch(state, backend, dim);
+          });
+    }
+  }
+}
+
+// ------------------------- kernel regression cells --------------------------
+
+bool SameBits(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// Best-observed ns per entry of `fn` over one n-entry batch: calibrated to
+// ~2ms timed blocks, minimum across blocks (same noise stance as the
+// guard's min-collapse across smoke re-runs).
+template <typename Fn>
+double TimeNsPerEntry(size_t n, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm
+  size_t iters = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (size_t i = 0; i < iters; ++i) fn();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count());
+    if (ns >= 2e6 || iters >= (size_t{1} << 24)) break;
+    iters *= 2;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int block = 0; block < 5; ++block) {
+    const auto t0 = Clock::now();
+    for (size_t i = 0; i < iters; ++i) fn();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count());
+    best = std::min(best, ns / (static_cast<double>(iters) * n));
+  }
+  return best;
+}
+
+void EmitKernelCell(const std::string& cell, double ns_per_entry) {
+  BenchCellMetrics metrics;
+  metrics.bench = "micro_kernels";
+  metrics.scale = 1.0;  // kernel cost is dataset-size independent
+  metrics.cell = cell;
+  metrics.ns_per_entry = ns_per_entry;
+  AppendBenchJson(metrics);
+}
+
+// Smoke mode: cross-check every runnable backend bit-for-bit against the
+// scalar reference (random + edge fixtures, full blocks and a ragged tail),
+// and emit one ns/entry cell per (kernel, backend, dim). Returns the
+// process exit code: non-zero on any bit mismatch.
+int RunKernelCells() {
+  const kernels::KernelBackend& scalar = kernels::ScalarBackend();
+  std::printf("active backend: %s\n", kernels::ActiveBackend().name);
+  int failures = 0;
+
+  for (const kernels::KernelBackend* backend : kernels::CompiledBackends()) {
+    if (!kernels::Runnable(*backend)) {
+      std::printf("  %s: compiled but not runnable on this CPU, skipped\n",
+                  backend->name);
+      continue;
+    }
+    for (const size_t dim : {size_t{8}, size_t{27}}) {
+      // Bit-identity: full-width batch and a ragged tail, plain and edge
+      // fixtures. kBatchEntries - 3 also exercises the scalar tail path.
+      for (const bool edges : {false, true}) {
+        for (const size_t n : {kBatchEntries, kBatchEntries - 3}) {
+          JointFixture jf = MakeJointFixture(n, dim, edges);
+          std::vector<double> ref(n), got(n);
+          scalar.joint_log_density(jf.Args(), ref.data());
+          backend->joint_log_density(jf.Args(), got.data());
+          if (!SameBits(ref, got)) {
+            std::fprintf(stderr,
+                         "FAIL joint_log_density %s dim=%zu n=%zu edges=%d: "
+                         "bits differ from scalar\n",
+                         backend->name, dim, n, edges);
+            ++failures;
+          }
+          HullFixture hf = MakeHullFixture(n, dim, edges);
+          std::vector<double> ref_up(n), ref_lo(n), got_up(n), got_lo(n);
+          scalar.hull_bounds(hf.Args(), ref_up.data(), ref_lo.data());
+          backend->hull_bounds(hf.Args(), got_up.data(), got_lo.data());
+          if (!SameBits(ref_up, got_up) || !SameBits(ref_lo, got_lo)) {
+            std::fprintf(stderr,
+                         "FAIL hull_bounds %s dim=%zu n=%zu edges=%d: "
+                         "bits differ from scalar\n",
+                         backend->name, dim, n, edges);
+            ++failures;
+          }
+          const std::vector<double> log_in = MakeExpFixture(n, edges);
+          std::vector<double> ref_exp(n), got_exp(n);
+          scalar.exp_shift(log_in.data(), -3.5, n, ref_exp.data());
+          backend->exp_shift(log_in.data(), -3.5, n, got_exp.data());
+          if (!SameBits(ref_exp, got_exp)) {
+            std::fprintf(stderr,
+                         "FAIL exp_shift %s n=%zu edges=%d: "
+                         "bits differ from scalar\n",
+                         backend->name, n, edges);
+            ++failures;
+          }
+        }
+      }
+
+      // Timing cells (ordinary-value fixtures: the hot path's common case).
+      const JointFixture jf = MakeJointFixture(kBatchEntries, dim, false);
+      const kernels::JointBatchArgs jargs = jf.Args();
+      std::vector<double> out(kBatchEntries);
+      const double joint_ns = TimeNsPerEntry(kBatchEntries, [&] {
+        backend->joint_log_density(jargs, out.data());
+        benchmark::DoNotOptimize(out.data());
+      });
+      const HullFixture hf = MakeHullFixture(kBatchEntries, dim, false);
+      const kernels::HullBatchArgs hargs = hf.Args();
+      std::vector<double> upper(kBatchEntries), lower(kBatchEntries);
+      const double hull_ns = TimeNsPerEntry(kBatchEntries, [&] {
+        backend->hull_bounds(hargs, upper.data(), lower.data());
+        benchmark::DoNotOptimize(upper.data());
+      });
+      const std::string key =
+          std::string("backend=") + backend->name + ",dim=" +
+          std::to_string(dim);
+      std::printf("  %-28s joint %7.2f ns/entry   hull %7.2f ns/entry\n",
+                  key.c_str(), joint_ns, hull_ns);
+      EmitKernelCell("kernel=joint_log_density," + key, joint_ns);
+      EmitKernelCell("kernel=hull_bounds," + key, hull_ns);
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d kernel cross-check failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("all runnable backends bit-identical to scalar\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace gauss
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Smoke mode (ctest micro_kernels_smoke): kernel regression cells + bit
+  // cross-check instead of the google-benchmark harness.
+  const char* json = std::getenv("GAUSS_BENCH_JSON");
+  if (json != nullptr && json[0] != '\0') return gauss::RunKernelCells();
+
+  gauss::RegisterBatchBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -123,6 +123,40 @@ class MinOverRunsTest(GuardTestCase):
         self.assertEqual(self.run_guard(current, base, "--skip-pages"), 1)
 
 
+class NsPerEntryTest(GuardTestCase):
+    """ns_per_entry (micro_kernels cells) is a timing metric like p99_us:
+    min-collapsed across appended runs, gated under --skip-p99 /
+    --tolerance-p99, skipped when the baseline never measured it."""
+
+    def test_kernel_regression_fails(self):
+        base = [cell("k", pages=0.0, p99=0.0, ns_per_entry=10.0)]
+        current = [cell("k", pages=0.0, p99=0.0, ns_per_entry=20.0)]
+        self.assertEqual(self.run_guard(current, base, "--skip-pages"), 1)
+
+    def test_kernel_within_tolerance_passes(self):
+        base = [cell("k", ns_per_entry=10.0)]
+        current = [cell("k", ns_per_entry=11.0)]  # +10% < 15%
+        self.assertEqual(self.run_guard(current, base), 0)
+
+    def test_minimum_across_runs_wins(self):
+        base = [cell("k", ns_per_entry=10.0)]
+        current = [cell("k", ns_per_entry=100.0, p99=90.0),
+                   cell("k", ns_per_entry=10.5, p99=90.0)]
+        self.assertEqual(self.run_guard(current, base, "--skip-pages"), 0)
+
+    def test_skip_p99_skips_kernel_timing_too(self):
+        base = [cell("k", ns_per_entry=10.0)]
+        current = [cell("k", ns_per_entry=1000.0)]
+        self.assertEqual(self.run_guard(current, base, "--skip-p99"), 0)
+
+    def test_serving_cells_without_kernel_metric_unaffected(self):
+        # Serving-bench cells carry ns_per_entry = 0 (or omit it): the
+        # guard must not invent a kernel gate for them.
+        base = [cell("a", ns_per_entry=0.0), cell("b")]
+        current = [cell("a", ns_per_entry=123.0), cell("b")]
+        self.assertEqual(self.run_guard(current, base), 0)
+
+
 class CoverageTest(GuardTestCase):
     def test_baseline_cell_missing_from_current_fails(self):
         # Silently losing bench coverage is itself a regression.

@@ -5,7 +5,8 @@ Collapses a JSON-lines bench file ($GAUSS_BENCH_JSON, appended across
 repeated smoke runs) with exactly the semantics of the CI guard
 (bench/check_regression.py shares its load_cells): cells keyed by
 (bench, scale, cell), last line wins for deterministic metrics, minimum
-observed p99_us wins for timing — so the baseline records precisely what
+observed wins for the timing metrics (p99_us, ns_per_entry) — so the
+baseline records precisely what
 the guard would have compared against. The collapsed cells are merged over
 the existing baseline and written back sorted, one JSON object per line,
 for reviewable diffs.

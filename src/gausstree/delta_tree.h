@@ -51,6 +51,19 @@ class DeltaTree {
   // below or at an observed size().
   std::vector<Pfv> Snapshot(size_t from, size_t to) const;
 
+  // SoA mirror of the slots for the batch kernels (math/kernels.h): dim()
+  // mu planes then dim() sigma planes, each plane_stride() doubles, with
+  // object i's dimension d at planes[d * plane_stride() + i]. Append fills
+  // a slot's plane elements BEFORE the release-store of size_, so the same
+  // acquire-load that licenses at(i) licenses plane reads below size() —
+  // and the kernels never read plane elements at or past the n they are
+  // given.
+  const double* mu_planes() const { return planes_.data(); }
+  const double* sigma_planes() const {
+    return planes_.data() + dim_ * capacity_;
+  }
+  size_t plane_stride() const { return capacity_; }
+
   size_t dim() const { return dim_; }
   size_t capacity() const { return capacity_; }
 
@@ -58,6 +71,7 @@ class DeltaTree {
   const size_t dim_;
   const size_t capacity_;
   std::vector<Pfv> slots_;  // sized to capacity_ once; never reallocates
+  std::vector<double> planes_;  // 2 * dim_ * capacity_; never reallocates
   std::mutex writer_mu_;
   std::atomic<size_t> size_{0};
 };

@@ -31,8 +31,10 @@ MliqTraversal::MliqTraversal(const GaussTree& tree, const Pfv& q, size_t k,
   // Rebase the coordinator's absolute floor into this traversal's scale.
   // exp(-inf - log_ref) == 0 disables cleanly; an overflow to +inf means
   // this whole shard is certified below the global k-th density and phase 1
-  // stops at the root.
-  density_floor_ = std::exp(options_.density_floor_log - log_ref_);
+  // stops at the root. PortableExp — the same exp the batch kernels apply to
+  // the subtree bounds — so a bound that ties the floor in log space still
+  // ties it here (the floor's strict-< pruning depends on exact ties).
+  density_floor_ = kernels::PortableExp(options_.density_floor_log - log_ref_);
   // Seed with the root as a pseudo active node (bounds trivially [0, 1]
   // scaled; exact values are irrelevant because it is expanded first).
   tracker_.Push(ActiveNode{tree_.root(), static_cast<uint32_t>(tree_.size()),
@@ -54,20 +56,26 @@ double MliqTraversal::KthDensity() const {
 }
 
 void MliqTraversal::Expand(const ActiveNode& active) {
-  tree_.store().Load(active.page, &node_);
+  tree_.store().LoadSoa(active.page, &scratch_.node);
   ++counters_.nodes_visited;
-  if (node_.leaf()) {
+  // One batch kernel call scores the whole node against the query (leaf:
+  // Lemma 1 joint densities; inner: Lemma 2/3 hull bounds), then the scalar
+  // loop below only routes the per-entry results.
+  internal::ScoreNodeBatch(q_, policy_, log_ref_, &scratch_);
+  const GtNodeSoa& soa = scratch_.node;
+  if (soa.leaf()) {
     ++counters_.leaf_nodes_visited;
-    for (const Pfv& v : node_.pfvs) {
-      const double log_density = PfvJointLogDensity(v, q_, policy_);
-      const double scaled = std::exp(log_density - log_ref_);
-      tracker_.AddExact(scaled);
+    for (size_t j = 0; j < soa.n; ++j) {
+      tracker_.AddExact(scratch_.scaled_upper[j]);
       ++counters_.objects_evaluated;
-      OfferCandidate({v.id, scaled, log_density});
+      OfferCandidate(
+          {soa.ids[j], scratch_.scaled_upper[j], scratch_.log_upper[j]});
     }
   } else {
-    for (const GtChildEntry& e : node_.children) {
-      tracker_.Push(internal::MakeActiveNode(e, q_, policy_, log_ref_));
+    for (size_t j = 0; j < soa.n; ++j) {
+      tracker_.Push(ActiveNode{soa.children[j], soa.counts[j],
+                               scratch_.scaled_upper[j],
+                               scratch_.scaled_lower[j]});
     }
   }
   // With the popped node's children enqueued, the queue's best entries are

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "math/kernels.h"
 
 namespace gauss {
 
@@ -182,6 +183,109 @@ GtNode GtNode::Deserialize(const uint8_t* page, size_t dim, PageId id) {
     }
   }
   return node;
+}
+
+namespace {
+
+// Sizes the SoA buffers for n entries and zeroes the padding lanes. Reuses
+// the vectors' capacity: assign() only reallocates when a larger node than
+// any seen before arrives.
+void ShapeSoa(GtNodeSoa* out, GtNodeKind kind, PageId id, size_t dim,
+              size_t n) {
+  out->id = id;
+  out->kind = kind;
+  out->n = n;
+  out->dim = dim;
+  out->stride = kernels::PadEntries(n);
+  const size_t groups = kind == GtNodeKind::kLeaf ? 2 : 4;
+  out->planes.assign(groups * dim * out->stride, 0.0);
+  if (kind == GtNodeKind::kLeaf) {
+    out->ids.assign(n, 0);
+    out->children.clear();
+    out->counts.clear();
+  } else {
+    out->ids.clear();
+    out->children.assign(n, kInvalidPageId);
+    out->counts.assign(n, 0);
+  }
+}
+
+}  // namespace
+
+void GtNodeSoa::Decode(const uint8_t* page, size_t dim, PageId id,
+                       GtNodeSoa* out) {
+  const uint8_t* p = page;
+  const auto kind = static_cast<GtNodeKind>(Take<uint8_t>(&p));
+  const uint32_t count = Take<uint32_t>(&p);
+  ShapeSoa(out, kind, id, dim, count);
+  const size_t stride = out->stride;
+  double* planes = out->planes.data();
+  if (kind == GtNodeKind::kLeaf) {
+    // Leaf record: [u64 id][d x mu][d x sigma] -> transpose into planes.
+    double* mu_planes = planes;
+    double* sigma_planes = planes + dim * stride;
+    for (uint32_t r = 0; r < count; ++r) {
+      out->ids[r] = Take<uint64_t>(&p);
+      for (size_t i = 0; i < dim; ++i) {
+        mu_planes[i * stride + r] = Take<double>(&p);
+      }
+      for (size_t i = 0; i < dim; ++i) {
+        sigma_planes[i * stride + r] = Take<double>(&p);
+      }
+    }
+  } else {
+    // Inner entry: [u32 child][u32 count][d x (mu_lo, mu_hi, sg_lo, sg_hi)].
+    double* mu_lo_planes = planes;
+    double* mu_hi_planes = planes + dim * stride;
+    double* sg_lo_planes = planes + 2 * dim * stride;
+    double* sg_hi_planes = planes + 3 * dim * stride;
+    for (uint32_t r = 0; r < count; ++r) {
+      out->children[r] = Take<uint32_t>(&p);
+      out->counts[r] = Take<uint32_t>(&p);
+      for (size_t i = 0; i < dim; ++i) {
+        mu_lo_planes[i * stride + r] = Take<double>(&p);
+        mu_hi_planes[i * stride + r] = Take<double>(&p);
+        sg_lo_planes[i * stride + r] = Take<double>(&p);
+        sg_hi_planes[i * stride + r] = Take<double>(&p);
+      }
+    }
+  }
+}
+
+void GtNodeSoa::FromNode(const GtNode& node, size_t dim, GtNodeSoa* out) {
+  ShapeSoa(out, node.kind, node.id, dim, node.EntryCount());
+  const size_t stride = out->stride;
+  double* planes = out->planes.data();
+  if (node.leaf()) {
+    double* mu_planes = planes;
+    double* sigma_planes = planes + dim * stride;
+    for (size_t r = 0; r < node.pfvs.size(); ++r) {
+      const Pfv& pfv = node.pfvs[r];
+      GAUSS_DCHECK(pfv.dim() == dim);
+      out->ids[r] = pfv.id;
+      for (size_t i = 0; i < dim; ++i) {
+        mu_planes[i * stride + r] = pfv.mu[i];
+        sigma_planes[i * stride + r] = pfv.sigma[i];
+      }
+    }
+  } else {
+    double* mu_lo_planes = planes;
+    double* mu_hi_planes = planes + dim * stride;
+    double* sg_lo_planes = planes + 2 * dim * stride;
+    double* sg_hi_planes = planes + 3 * dim * stride;
+    for (size_t r = 0; r < node.children.size(); ++r) {
+      const GtChildEntry& e = node.children[r];
+      GAUSS_DCHECK(e.bounds.size() == dim);
+      out->children[r] = e.child;
+      out->counts[r] = e.count;
+      for (size_t i = 0; i < dim; ++i) {
+        mu_lo_planes[i * stride + r] = e.bounds[i].mu_lo;
+        mu_hi_planes[i * stride + r] = e.bounds[i].mu_hi;
+        sg_lo_planes[i * stride + r] = e.bounds[i].sigma_lo;
+        sg_hi_planes[i * stride + r] = e.bounds[i].sigma_hi;
+      }
+    }
+  }
 }
 
 GtCapacities GtCapacities::ForPageSize(uint32_t page_size, size_t dim) {

@@ -56,6 +56,49 @@ struct GtNode {
   static GtNode Deserialize(const uint8_t* page, size_t dim, PageId id);
 };
 
+// Decode-time structure-of-arrays view of one node's entries, shaped for the
+// batch kernels in math/kernels.h: per-dimension planes of `stride` doubles,
+// stride = kernels::PadEntries(n) so every plane is padded to the widest
+// vector width. The on-disk page layout is unchanged — this view is built by
+// Decode() straight from page bytes (or FromNode() from an in-memory node)
+// and never written back. Padding lanes are zeroed but the kernels never
+// read them (they only touch elements [0, n)).
+//
+// Plane order (each plane is `stride` doubles, dimensions major):
+//   leaf:  [dim x mu][dim x sigma]
+//   inner: [dim x mu_lo][dim x mu_hi][dim x sigma_lo][dim x sigma_hi]
+struct GtNodeSoa {
+  PageId id = kInvalidPageId;
+  GtNodeKind kind = GtNodeKind::kLeaf;
+  size_t n = 0;       // entry count
+  size_t dim = 0;
+  size_t stride = 0;  // kernels::PadEntries(n)
+  std::vector<uint64_t> ids;       // leaf: n pfv ids
+  std::vector<PageId> children;    // inner: n child page ids
+  std::vector<uint32_t> counts;    // inner: n subtree counts
+  std::vector<double> planes;      // leaf: 2*dim planes; inner: 4*dim planes
+
+  bool leaf() const { return kind == GtNodeKind::kLeaf; }
+
+  // Leaf plane groups.
+  const double* mu() const { return planes.data(); }
+  const double* sigma() const { return planes.data() + dim * stride; }
+  // Inner plane groups.
+  const double* mu_lo() const { return planes.data(); }
+  const double* mu_hi() const { return planes.data() + dim * stride; }
+  const double* sigma_lo() const { return planes.data() + 2 * dim * stride; }
+  const double* sigma_hi() const { return planes.data() + 3 * dim * stride; }
+
+  // Decodes a serialized page into `out`, reusing its buffers (traversals
+  // keep one GtNodeSoa as scratch across Expand calls).
+  static void Decode(const uint8_t* page, size_t dim, PageId id,
+                     GtNodeSoa* out);
+
+  // Builds the view from an in-memory node (build-mode NodeStore and the
+  // pinned root, which skip serialization).
+  static void FromNode(const GtNode& node, size_t dim, GtNodeSoa* out);
+};
+
 // Per-node-type capacities derived from the page size.
 struct GtCapacities {
   size_t leaf = 0;        // max pfv records per leaf

@@ -46,6 +46,21 @@ void GtNodeStore::Load(PageId id, GtNode* scratch) const {
   *scratch = GtNode::Deserialize(page.data(), dim_, id);
 }
 
+void GtNodeStore::LoadSoa(PageId id, GtNodeSoa* scratch) const {
+  if (!finalized_) {
+    auto it = nodes_.find(id);
+    GAUSS_CHECK(it != nodes_.end());
+    GtNodeSoa::FromNode(*it->second, dim_, scratch);
+    return;
+  }
+  if (pinned_soa_ != nullptr && id == pinned_id_) {
+    *scratch = *pinned_soa_;  // pinned root: no pool fetch
+    return;
+  }
+  const PageRef page = pool_->Fetch(id);
+  GtNodeSoa::Decode(page.data(), dim_, id, scratch);
+}
+
 void GtNodeStore::Finalize() {
   if (finalized_) return;
   std::vector<uint8_t> buffer(pool_->device()->page_size(), 0);
@@ -75,12 +90,15 @@ void GtNodeStore::PinRoot(PageId id) {
   const PageRef page = pool_->Fetch(id);
   pinned_ =
       std::make_unique<GtNode>(GtNode::Deserialize(page.data(), dim_, id));
+  pinned_soa_ = std::make_unique<GtNodeSoa>();
+  GtNodeSoa::Decode(page.data(), dim_, id, pinned_soa_.get());
   pinned_id_ = id;
 }
 
 void GtNodeStore::Definalize() {
   if (!finalized_) return;
   pinned_.reset();
+  pinned_soa_.reset();
   pinned_id_ = kInvalidPageId;
   for (PageId id : all_pages_) {
     const PageRef page = pool_->Fetch(id);

@@ -42,6 +42,12 @@ class GtNodeStore {
   // reallocation across calls.
   void Load(PageId id, GtNode* scratch) const;
 
+  // Query access shaped for the batch kernels: decodes the page straight
+  // into `scratch`'s SoA planes (math/kernels.h layout) without materializing
+  // a GtNode. Same page-accounting semantics as Load(); the pinned root is
+  // served from a pre-decoded SoA copy.
+  void LoadSoa(PageId id, GtNodeSoa* scratch) const;
+
   // Serializes every node to its page and switches to query mode.
   void Finalize();
 
@@ -76,6 +82,7 @@ class GtNodeStore {
   std::vector<PageId> all_pages_;
   PageId pinned_id_ = kInvalidPageId;
   std::unique_ptr<GtNode> pinned_;
+  std::unique_ptr<GtNodeSoa> pinned_soa_;
 };
 
 }  // namespace gauss

@@ -7,7 +7,9 @@
 
 #include "common/log_sum_exp.h"
 #include "gausstree/gauss_tree.h"
+#include "gausstree/node.h"
 #include "math/hull.h"
+#include "math/kernels.h"
 #include "pfv/pfv.h"
 
 namespace gauss {
@@ -175,23 +177,71 @@ inline double ComputeLogRef(const GaussTree& tree, const Pfv& q) {
                            tree.dim(), tree.options().sigma_policy);
 }
 
-// Scaled upper/lower hull bounds of a child entry against the query.
-inline ActiveNode MakeActiveNode(const GtChildEntry& entry, const Pfv& q,
-                                 SigmaPolicy policy, double log_ref) {
-  ActiveNode node;
-  node.page = entry.child;
-  node.count = entry.count;
-  const double log_upper =
-      JointLogUpperHull(entry.bounds.data(), q.mu.data(), q.sigma.data(),
-                        entry.bounds.size(), policy);
-  const double log_lower =
-      JointLogLowerHull(entry.bounds.data(), q.mu.data(), q.sigma.data(),
-                        entry.bounds.size(), policy);
-  node.upper = std::exp(log_upper - log_ref);
-  node.lower = std::exp(log_lower - log_ref);
-  // Guard against rounding: the lower bound must never exceed the upper.
-  if (node.lower > node.upper) node.lower = node.upper;
-  return node;
+// SoA node scratch plus the score buffers one batch expansion fills — each
+// traversal owns one so node decode and scoring never reallocate across
+// expansions.
+struct BatchScratch {
+  GtNodeSoa node;
+  std::vector<double> log_upper;     // leaf: joint log densities
+  std::vector<double> log_lower;     // inner only
+  std::vector<double> scaled_upper;  // exp(log - log_ref)
+  std::vector<double> scaled_lower;  // inner only
+};
+
+// Scores scratch->node against the query with the batch kernels
+// (math/kernels.h): a leaf fills log_upper with the per-object joint log
+// densities (Lemma 1) and scaled_upper with their rebased linear-space
+// values; an inner node fills all four buffers with the per-child hull
+// bounds (Lemmas 2/3). The scaled lower bound is clamped to the upper per
+// entry — the same rounding guard the scalar path always applied. Every
+// arithmetic step dispatches through the kernel backends, whose contract is
+// bit-identity with the scalar reference, so traversal decisions (and thus
+// answers and page counts) do not depend on the dispatched backend.
+inline void ScoreNodeBatch(const Pfv& q, SigmaPolicy policy, double log_ref,
+                           BatchScratch* scratch) {
+  const GtNodeSoa& soa = scratch->node;
+  const size_t n = soa.n;
+  scratch->log_upper.resize(n);
+  scratch->scaled_upper.resize(n);
+  if (soa.leaf()) {
+    kernels::JointBatchArgs args;
+    args.mu = soa.mu();
+    args.sigma = soa.sigma();
+    args.stride = soa.stride;
+    args.n = n;
+    args.dim = soa.dim;
+    args.mu_q = q.mu.data();
+    args.sigma_q = q.sigma.data();
+    args.policy = policy;
+    kernels::JointLogDensityBatch(args, scratch->log_upper.data());
+    kernels::ExpShiftBatch(scratch->log_upper.data(), log_ref, n,
+                           scratch->scaled_upper.data());
+    return;
+  }
+  scratch->log_lower.resize(n);
+  scratch->scaled_lower.resize(n);
+  kernels::HullBatchArgs args;
+  args.mu_lo = soa.mu_lo();
+  args.mu_hi = soa.mu_hi();
+  args.sigma_lo = soa.sigma_lo();
+  args.sigma_hi = soa.sigma_hi();
+  args.stride = soa.stride;
+  args.n = n;
+  args.dim = soa.dim;
+  args.mu_q = q.mu.data();
+  args.sigma_q = q.sigma.data();
+  args.policy = policy;
+  kernels::HullIntegralBoundsBatch(args, scratch->log_upper.data(),
+                                   scratch->log_lower.data());
+  kernels::ExpShiftBatch(scratch->log_upper.data(), log_ref, n,
+                         scratch->scaled_upper.data());
+  kernels::ExpShiftBatch(scratch->log_lower.data(), log_ref, n,
+                         scratch->scaled_lower.data());
+  for (size_t j = 0; j < n; ++j) {
+    if (scratch->scaled_lower[j] > scratch->scaled_upper[j]) {
+      scratch->scaled_lower[j] = scratch->scaled_upper[j];
+    }
+  }
 }
 
 }  // namespace gauss::internal

@@ -46,20 +46,26 @@ double TiqTraversal::ProbLo(double scaled) const {
 }
 
 void TiqTraversal::Expand(const ActiveNode& active) {
-  tree_.store().Load(active.page, &node_);
+  tree_.store().LoadSoa(active.page, &scratch_.node);
   ++counters_.nodes_visited;
-  if (node_.leaf()) {
+  // One batch kernel call scores the whole node against the query (leaf:
+  // Lemma 1 joint densities; inner: Lemma 2/3 hull bounds), then the scalar
+  // loop below only routes the per-entry results.
+  internal::ScoreNodeBatch(q_, policy_, log_ref_, &scratch_);
+  const GtNodeSoa& soa = scratch_.node;
+  if (soa.leaf()) {
     ++counters_.leaf_nodes_visited;
-    for (const Pfv& v : node_.pfvs) {
-      const double log_density = PfvJointLogDensity(v, q_, policy_);
-      const double scaled = std::exp(log_density - log_ref_);
-      tracker_.AddExact(scaled);
+    for (size_t j = 0; j < soa.n; ++j) {
+      tracker_.AddExact(scratch_.scaled_upper[j]);
       ++counters_.objects_evaluated;
-      candidates_.push_back({v.id, scaled, log_density});
+      candidates_.push_back(
+          {soa.ids[j], scratch_.scaled_upper[j], scratch_.log_upper[j]});
     }
   } else {
-    for (const GtChildEntry& e : node_.children) {
-      tracker_.Push(internal::MakeActiveNode(e, q_, policy_, log_ref_));
+    for (size_t j = 0; j < soa.n; ++j) {
+      tracker_.Push(ActiveNode{soa.children[j], soa.counts[j],
+                               scratch_.scaled_upper[j],
+                               scratch_.scaled_lower[j]});
     }
   }
   // With the popped node's children enqueued, the queue's best entries are

@@ -145,7 +145,8 @@ class TiqTraversal {
   internal::DenominatorTracker tracker_;
   internal::QueryCounters counters_;
   std::vector<ScoredObject> candidates_;
-  GtNode node_;  // deserialization scratch
+  // SoA decode + batch-score scratch, reused across Expand calls.
+  internal::BatchScratch scratch_;
   // Effective read-ahead depth (0 unless the tree is finalized) and the
   // scratch list CollectTopPages fills each expansion.
   size_t prefetch_depth_ = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "math/kernels.h"
 
 namespace gauss {
 
@@ -14,8 +15,11 @@ double GaussianPdf(double x, double mu, double sigma) {
 
 double GaussianLogPdf(double x, double mu, double sigma) {
   GAUSS_DCHECK(sigma > 0.0);
-  const double z = (x - mu) / sigma;
-  return -0.5 * z * z - std::log(sigma) - kLogSqrt2Pi;
+  // Delegates to the portable formulation (kernels.h) rather than libm so
+  // every evaluation in the system — seq-scan oracle, hull bounds, shard
+  // coordinator sketches, and the SIMD batch kernels — produces the same
+  // bits regardless of libm version or dispatched backend.
+  return kernels::PortableGaussLogPdf(x, mu, sigma);
 }
 
 double StdNormalCdf(double z) { return 0.5 * (1.0 + std::erf(z / kSqrt2)); }

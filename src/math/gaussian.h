@@ -7,6 +7,12 @@
 
 namespace gauss {
 
+// Scalar lemma math. Each query-path function here has a batch counterpart in
+// math/kernels.h that scores one query against all of a node's entries per
+// call; the batch kernels' scalar reference backend loops these exact
+// functions, so the two can never drift (see src/math/README.md for the
+// bit-stability contract).
+
 // sqrt(2*pi) and friends, to double precision.
 inline constexpr double kSqrt2Pi = 2.5066282746310005024;
 inline constexpr double kLogSqrt2Pi = 0.91893853320467274178;
@@ -18,10 +24,14 @@ inline constexpr double kInvSqrt2PiE = 0.24197072451914334980;
 // Univariate Gaussian probability density N(x; mu, sigma). sigma > 0.
 double GaussianPdf(double x, double mu, double sigma);
 
-// log N(x; mu, sigma). Robust for extreme |x - mu| / sigma.
+// log N(x; mu, sigma). Robust for extreme |x - mu| / sigma. Delegates to
+// kernels::PortableGaussLogPdf (portable log, no libm) so that every caller —
+// this scalar path, the hulls below, and the SIMD lanes of
+// kernels::JointLogDensityBatch — computes in the same arithmetic universe.
 double GaussianLogPdf(double x, double mu, double sigma);
 
-// Standard normal CDF Phi(z), via std::erf.
+// Standard normal CDF Phi(z), via std::erf. Build-time only (bulk-load
+// quality decisions); not part of the bit-stable query path.
 double StdNormalCdf(double z);
 
 // Gaussian CDF P[X <= x] for X ~ N(mu, sigma).
@@ -37,14 +47,19 @@ double GaussianCdf(double x, double mu, double sigma);
 double JointDensity(double mu_v, double sigma_v, double mu_q, double sigma_q,
                     SigmaPolicy policy = SigmaPolicy::kConvolution);
 
-// log of JointDensity().
+// log of JointDensity(). This is the per-dimension term Lemma 1 sums; its
+// node-at-a-time batch counterpart is kernels::JointLogDensityBatch, whose
+// scalar reference accumulates exactly this expression per dimension.
 double JointLogDensity(double mu_v, double sigma_v, double mu_q,
                        double sigma_q,
                        SigmaPolicy policy = SigmaPolicy::kConvolution);
 
 // Multivariate (axis-independent) joint log density: sum over d dimensions of
 // JointLogDensity. `mu_v`, `sigma_v`, `mu_q`, `sigma_q` each point to `d`
-// doubles.
+// doubles. Accumulates dimension-by-dimension in the same order as
+// kernels::JointLogDensityBatch, so one entry scored here is bit-identical to
+// the same entry scored through the batch kernel (PfvJointLogDensity and the
+// SoA scan interchange freely — differential suites rely on this).
 double JointLogDensity(const double* mu_v, const double* sigma_v,
                        const double* mu_q, const double* sigma_q, size_t d,
                        SigmaPolicy policy = SigmaPolicy::kConvolution);

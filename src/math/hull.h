@@ -38,7 +38,11 @@ struct DimBounds {
 //   (VII) x >= mu_hi + sigma_hi            : N(x; mu_hi, sigma_hi)
 double UpperHull(double x, const DimBounds& b);
 
-// log of UpperHull(). Robust far away from the node.
+// log of UpperHull(). Robust far away from the node. Batch counterpart:
+// kernels::HullIntegralBoundsBatch evaluates this per dimension for every
+// child MBR of a node in one call (its scalar reference loops this exact
+// function); the SIMD lanes realize the same case split branchlessly via
+// clamps, bit-identical on DimBounds::Valid() inputs.
 double LogUpperHull(double x, const DimBounds& b);
 
 // Conservative lower hull N_check(x): the minimum density any Gaussian inside
@@ -46,7 +50,9 @@ double LogUpperHull(double x, const DimBounds& b);
 // of the four (mu, sigma) corner combinations.
 double LowerHull(double x, const DimBounds& b);
 
-// log of LowerHull().
+// log of LowerHull(). Also evaluated per dimension inside
+// kernels::HullIntegralBoundsBatch (the four-corner minimum vectorizes as
+// elementwise min over the corner evaluations).
 double LogLowerHull(double x, const DimBounds& b);
 
 // Bounds with the query uncertainty folded in: the hull of the *joint*
@@ -59,7 +65,10 @@ DimBounds QueryAdjustedBounds(const DimBounds& b, double sigma_q,
 // Multivariate log upper / lower hull of the joint density of a query pfv
 // against everything a subtree may contain; sums per-dimension hulls of the
 // query-adjusted bounds. `bounds` points to d DimBounds; `mu_q`, `sigma_q`
-// point to d doubles.
+// point to d doubles. These score ONE subtree; traversals score all of an
+// inner node's children at once through kernels::HullIntegralBoundsBatch,
+// whose scalar reference is exactly QueryAdjustedBounds + LogUpperHull +
+// LogLowerHull per dimension — identical sums, either route.
 double JointLogUpperHull(const DimBounds* bounds, const double* mu_q,
                          const double* sigma_q, size_t d, SigmaPolicy policy);
 double JointLogLowerHull(const DimBounds* bounds, const double* mu_q,

@@ -1,0 +1,278 @@
+#ifndef GAUSS_MATH_KERNELS_SIMD_H_
+#define GAUSS_MATH_KERNELS_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "math/kernels.h"
+
+// INTERNAL header: the width-generic bodies of the batch kernels, shared by
+// every SIMD backend (kernels_avx2.cc, kernels_avx512.cc, the NEON section
+// of kernels.cc), plus the constant tables the scalar transcendentals in
+// kernels.cc use — one definition site so a constant cannot drift between
+// the scalar reference and a vector lane. Not part of the public API; only
+// kernel translation units include this.
+//
+// Each backend supplies an Ops policy struct:
+//
+//   struct Ops {
+//     using V  = <vector of kWidth doubles>;
+//     using VI = <vector of kWidth int64s, same register width>;
+//     static constexpr size_t kWidth;
+//     // lane-wise IEEE ops (identical rounding to the scalar op):
+//     Load, Store, Set1, Add, Sub, Mul, Div, Sqrt, Abs, RoundNearest
+//     // std-semantics min/max: MinStd(a,b) == std::min(a,b) and
+//     // MaxStd(a,b) == std::max(a,b) PER LANE, including which NaN operand
+//     // comes through (on x86 that is the same instruction with the operand
+//     // order swapped; NEON needs compare+select):
+//     MinStd, MaxStd
+//     // integer lane ops for exponent surgery:
+//     Set1I, CastI, CastD, Add64, Sub64, And64, Sra52, Shl52, I64ToF64
+//     // whole-vector predicates (scalar bool so control flow stays uniform
+//     // across ISAs — no per-lane masking anywhere):
+//     AllInRange   — every lane in [kMinNormal, kMaxFinite] (false on NaN)
+//     AllAbsLe700  — every lane has |x| <= 700 (false on NaN)
+//     AllNotNan    — no lane is NaN
+//   };
+//
+// Bit-identity strategy: the vector code only ever executes the scalar MAIN
+// paths (LogMain/ExpMain in kernels.cc), mirrored operation for operation.
+// Before using a block's result it proves the main path was valid for every
+// lane (AllInRange on each log input, AllAbsLe700 on each exp input, final
+// AllNotNan on the accumulators); any failure reruns the whole block through
+// detail::*Range — the scalar reference itself — so special values get the
+// scalar answers by construction, not by re-implementation. The tail
+// (n % kWidth) always runs the scalar reference.
+//
+// Concurrency contract (see JointBatchArgs in kernels.h): no load below ever
+// touches plane elements >= n. Full blocks satisfy j + kWidth <= n, and the
+// scalar tail stops at n.
+namespace gauss::kernels::simd {
+
+// --- fdlibm log constants (see LogMain in kernels.cc for the derivation) ---
+inline constexpr int64_t kLogOff = 0x3fe6955500000000LL;
+inline constexpr int64_t kExpFieldMask =
+    static_cast<int64_t>(0xfff0000000000000ULL);
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+inline constexpr double kLg1 = 6.666666666666735130e-01;
+inline constexpr double kLg2 = 3.999999999940941908e-01;
+inline constexpr double kLg3 = 2.857142874366239149e-01;
+inline constexpr double kLg4 = 2.222219843214978396e-01;
+inline constexpr double kLg5 = 1.818357216161805012e-01;
+inline constexpr double kLg6 = 1.531383769920937332e-01;
+inline constexpr double kLg7 = 1.479819860511658591e-01;
+
+// --- fdlibm exp constants (see ExpCore in kernels.cc) ---
+inline constexpr double kInvLn2 = 1.44269504088896338700e+00;
+inline constexpr double kExpP1 = 1.66666666666666019037e-01;
+inline constexpr double kExpP2 = -2.77777777770155933842e-03;
+inline constexpr double kExpP3 = 6.61375632143793436117e-05;
+inline constexpr double kExpP4 = -1.65339022054652515390e-06;
+inline constexpr double kExpP5 = 4.13813679705723846039e-08;
+inline constexpr double kExpMainCut = 700.0;
+
+// --- main-path domain of the portable log ---
+inline constexpr double kMinNormal = 2.2250738585072014e-308;  // 0x1p-1022
+inline constexpr double kMaxFinite = 1.7976931348623157e+308;  // DBL_MAX
+
+// log(x), every lane assumed normal finite positive (caller checked
+// AllInRange). Mirrors LogMain(x, 0) in kernels.cc op for op.
+template <typename O>
+inline typename O::V VLogMain(typename O::V x) {
+  using V = typename O::V;
+  using VI = typename O::VI;
+  const VI u = O::CastI(x);
+  const VI tmp = O::Sub64(u, O::Set1I(kLogOff));
+  const VI k = O::Sra52(tmp);
+  const VI mbits = O::Sub64(u, O::And64(tmp, O::Set1I(kExpFieldMask)));
+  const V m = O::CastD(mbits);
+  const V f = O::Sub(m, O::Set1(1.0));
+  const V s = O::Div(f, O::Add(O::Set1(2.0), f));
+  const V z = O::Mul(s, s);
+  const V w = O::Mul(z, z);
+  const V t1 = O::Mul(
+      w, O::Add(O::Set1(kLg2),
+                O::Mul(w, O::Add(O::Set1(kLg4), O::Mul(w, O::Set1(kLg6))))));
+  const V t2 = O::Mul(
+      z,
+      O::Add(O::Set1(kLg1),
+             O::Mul(w, O::Add(O::Set1(kLg3),
+                              O::Mul(w, O::Add(O::Set1(kLg5),
+                                               O::Mul(w, O::Set1(kLg7))))))));
+  const V r = O::Add(t2, t1);
+  const V ff = O::Mul(f, f);
+  const V hfsq = O::Mul(O::Set1(0.5), ff);
+  const V dk = O::I64ToF64(k);
+  // dk*ln2_hi - ((hfsq - (s*(hfsq+r) + dk*ln2_lo)) - f)
+  const V inner = O::Add(O::Mul(s, O::Add(hfsq, r)), O::Mul(dk, O::Set1(kLn2Lo)));
+  return O::Sub(O::Mul(dk, O::Set1(kLn2Hi)), O::Sub(O::Sub(hfsq, inner), f));
+}
+
+// exp(x), every lane assumed |x| <= 700 (caller checked AllAbsLe700).
+// Mirrors ExpMain in kernels.cc. The 2^n scale is built by the magic-number
+// trick: bit_cast(nd + 0x1.8p52) carries n in its low bits (two's
+// complement), and ((bits + 1023) << 52) equals ((n + 1023) << 52) because
+// the magic constant's low 12 bits are zero — the rest shifts out mod 2^64.
+template <typename O>
+inline typename O::V VExpMain(typename O::V x) {
+  using V = typename O::V;
+  using VI = typename O::VI;
+  const V nd = O::RoundNearest(O::Mul(x, O::Set1(kInvLn2)));
+  const V hi = O::Sub(x, O::Mul(nd, O::Set1(kLn2Hi)));
+  const V lo = O::Mul(nd, O::Set1(kLn2Lo));
+  const V r = O::Sub(hi, lo);
+  const V t = O::Mul(r, r);
+  const V p = O::Add(
+      O::Set1(kExpP1),
+      O::Mul(t, O::Add(O::Set1(kExpP2),
+                       O::Mul(t, O::Add(O::Set1(kExpP3),
+                                        O::Mul(t, O::Add(O::Set1(kExpP4),
+                                                         O::Mul(t, O::Set1(
+                                                                       kExpP5)))))))));
+  const V c = O::Sub(r, O::Mul(t, p));
+  const V y = O::Sub(
+      O::Set1(1.0),
+      O::Sub(O::Sub(lo, O::Div(O::Mul(r, c), O::Sub(O::Set1(2.0), c))), hi));
+  const VI u = O::CastI(O::Add(nd, O::Set1(0x1.8p52)));
+  const VI scale_bits = O::Shl52(O::Add64(u, O::Set1I(1023)));
+  return O::Mul(y, O::CastD(scale_bits));
+}
+
+// log N(x; mu, sigma): PortableGaussLogPdf (kernels.h) mirrored per lane.
+// sigma lanes must already be proven in-range for VLogMain.
+template <typename O>
+inline typename O::V VGaussLogPdf(typename O::V x, typename O::V mu,
+                                  typename O::V sigma) {
+  using V = typename O::V;
+  const V z = O::Div(O::Sub(x, mu), sigma);
+  const V zz = O::Mul(z, z);
+  return O::Sub(O::Sub(O::Mul(O::Set1(-0.5), zz), VLogMain<O>(sigma)),
+                O::Set1(kLogSqrt2Pi));
+}
+
+// CombineSigma (sigma_policy.h) per lane. The convolution form is two muls,
+// an add and a sqrt — exactly the scalar's operation sequence (every TU
+// builds with -ffp-contract=off, so the scalar cannot have fused the
+// mul-add either).
+template <typename O>
+inline typename O::V VCombineSigma(typename O::V sv, typename O::V sq,
+                                   bool additive) {
+  if (additive) return O::Add(sv, sq);
+  return O::Sqrt(O::Add(O::Mul(sv, sv), O::Mul(sq, sq)));
+}
+
+template <typename O>
+void JointBatchImpl(const JointBatchArgs& a, double* out_log) {
+  using V = typename O::V;
+  constexpr size_t W = O::kWidth;
+  const bool additive = a.policy == SigmaPolicy::kAdditive;
+  size_t j = 0;
+  for (; j + W <= a.n; j += W) {
+    V acc = O::Set1(0.0);
+    bool main_path = true;
+    for (size_t i = 0; i < a.dim; ++i) {
+      const V sv = O::Load(a.sigma + i * a.stride + j);
+      const V sigma = VCombineSigma<O>(sv, O::Set1(a.sigma_q[i]), additive);
+      // A zero/denormal/inf/NaN combined sigma would take PortableLog's
+      // special path — prove every lane is main-path before trusting
+      // VLogMain, else rerun the block through the scalar reference.
+      if (!O::AllInRange(sigma)) {
+        main_path = false;
+        break;
+      }
+      const V mu = O::Load(a.mu + i * a.stride + j);
+      acc = O::Add(acc, VGaussLogPdf<O>(O::Set1(a.mu_q[i]), mu, sigma));
+    }
+    // A NaN accumulator means non-finite mu data flowed through arithmetic
+    // whose NaN payload propagation we don't promise to mirror — the scalar
+    // rerun gives those lanes the reference bits.
+    if (main_path && O::AllNotNan(acc)) {
+      O::Store(out_log + j, acc);
+    } else {
+      detail::JointLogDensityRange(a, j, j + W, out_log);
+    }
+  }
+  detail::JointLogDensityRange(a, j, a.n, out_log);
+}
+
+template <typename O>
+void HullBatchImpl(const HullBatchArgs& a, double* out_log_upper,
+                   double* out_log_lower) {
+  using V = typename O::V;
+  constexpr size_t W = O::kWidth;
+  const bool additive = a.policy == SigmaPolicy::kAdditive;
+  size_t j = 0;
+  for (; j + W <= a.n; j += W) {
+    V up = O::Set1(0.0);
+    V lo = O::Set1(0.0);
+    bool main_path = true;
+    for (size_t i = 0; i < a.dim; ++i) {
+      const V sq = O::Set1(a.sigma_q[i]);
+      const V slo =
+          VCombineSigma<O>(O::Load(a.sigma_lo + i * a.stride + j), sq, additive);
+      const V shi =
+          VCombineSigma<O>(O::Load(a.sigma_hi + i * a.stride + j), sq, additive);
+      if (!O::AllInRange(slo) || !O::AllInRange(shi)) {
+        main_path = false;
+        break;
+      }
+      const V mlo = O::Load(a.mu_lo + i * a.stride + j);
+      const V mhi = O::Load(a.mu_hi + i * a.stride + j);
+      const V x = O::Set1(a.mu_q[i]);
+      // Lemma 2 upper hull, branchless form of hull.cc's ArgUpperHull: the
+      // best mean is x clamped into [mu_lo, mu_hi]; the best sigma is the
+      // distance to that mean clamped into [sigma_lo, sigma_hi] (distance 0
+      // inside the mu range resolves to sigma_lo — case IV). Equivalence
+      // with the branchy scalar is bit-exact: |x - mu_lo| == mu_lo - x by
+      // IEEE negation exactness, and clamp == MinStd(MaxStd(v,lo),hi) for
+      // every input including NaN.
+      const V mu_c = O::MinStd(O::MaxStd(x, mlo), mhi);
+      const V dist = O::Abs(O::Sub(x, mu_c));
+      const V sg_c = O::MinStd(O::MaxStd(dist, slo), shi);
+      up = O::Add(up, VGaussLogPdf<O>(x, mu_c, sg_c));
+      // Lemma 3 lower hull: min over the four (mu, sigma) corners, with the
+      // scalar's exact min tree min(min(a,c), min(d,e)).
+      const V ta = VGaussLogPdf<O>(x, mlo, slo);
+      const V tc = VGaussLogPdf<O>(x, mlo, shi);
+      const V td = VGaussLogPdf<O>(x, mhi, slo);
+      const V te = VGaussLogPdf<O>(x, mhi, shi);
+      lo = O::Add(lo, O::MinStd(O::MinStd(ta, tc), O::MinStd(td, te)));
+    }
+    // NaN mu bounds (or a NaN query coordinate) surface as NaN in at least
+    // one accumulator: sg_c clamps a NaN distance to NaN, so the upper term
+    // goes NaN whenever any input lane was NaN. Rerun those blocks scalar.
+    if (main_path && O::AllNotNan(up) && O::AllNotNan(lo)) {
+      O::Store(out_log_upper + j, up);
+      O::Store(out_log_lower + j, lo);
+    } else {
+      detail::HullBoundsRange(a, j, j + W, out_log_upper, out_log_lower);
+    }
+  }
+  detail::HullBoundsRange(a, j, a.n, out_log_upper, out_log_lower);
+}
+
+template <typename O>
+void ExpShiftImpl(const double* log_in, double log_shift, size_t n,
+                  double* out) {
+  using V = typename O::V;
+  constexpr size_t W = O::kWidth;
+  const V shift = O::Set1(log_shift);
+  size_t j = 0;
+  for (; j + W <= n; j += W) {
+    const V v = O::Sub(O::Load(log_in + j), shift);
+    // |v| <= 700 is ExpMain's domain (result and scale stay normal);
+    // anything else — including NaN — takes the scalar reference's special
+    // handling.
+    if (O::AllAbsLe700(v)) {
+      O::Store(out + j, VExpMain<O>(v));
+    } else {
+      detail::ExpShiftRange(log_in, log_shift, j, j + W, out);
+    }
+  }
+  detail::ExpShiftRange(log_in, log_shift, j, n, out);
+}
+
+}  // namespace gauss::kernels::simd
+
+#endif  // GAUSS_MATH_KERNELS_SIMD_H_

@@ -8,6 +8,7 @@
 #include "common/log_sum_exp.h"
 #include "common/macros.h"
 #include "gausstree/delta_tree.h"
+#include "math/kernels.h"
 
 namespace gauss {
 
@@ -308,23 +309,29 @@ std::future<ShardBackend::StartResult> DeltaBackend::Start(
     return future;
   }
 
-  // Exact per-object joint log densities — the same arithmetic the tree
+  // Exact per-object joint log densities over the delta's SoA planes — one
+  // batch kernel call for the whole prefix, same arithmetic the tree
   // traversals bottom out in, so the combined answer matches a tree holding
   // these objects to the last bit of certified probability.
   std::vector<double> log_density(n);
+  kernels::JointBatchArgs args;
+  args.mu = delta_->mu_planes();
+  args.sigma = delta_->sigma_planes();
+  args.stride = delta_->plane_stride();
+  args.n = n;
+  args.dim = delta_->dim();
+  args.mu_q = query.pfv().mu.data();
+  args.sigma_q = query.pfv().sigma.data();
+  args.policy = policy_;
+  kernels::JointLogDensityBatch(args, log_density.data());
   double log_ref = -std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < n; ++i) {
-    log_density[i] = PfvJointLogDensity(delta_->at(i), query.pfv(), policy_);
-    log_ref = std::max(log_ref, log_density[i]);
-  }
+  for (size_t i = 0; i < n; ++i) log_ref = std::max(log_ref, log_density[i]);
   partial.log_ref = log_ref;
 
   KahanSum denominator;
   std::vector<double> scaled(n);
-  for (size_t i = 0; i < n; ++i) {
-    scaled[i] = std::exp(log_density[i] - log_ref);
-    denominator.Add(scaled[i]);
-  }
+  kernels::ExpShiftBatch(log_density.data(), log_ref, n, scaled.data());
+  for (size_t i = 0; i < n; ++i) denominator.Add(scaled[i]);
   partial.denominator_lo = denominator.Value();
   partial.denominator_hi = denominator.Value();
   partial.exhausted = true;

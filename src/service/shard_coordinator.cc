@@ -348,7 +348,7 @@ ShardCoordinator::SketchPlan ShardCoordinator::PlanFromSketches(
       c.hi += e.count * std::exp(hi_log - c.log_ref);
       entry_floors.push_back({lo_log, e.count});
     }
-    if (c.lo > c.hi) c.lo = c.hi;  // same rounding guard as MakeActiveNode
+    if (c.lo > c.hi) c.lo = c.hi;  // same rounding guard as ScoreNodeBatch
     log_ref_g = std::max(log_ref_g, c.log_ref);
   }
   if (log_ref_g == kNegInf) return plan;  // every shard empty

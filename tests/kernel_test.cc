@@ -1,0 +1,545 @@
+// Differential tests of the batch scoring kernels (math/kernels.h): every
+// backend compiled into this binary and runnable on this CPU must be
+// BIT-IDENTICAL to the scalar reference backend — which itself must be
+// bit-identical to looping the legacy per-entry scalar math — across random
+// sweeps and the IEEE edge values (sigma floors, extreme |x - mu| / sigma,
+// denormals, +-inf, NaN propagation) and at entry counts that are not a
+// multiple of any vector width. Registered under the `concurrency` ctest
+// label so the tsan and asan presets inherit the whole sweep.
+//
+// The suite prints "active backend: <name>" so CI can grep LastTest.log to
+// prove which backend a lane dispatched to (see .github/workflows/ci.yml).
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "gausstree/delta_tree.h"
+#include "math/gaussian.h"
+#include "math/hull.h"
+#include "math/kernels.h"
+#include "pfv/pfv.h"
+
+namespace gauss {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kDenormal = 5e-324;
+
+// Values worth planting in any mu/sigma slot: each one either routes a SIMD
+// block through its scalar-fallback path or must survive it bit-exactly.
+const double kEdgeValues[] = {
+    0.0,     -0.0,       1e-300, kDenormal, 1e300,
+    1e9,     -1e9,       kInf,   -kInf,     kNan,
+    1e-12,   0.5,        2.0,    1.0 + 1e-15,
+};
+
+struct JointFixture {
+  size_t n = 0, dim = 0, stride = 0;
+  std::vector<double> planes;  // dim mu planes then dim sigma planes
+  std::vector<double> mu_q, sigma_q;
+
+  kernels::JointBatchArgs Args() const {
+    kernels::JointBatchArgs args;
+    args.mu = planes.data();
+    args.sigma = planes.data() + dim * stride;
+    args.stride = stride;
+    args.n = n;
+    args.dim = dim;
+    args.mu_q = mu_q.data();
+    args.sigma_q = sigma_q.data();
+    return args;
+  }
+
+  double& mu(size_t d, size_t j) { return planes[d * stride + j]; }
+  double& sigma(size_t d, size_t j) { return planes[(dim + d) * stride + j]; }
+};
+
+struct HullFixture {
+  size_t n = 0, dim = 0, stride = 0;
+  std::vector<double> planes;  // mu_lo | mu_hi | sigma_lo | sigma_hi
+  std::vector<double> mu_q, sigma_q;
+
+  kernels::HullBatchArgs Args() const {
+    kernels::HullBatchArgs args;
+    args.mu_lo = planes.data();
+    args.mu_hi = planes.data() + dim * stride;
+    args.sigma_lo = planes.data() + 2 * dim * stride;
+    args.sigma_hi = planes.data() + 3 * dim * stride;
+    args.stride = stride;
+    args.n = n;
+    args.dim = dim;
+    args.mu_q = mu_q.data();
+    args.sigma_q = sigma_q.data();
+    return args;
+  }
+
+  double& mu_lo(size_t d, size_t j) { return planes[d * stride + j]; }
+  double& mu_hi(size_t d, size_t j) { return planes[(dim + d) * stride + j]; }
+  double& sigma_lo(size_t d, size_t j) {
+    return planes[(2 * dim + d) * stride + j];
+  }
+  double& sigma_hi(size_t d, size_t j) {
+    return planes[(3 * dim + d) * stride + j];
+  }
+};
+
+JointFixture MakeJointFixture(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  JointFixture f;
+  f.n = n;
+  f.dim = dim;
+  f.stride = kernels::PadEntries(n);
+  f.planes.assign(2 * dim * f.stride, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    for (size_t j = 0; j < n; ++j) {
+      f.mu(d, j) = rng.Uniform(-5, 5);
+      f.sigma(d, j) = rng.Uniform(1e-4, 2.0);
+    }
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    f.mu_q.push_back(rng.Uniform(-5, 5));
+    f.sigma_q.push_back(rng.Uniform(1e-4, 2.0));
+  }
+  return f;
+}
+
+HullFixture MakeHullFixture(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  HullFixture f;
+  f.n = n;
+  f.dim = dim;
+  f.stride = kernels::PadEntries(n);
+  f.planes.assign(4 * dim * f.stride, 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    for (size_t j = 0; j < n; ++j) {
+      double lo = rng.Uniform(-5, 5), hi = rng.Uniform(-5, 5);
+      if (lo > hi) std::swap(lo, hi);
+      f.mu_lo(d, j) = lo;
+      f.mu_hi(d, j) = hi;
+      double slo = rng.Uniform(1e-4, 1.0), shi = rng.Uniform(1e-4, 1.0);
+      if (slo > shi) std::swap(slo, shi);
+      f.sigma_lo(d, j) = slo;
+      f.sigma_hi(d, j) = shi;
+    }
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    f.mu_q.push_back(rng.Uniform(-5, 5));
+    f.sigma_q.push_back(rng.Uniform(1e-4, 2.0));
+  }
+  return f;
+}
+
+// Bit-level equality that treats any-NaN == any-NaN per slot only when the
+// payloads match exactly — the contract is memcmp-identical output buffers.
+::testing::AssertionResult SameBits(const std::vector<double>& ref,
+                                    const std::vector<double>& got) {
+  EXPECT_EQ(ref.size(), got.size());
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (std::memcmp(&ref[i], &got[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "slot " << i << ": scalar=" << ref[i] << " ("
+             << std::hexfloat << ref[i] << ") got=" << got[i] << " ("
+             << got[i] << ")" << std::defaultfloat;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<const kernels::KernelBackend*> RunnableBackends() {
+  std::vector<const kernels::KernelBackend*> runnable;
+  for (const kernels::KernelBackend* backend : kernels::CompiledBackends()) {
+    if (kernels::Runnable(*backend)) runnable.push_back(backend);
+  }
+  return runnable;
+}
+
+void ExpectJointMatchesScalar(JointFixture& f, const char* what) {
+  const size_t n = f.n;
+  std::vector<double> ref(n, -1.0);
+  kernels::ScalarBackend().joint_log_density(f.Args(), ref.data());
+  for (const kernels::KernelBackend* backend : RunnableBackends()) {
+    std::vector<double> got(n, -2.0);
+    backend->joint_log_density(f.Args(), got.data());
+    EXPECT_TRUE(SameBits(ref, got))
+        << what << ": backend " << backend->name << " dim=" << f.dim
+        << " n=" << n;
+  }
+}
+
+void ExpectHullMatchesScalar(HullFixture& f, const char* what) {
+  const size_t n = f.n;
+  std::vector<double> ref_up(n, -1.0), ref_lo(n, -1.0);
+  kernels::ScalarBackend().hull_bounds(f.Args(), ref_up.data(), ref_lo.data());
+  for (const kernels::KernelBackend* backend : RunnableBackends()) {
+    std::vector<double> got_up(n, -2.0), got_lo(n, -2.0);
+    backend->hull_bounds(f.Args(), got_up.data(), got_lo.data());
+    EXPECT_TRUE(SameBits(ref_up, got_up))
+        << what << " (upper): backend " << backend->name << " dim=" << f.dim
+        << " n=" << n;
+    EXPECT_TRUE(SameBits(ref_lo, got_lo))
+        << what << " (lower): backend " << backend->name << " dim=" << f.dim
+        << " n=" << n;
+  }
+}
+
+TEST(KernelDispatchTest, ScalarAlwaysCompiledAndRunnable) {
+  const auto& backends = kernels::CompiledBackends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_STREQ(backends[0]->name, "scalar");
+  EXPECT_TRUE(kernels::Runnable(*backends[0]));
+  // The grep target for CI's backend-proof step.
+  printf("active backend: %s\n", kernels::ActiveBackend().name);
+  for (const kernels::KernelBackend* backend : backends) {
+    printf("compiled backend: %s (runnable: %s)\n", backend->name,
+           kernels::Runnable(*backend) ? "yes" : "no");
+  }
+}
+
+TEST(KernelDispatchTest, ForceScalarPinsScalar) {
+  const char* force = std::getenv("GAUSS_FORCE_SCALAR");
+  if (force == nullptr || force[0] == '\0' ||
+      (force[0] == '0' && force[1] == '\0')) {
+    GTEST_SKIP() << "GAUSS_FORCE_SCALAR not set";
+  }
+  EXPECT_STREQ(kernels::ActiveBackend().name, "scalar");
+}
+
+// The scalar reference backend must equal a literal loop over the legacy
+// per-entry functions — that is what "reference" means here.
+TEST(KernelScalarReferenceTest, JointEqualsLegacyLoop) {
+  JointFixture f = MakeJointFixture(37, 11, 101);
+  std::vector<double> out(f.n);
+  kernels::ScalarBackend().joint_log_density(f.Args(), out.data());
+  for (size_t j = 0; j < f.n; ++j) {
+    double acc = 0.0;
+    for (size_t d = 0; d < f.dim; ++d) {
+      const double combined = CombineSigma(f.sigma(d, j), f.sigma_q[d],
+                                           SigmaPolicy::kConvolution);
+      acc += GaussianLogPdf(f.mu_q[d], f.mu(d, j), combined);
+    }
+    EXPECT_EQ(acc, out[j]) << "entry " << j;
+  }
+}
+
+TEST(KernelScalarReferenceTest, HullEqualsLegacyLoop) {
+  HullFixture f = MakeHullFixture(29, 7, 102);
+  std::vector<double> up(f.n), lo(f.n);
+  kernels::ScalarBackend().hull_bounds(f.Args(), up.data(), lo.data());
+  for (size_t j = 0; j < f.n; ++j) {
+    double acc_up = 0.0, acc_lo = 0.0;
+    for (size_t d = 0; d < f.dim; ++d) {
+      DimBounds bounds;
+      bounds.mu_lo = f.mu_lo(d, j);
+      bounds.mu_hi = f.mu_hi(d, j);
+      bounds.sigma_lo = f.sigma_lo(d, j);
+      bounds.sigma_hi = f.sigma_hi(d, j);
+      const DimBounds adjusted = QueryAdjustedBounds(
+          bounds, f.sigma_q[d], SigmaPolicy::kConvolution);
+      acc_up += LogUpperHull(f.mu_q[d], adjusted);
+      acc_lo += LogLowerHull(f.mu_q[d], adjusted);
+    }
+    EXPECT_EQ(acc_up, up[j]) << "entry " << j;
+    EXPECT_EQ(acc_lo, lo[j]) << "entry " << j;
+  }
+}
+
+TEST(KernelDifferentialTest, JointRandomSweep) {
+  for (const size_t dim : {1u, 2u, 8u, 27u}) {
+    // n values straddle every vector width and force ragged tails.
+    for (const size_t n : {1u, 2u, 3u, 7u, 8u, 9u, 15u, 16u, 61u, 64u}) {
+      for (uint64_t seed = 1; seed <= 5; ++seed) {
+        JointFixture f = MakeJointFixture(n, dim, seed);
+        ExpectJointMatchesScalar(f, "random sweep");
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, HullRandomSweep) {
+  for (const size_t dim : {1u, 2u, 8u, 27u}) {
+    for (const size_t n : {1u, 3u, 8u, 9u, 31u, 61u, 64u}) {
+      for (uint64_t seed = 1; seed <= 5; ++seed) {
+        HullFixture f = MakeHullFixture(n, dim, seed);
+        ExpectHullMatchesScalar(f, "random sweep");
+      }
+    }
+  }
+}
+
+// Every edge value in every slot of a full-width block: sigma floors,
+// denormals, infinities, NaN payload propagation.
+TEST(KernelDifferentialTest, JointEdgeValues) {
+  for (const double edge : kEdgeValues) {
+    for (const bool into_sigma : {false, true}) {
+      JointFixture f = MakeJointFixture(17, 3, 7);
+      for (size_t j = 0; j < f.n; j += 2) {
+        if (into_sigma) {
+          f.sigma(j % f.dim, j) = edge;
+        } else {
+          f.mu(j % f.dim, j) = edge;
+        }
+      }
+      ExpectJointMatchesScalar(f, "edge values");
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, JointEdgeQueries) {
+  for (const double edge : kEdgeValues) {
+    JointFixture f = MakeJointFixture(16, 4, 9);
+    f.mu_q[1] = edge;
+    ExpectJointMatchesScalar(f, "edge query mu");
+    JointFixture g = MakeJointFixture(16, 4, 10);
+    g.sigma_q[2] = edge;
+    ExpectJointMatchesScalar(g, "edge query sigma");
+  }
+}
+
+TEST(KernelDifferentialTest, JointExtremeZScores) {
+  // |x - mu| / sigma so large that zz overflows, and so small that the
+  // density is dominated by -log sigma.
+  JointFixture f = MakeJointFixture(16, 2, 12);
+  f.mu(0, 0) = 1e155;
+  f.sigma(0, 0) = 1e-155;  // z ~ 1e310: zz = inf
+  f.mu(0, 1) = 1e-30;
+  f.sigma(0, 1) = 1e280;   // z ~ 0
+  f.mu(1, 2) = -1e155;
+  f.sigma(1, 2) = kDenormal;
+  ExpectJointMatchesScalar(f, "extreme z");
+}
+
+// Edge values under the hull domain invariant (DimBounds::Valid(), which
+// every finalized node's bounds satisfy): after planting, the bounds are
+// re-ordered so mu_lo <= mu_hi and 0 < sigma_lo <= sigma_hi. NaN — which
+// Valid() excludes but the kernels still promise to route identically — is
+// exercised via the query in HullEdgeQueries below.
+TEST(KernelDifferentialTest, HullEdgeValues) {
+  const double mu_edges[] = {0.0, -0.0, 1e-300, kDenormal, 1e300,
+                             1e9,  -1e9, kInf,   -kInf,     1e-12};
+  const double sigma_edges[] = {kDenormal, 1e-300, 1e-12, 0.5, 1e9, 1e300,
+                                kInf};
+  for (const double edge : mu_edges) {
+    for (const bool into_hi : {false, true}) {
+      HullFixture f = MakeHullFixture(17, 3, 8);
+      for (size_t j = 0; j < f.n; j += 2) {
+        const size_t d = j % f.dim;
+        double lo = into_hi ? f.mu_lo(d, j) : edge;
+        double hi = into_hi ? edge : f.mu_hi(d, j);
+        if (hi < lo) std::swap(lo, hi);
+        f.mu_lo(d, j) = lo;
+        f.mu_hi(d, j) = hi;
+      }
+      ExpectHullMatchesScalar(f, "mu edge values");
+    }
+  }
+  for (const double edge : sigma_edges) {
+    for (const bool into_hi : {false, true}) {
+      HullFixture f = MakeHullFixture(17, 3, 9);
+      for (size_t j = 0; j < f.n; j += 2) {
+        const size_t d = j % f.dim;
+        double lo = into_hi ? f.sigma_lo(d, j) : edge;
+        double hi = into_hi ? edge : f.sigma_hi(d, j);
+        if (hi < lo) std::swap(lo, hi);
+        f.sigma_lo(d, j) = lo;
+        f.sigma_hi(d, j) = hi;
+      }
+      ExpectHullMatchesScalar(f, "sigma edge values");
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, HullEdgeQueries) {
+  for (const double edge : kEdgeValues) {
+    HullFixture f = MakeHullFixture(16, 4, 21);
+    f.mu_q[1] = edge;
+    ExpectHullMatchesScalar(f, "edge query mu");
+    HullFixture g = MakeHullFixture(16, 4, 22);
+    g.sigma_q[2] = edge;
+    ExpectHullMatchesScalar(g, "edge query sigma");
+  }
+}
+
+TEST(KernelDifferentialTest, HullQueryAcrossAllSevenCases) {
+  // Sweep the query mean across the Lemma 2 piecewise regions of a fixed
+  // bound box (hull.h cases I-VII): far left, boundary, inside, far right.
+  HullFixture f = MakeHullFixture(16, 1, 20);
+  for (size_t j = 0; j < f.n; ++j) {
+    f.mu_lo(0, j) = -1.0;
+    f.mu_hi(0, j) = 1.0;
+    f.sigma_lo(0, j) = 0.1;
+    f.sigma_hi(0, j) = 0.5;
+  }
+  for (const double x : {-50.0, -1.6, -1.5, -1.1, -1.0, -0.999, 0.0, 0.999,
+                         1.0, 1.1, 1.5, 1.6, 50.0}) {
+    f.mu_q[0] = x;
+    ExpectHullMatchesScalar(f, "seven cases");
+  }
+}
+
+TEST(KernelDifferentialTest, ExpShiftSweep) {
+  Rng rng(31);
+  for (const size_t n : {1u, 7u, 8u, 15u, 64u, 301u}) {
+    std::vector<double> log_in(n);
+    for (size_t j = 0; j < n; ++j) log_in[j] = rng.Uniform(-1000, 50);
+    // Plant the specials: overflow, underflow, NaN, +-inf, denormal result.
+    if (n >= 8) {
+      log_in[0] = 800.0;
+      log_in[1] = -800.0;
+      log_in[2] = kNan;
+      log_in[3] = kInf;
+      log_in[4] = -kInf;
+      log_in[5] = -745.0;
+      log_in[6] = 709.7;
+      log_in[7] = 0.0;
+    }
+    for (const double shift : {-3.5, 0.0, 100.0}) {
+      std::vector<double> ref(n, -1.0);
+      kernels::ScalarBackend().exp_shift(log_in.data(), shift, n, ref.data());
+      for (const kernels::KernelBackend* backend : RunnableBackends()) {
+        std::vector<double> got(n, -2.0);
+        backend->exp_shift(log_in.data(), shift, n, got.data());
+        EXPECT_TRUE(SameBits(ref, got))
+            << "exp_shift backend " << backend->name << " n=" << n
+            << " shift=" << shift;
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, AdditiveSigmaPolicy) {
+  JointFixture f = MakeJointFixture(23, 5, 40);
+  {
+    kernels::JointBatchArgs args = f.Args();
+    args.policy = SigmaPolicy::kAdditive;
+    std::vector<double> ref(f.n);
+    kernels::ScalarBackend().joint_log_density(args, ref.data());
+    for (const kernels::KernelBackend* backend : RunnableBackends()) {
+      std::vector<double> got(f.n);
+      backend->joint_log_density(args, got.data());
+      EXPECT_TRUE(SameBits(ref, got)) << "additive joint " << backend->name;
+    }
+  }
+  HullFixture h = MakeHullFixture(23, 5, 41);
+  {
+    kernels::HullBatchArgs args = h.Args();
+    args.policy = SigmaPolicy::kAdditive;
+    std::vector<double> ref_up(h.n), ref_lo(h.n), got_up(h.n), got_lo(h.n);
+    kernels::ScalarBackend().hull_bounds(args, ref_up.data(), ref_lo.data());
+    for (const kernels::KernelBackend* backend : RunnableBackends()) {
+      backend->hull_bounds(args, got_up.data(), got_lo.data());
+      EXPECT_TRUE(SameBits(ref_up, got_up)) << "additive hull " << backend->name;
+      EXPECT_TRUE(SameBits(ref_lo, got_lo)) << "additive hull " << backend->name;
+    }
+  }
+}
+
+// Portable transcendental contracts (the scalar side of the bit-stability
+// story): IEEE special cases and near-libm accuracy.
+TEST(PortableTranscendentalTest, LogSpecialCases) {
+  EXPECT_EQ(kernels::PortableLog(1.0), 0.0);
+  EXPECT_EQ(kernels::PortableLog(0.0), -kInf);
+  EXPECT_EQ(kernels::PortableLog(-0.0), -kInf);
+  EXPECT_EQ(kernels::PortableLog(kInf), kInf);
+  EXPECT_TRUE(std::isnan(kernels::PortableLog(-1.0)));
+  EXPECT_TRUE(std::isnan(kernels::PortableLog(kNan)));
+  EXPECT_TRUE(std::isnan(kernels::PortableLog(-kInf)));
+  // Denormal inputs take the rescaled path and stay finite.
+  EXPECT_NEAR(kernels::PortableLog(kDenormal), std::log(kDenormal), 1e-12);
+}
+
+TEST(PortableTranscendentalTest, ExpSpecialCases) {
+  EXPECT_EQ(kernels::PortableExp(0.0), 1.0);
+  EXPECT_EQ(kernels::PortableExp(kInf), kInf);
+  EXPECT_EQ(kernels::PortableExp(-kInf), 0.0);
+  EXPECT_TRUE(std::isnan(kernels::PortableExp(kNan)));
+  EXPECT_EQ(kernels::PortableExp(1000.0), kInf);   // overflow
+  EXPECT_EQ(kernels::PortableExp(-1000.0), 0.0);   // underflow
+  // Gradual underflow region produces denormals, not a hard zero.
+  const double tiny = kernels::PortableExp(-744.0);
+  EXPECT_GT(tiny, 0.0);
+  EXPECT_LT(tiny, std::numeric_limits<double>::min());
+}
+
+TEST(PortableTranscendentalTest, NearLibmAccuracy) {
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::exp(rng.Uniform(-300, 300));  // log-uniform
+    const double ref = std::log(x);
+    const double got = kernels::PortableLog(x);
+    EXPECT_NEAR(got, ref, 4e-16 * std::max(1.0, std::abs(ref))) << "x=" << x;
+  }
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Uniform(-700, 700);
+    const double ref = std::exp(x);
+    const double got = kernels::PortableExp(x);
+    EXPECT_NEAR(got, ref, 4e-16 * ref) << "x=" << x;
+  }
+}
+
+// DeltaTree's SoA planes: the release-store of size() must license plane
+// reads of the published prefix while a writer keeps appending — the exact
+// access pattern DeltaBackend::Start's batch scan performs. Run under tsan
+// via the `concurrency` label.
+TEST(DeltaTreePlanesTest, ConcurrentAppendAndBatchScan) {
+  constexpr size_t kDim = 4;
+  constexpr size_t kCapacity = 512;
+  DeltaTree delta(kDim, kCapacity);
+
+  std::thread writer([&delta] {
+    Rng rng(55);
+    for (size_t i = 0; i < kCapacity; ++i) {
+      std::vector<double> mu(kDim), sigma(kDim);
+      for (double& m : mu) m = rng.Uniform(0, 1);
+      for (double& s : sigma) s = rng.Uniform(0.01, 0.1);
+      ASSERT_TRUE(delta.Append(Pfv(i, std::move(mu), std::move(sigma))));
+    }
+  });
+
+  Rng rng(56);
+  Pfv q(0, std::vector<double>(kDim, 0.5), std::vector<double>(kDim, 0.05));
+  for (int round = 0; round < 200; ++round) {
+    const size_t n = delta.size();  // acquire: licenses planes[0, n)
+    if (n == 0) continue;
+    std::vector<double> out(n);
+    kernels::JointBatchArgs args;
+    args.mu = delta.mu_planes();
+    args.sigma = delta.sigma_planes();
+    args.stride = delta.plane_stride();
+    args.n = n;
+    args.dim = kDim;
+    args.mu_q = q.mu.data();
+    args.sigma_q = q.sigma.data();
+    kernels::JointLogDensityBatch(args, out.data());
+    // Cross-check the published prefix against the AoS oracle.
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], PfvJointLogDensity(delta.at(i), q)) << "slot " << i;
+    }
+  }
+  writer.join();
+
+  // Final full-prefix scan sees every appended object.
+  EXPECT_EQ(delta.size(), kCapacity);
+  std::vector<double> out(kCapacity);
+  kernels::JointBatchArgs args;
+  args.mu = delta.mu_planes();
+  args.sigma = delta.sigma_planes();
+  args.stride = delta.plane_stride();
+  args.n = kCapacity;
+  args.dim = kDim;
+  args.mu_q = q.mu.data();
+  args.sigma_q = q.sigma.data();
+  kernels::JointLogDensityBatch(args, out.data());
+  for (size_t i = 0; i < kCapacity; ++i) {
+    EXPECT_EQ(out[i], PfvJointLogDensity(delta.at(i), q)) << "slot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gauss
